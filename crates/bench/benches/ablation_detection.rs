@@ -1,0 +1,70 @@
+//! Ablation: LibTM's four conflict-detection modes × two resolution
+//! policies on a contended transfer workload (the design space Section
+//! VIII chooses "fully-optimistic + abort-readers" from).
+
+use criterion::Criterion;
+use gstm_core::{ThreadId, TxnId};
+use gstm_libtm::{DetectionMode, LibTm, LibTmConfig, Resolution, TObject};
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn transfer_workload(tm: &Arc<LibTm>) -> i64 {
+    let accounts: Vec<TObject<i64>> = (0..8).map(|_| TObject::new(100)).collect();
+    std::thread::scope(|s| {
+        for t in 0..4u16 {
+            let tm = Arc::clone(tm);
+            let accounts = accounts.clone();
+            s.spawn(move || {
+                let mut ctx = tm.register_as(ThreadId(t));
+                for i in 0..200usize {
+                    let from = (t as usize + i) % accounts.len();
+                    let to = (t as usize + i * 3 + 1) % accounts.len();
+                    if from == to {
+                        continue;
+                    }
+                    let (a, b) = (accounts[from].clone(), accounts[to].clone());
+                    ctx.atomically(TxnId(0), |tx| {
+                        let av = tx.read(&a)?;
+                        let bv = tx.read(&b)?;
+                        tx.write(&a, av - 1)?;
+                        tx.write(&b, bv + 1)?;
+                        Ok(())
+                    });
+                }
+            });
+        }
+    });
+    accounts.iter().map(TObject::load_quiesced).sum()
+}
+
+fn main() {
+    let mut c = Criterion::default().configure_from_args();
+    for detection in [
+        DetectionMode::FullyPessimistic,
+        DetectionMode::PessimisticRead,
+        DetectionMode::PessimisticWrite,
+        DetectionMode::FullyOptimistic,
+    ] {
+        for resolution in [Resolution::WaitForReaders, Resolution::AbortReaders] {
+            let mut g = c.benchmark_group(format!(
+                "ablation_detection/{detection:?}_{resolution:?}"
+            ));
+            g.sample_size(10);
+            g.bench_function("transfers", |b| {
+                b.iter(|| {
+                    let tm = LibTm::new(LibTmConfig {
+                        detection,
+                        resolution,
+                        yield_prob_log2: Some(3),
+                        ..LibTmConfig::default()
+                    });
+                    let total = transfer_workload(&tm);
+                    assert_eq!(total, 800, "conservation violated");
+                    black_box(total)
+                })
+            });
+            g.finish();
+        }
+    }
+    c.final_summary();
+}

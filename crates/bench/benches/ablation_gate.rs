@@ -1,0 +1,55 @@
+//! Ablation: the gate's progress-escape budget (`k` retries × wait spins).
+//!
+//! The paper's Section V introduces `k` but does not fix a value; the
+//! DESIGN.md calibration showed the budget trades conformance (fewer
+//! wild paths) against gate latency. This bench sweeps the two knobs on
+//! the intruder benchmark.
+
+use criterion::Criterion;
+use gstm_bench::bench_cfg;
+use gstm_core::prelude::*;
+use gstm_stamp::{by_name, RunConfig};
+use gstm_tl2::{Stm, StmConfig};
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn main() {
+    let bench = by_name("intruder").unwrap();
+    let cfg = bench_cfg(4);
+    let run_cfg = RunConfig {
+        threads: cfg.threads,
+        size: cfg.test_size,
+        seed: cfg.seed,
+    };
+    let stm_cfg = StmConfig::with_yield_injection(2);
+
+    let rec = Arc::new(RecorderHook::new());
+    let mut runs = Vec::new();
+    for _ in 0..cfg.profile_runs {
+        let stm = Stm::with_hook(rec.clone(), stm_cfg);
+        bench.run(&stm, &run_cfg);
+        runs.push(rec.take_run());
+    }
+    let tsa = Tsa::from_runs(&runs);
+
+    let mut c = Criterion::default().configure_from_args();
+    for (k, spins) in [(1u32, 1u32), (4, 4), (16, 2), (64, 2)] {
+        let gcfg = GuidanceConfig {
+            k_retries: k,
+            wait_spins: spins,
+            ..GuidanceConfig::default()
+        };
+        let model = Arc::new(GuidedModel::build(tsa.clone(), &gcfg));
+        let mut g = c.benchmark_group(format!("ablation_gate/k{k}_s{spins}"));
+        g.sample_size(10);
+        g.bench_function("guided_run", |b| {
+            b.iter(|| {
+                let hook = Arc::new(GuidedHook::new(model.clone(), gcfg));
+                let stm = Stm::with_hook(hook, stm_cfg);
+                black_box(bench.run(&stm, &run_cfg))
+            })
+        });
+        g.finish();
+    }
+    c.final_summary();
+}

@@ -1,0 +1,76 @@
+//! Ablation: lazy vs eager conflict detection in TL2.
+//!
+//! Section II of the paper: "Eager conflict detection continuously checks
+//! for conflicts to abort threads, while lazy detection waits until the
+//! commit of a transaction ... thus reducing the total number of retries
+//! and aborts" — which is why the paper demonstrates guidance on lazy
+//! TL2. This bench runs the same contended workload under both modes and
+//! prints the abort counts alongside the criterion timings.
+
+use criterion::Criterion;
+use gstm_core::{ThreadId, TxnId};
+use gstm_tl2::{Detection, Stm, StmConfig, TVar};
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn contended_workload(stm: &Arc<Stm>) -> u64 {
+    let counters: Vec<TVar<u64>> = (0..4).map(|_| TVar::new(0)).collect();
+    std::thread::scope(|s| {
+        for t in 0..4u16 {
+            let stm = Arc::clone(stm);
+            let counters = counters.clone();
+            s.spawn(move || {
+                let mut ctx = stm.register_as(ThreadId(t));
+                for i in 0..150usize {
+                    let a = counters[(t as usize + i) % counters.len()].clone();
+                    let b = counters[(t as usize + i + 1) % counters.len()].clone();
+                    ctx.atomically(TxnId(0), |tx| {
+                        let av = tx.read(&a)?;
+                        let bv = tx.read(&b)?;
+                        tx.write(&a, av + 1)?;
+                        tx.write(&b, bv + 1)?;
+                        Ok(())
+                    });
+                }
+            });
+        }
+    });
+    counters.iter().map(TVar::load_quiesced).sum()
+}
+
+fn main() {
+    // One-shot comparison of abort counts (the paper's rationale).
+    println!("lazy vs eager detection on a contended transfer workload:");
+    for detection in [Detection::Lazy, Detection::Eager] {
+        let stm = Stm::new(StmConfig {
+            detection,
+            yield_prob_log2: Some(2),
+            ..StmConfig::default()
+        });
+        let total = contended_workload(&stm);
+        assert_eq!(total, 4 * 150 * 2);
+        println!(
+            "  {detection:?}: {} commits, {} aborts",
+            stm.total_commits(),
+            stm.total_aborts()
+        );
+    }
+
+    let mut c = Criterion::default().configure_from_args();
+    for detection in [Detection::Lazy, Detection::Eager] {
+        let mut g = c.benchmark_group(format!("ablation_lazy_eager/{detection:?}"));
+        g.sample_size(10);
+        g.bench_function("contended_transfers", |b| {
+            b.iter(|| {
+                let stm = Stm::new(StmConfig {
+                    detection,
+                    yield_prob_log2: Some(2),
+                    ..StmConfig::default()
+                });
+                black_box(contended_workload(&stm))
+            })
+        });
+        g.finish();
+    }
+    c.final_summary();
+}

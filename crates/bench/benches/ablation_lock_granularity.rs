@@ -1,0 +1,75 @@
+//! Ablation: per-object ("PO") vs striped ("PS") lock placement in TL2.
+//!
+//! The original TL2 ships both modes: PS keeps lock metadata constant at
+//! the cost of false conflicts between stripe-mates. This bench runs the
+//! same counter workload over per-object locks and over lock tables of
+//! decreasing size (more sharing → more false conflicts) and prints the
+//! abort counts alongside the criterion timings.
+
+use criterion::Criterion;
+use gstm_core::{ThreadId, TxnId};
+use gstm_tl2::{LockTable, Stm, StmConfig, TVar};
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn run_counters(stm: &Arc<Stm>, vars: &[TVar<u64>]) -> u64 {
+    std::thread::scope(|s| {
+        for t in 0..4u16 {
+            let stm = Arc::clone(stm);
+            let vars = vars.to_vec();
+            s.spawn(move || {
+                let mut ctx = stm.register_as(ThreadId(t));
+                for i in 0..150usize {
+                    let v = vars[(t as usize * 31 + i) % vars.len()].clone();
+                    ctx.atomically(TxnId(0), |tx| tx.modify(&v, |x| x + 1));
+                }
+            });
+        }
+    });
+    vars.iter().map(TVar::load_quiesced).sum()
+}
+
+fn make_vars(stripes: Option<usize>) -> Vec<TVar<u64>> {
+    match stripes {
+        None => (0..64).map(|_| TVar::new(0)).collect(),
+        Some(n) => {
+            let table = Arc::new(LockTable::new(n));
+            (0..64).map(|_| TVar::new_striped(&table, 0)).collect()
+        }
+    }
+}
+
+fn main() {
+    println!("lock-granularity sweep (64 vars, 4 threads):");
+    for (label, stripes) in [
+        ("per-object", None),
+        ("striped-256", Some(256)),
+        ("striped-16", Some(16)),
+        ("striped-2", Some(2)),
+    ] {
+        let stm = Stm::new(StmConfig::with_yield_injection(2));
+        let vars = make_vars(stripes);
+        let total = run_counters(&stm, &vars);
+        assert_eq!(total, 600);
+        println!(
+            "  {label:12}: {} commits, {} aborts",
+            stm.total_commits(),
+            stm.total_aborts()
+        );
+    }
+
+    let mut c = Criterion::default().configure_from_args();
+    for (label, stripes) in [("per_object", None), ("striped_16", Some(16))] {
+        let mut g = c.benchmark_group(format!("ablation_lock_granularity/{label}"));
+        g.sample_size(10);
+        g.bench_function("counters", |b| {
+            b.iter(|| {
+                let stm = Stm::new(StmConfig::with_yield_injection(2));
+                let vars = make_vars(stripes);
+                black_box(run_counters(&stm, &vars))
+            })
+        });
+        g.finish();
+    }
+    c.final_summary();
+}

@@ -1,0 +1,65 @@
+//! Ablation: the Tfactor knob (Section VI).
+//!
+//! The paper sweeps Tfactor 1..10 and settles on 4: low values restrict
+//! the STM too much, high values re-admit low-probability paths. This
+//! bench sweeps the same range on kmeans and prints the resulting
+//! destination-set sizes, then benchmarks the guided run at each setting.
+
+use criterion::Criterion;
+use gstm_bench::bench_cfg;
+use gstm_core::prelude::*;
+use gstm_core::analyzer;
+use gstm_stamp::{by_name, RunConfig};
+use gstm_tl2::{Stm, StmConfig};
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn main() {
+    let bench = by_name("kmeans").unwrap();
+    let cfg = bench_cfg(4);
+    let run_cfg = RunConfig {
+        threads: cfg.threads,
+        size: cfg.test_size,
+        seed: cfg.seed,
+    };
+    let stm_cfg = StmConfig::with_yield_injection(2);
+
+    // Train once; re-threshold per Tfactor.
+    let rec = Arc::new(RecorderHook::new());
+    let mut runs = Vec::new();
+    for _ in 0..cfg.profile_runs {
+        let stm = Stm::with_hook(rec.clone(), stm_cfg);
+        bench.run(&stm, &run_cfg);
+        runs.push(rec.take_run());
+    }
+    let tsa = Tsa::from_runs(&runs);
+
+    println!("Tfactor sweep on kmeans (model {} states):", tsa.num_states());
+    println!("{:>8} {:>10} {:>10}", "Tfactor", "metric %", "kept/all");
+    let mut models = Vec::new();
+    for tf in [1.0, 2.0, 4.0, 6.0, 8.0, 10.0] {
+        let gcfg = GuidanceConfig::with_tfactor(tf);
+        let model = Arc::new(GuidedModel::build(tsa.clone(), &gcfg));
+        let rep = analyzer::analyze_with(&model, &gcfg);
+        println!(
+            "{tf:>8} {:>10.1} {:>5}/{:<5}",
+            rep.guidance_metric_pct, rep.kept_destinations, rep.total_destinations
+        );
+        models.push((tf, gcfg, model));
+    }
+
+    let mut c = Criterion::default().configure_from_args();
+    for (tf, gcfg, model) in models {
+        let mut g = c.benchmark_group(format!("ablation_tfactor/{tf}"));
+        g.sample_size(10);
+        g.bench_function("guided_run", |b| {
+            b.iter(|| {
+                let hook = Arc::new(GuidedHook::new(model.clone(), gcfg));
+                let stm = Stm::with_hook(hook, stm_cfg);
+                black_box(bench.run(&stm, &run_cfg))
+            })
+        });
+        g.finish();
+    }
+    c.final_summary();
+}

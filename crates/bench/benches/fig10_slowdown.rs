@@ -1,0 +1,63 @@
+//! Figure 10: slowdown of guided over default execution — the canonical
+//! Criterion comparison. One `default` and one `guided` benchmark per
+//! STAMP application; the per-benchmark ratio of the two medians is the
+//! figure's bar.
+
+use criterion::Criterion;
+use gstm_bench::bench_cfg;
+use gstm_core::prelude::*;
+use gstm_harness::figures;
+use gstm_stamp::{all_benchmarks, RunConfig};
+use gstm_tl2::{Stm, StmConfig};
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn bench_all(c: &mut Criterion) {
+    let cfg = bench_cfg(4);
+    let run_cfg = RunConfig {
+        threads: cfg.threads,
+        size: cfg.test_size,
+        seed: cfg.seed,
+    };
+    let stm_cfg = StmConfig::with_yield_injection(2);
+
+    for bench in all_benchmarks() {
+        // Train a model for this benchmark.
+        let rec = Arc::new(RecorderHook::new());
+        let mut runs = Vec::new();
+        for _ in 0..cfg.profile_runs {
+            let stm = Stm::with_hook(rec.clone(), stm_cfg);
+            bench.run(&stm, &run_cfg);
+            runs.push(rec.take_run());
+        }
+        let model = Arc::new(GuidedModel::build(Tsa::from_runs(&runs), &cfg.guidance));
+
+        let mut g = c.benchmark_group(format!("fig10/{}", bench.name()));
+        g.sample_size(10);
+        let b1 = bench.clone();
+        g.bench_function("default", |b| {
+            b.iter(|| {
+                let stm = Stm::new(stm_cfg);
+                black_box(b1.run(&stm, &run_cfg))
+            })
+        });
+        let b2 = bench.clone();
+        g.bench_function("guided", |b| {
+            b.iter(|| {
+                let hook = Arc::new(GuidedHook::new(model.clone(), cfg.guidance));
+                let stm = Stm::with_hook(hook, stm_cfg);
+                black_box(b2.run(&stm, &run_cfg))
+            })
+        });
+        g.finish();
+    }
+}
+
+fn main() {
+    let e4 = gstm_bench::stamp_experiments(4);
+    println!("{}", figures::fig10_slowdown(&e4, &[]).render());
+
+    let mut c = Criterion::default().configure_from_args();
+    bench_all(&mut c);
+    c.final_summary();
+}

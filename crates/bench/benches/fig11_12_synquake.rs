@@ -1,0 +1,70 @@
+//! Figures 11 and 12: SynQuake on the two test quests — frame-rate
+//! variance improvement, abort-ratio reduction, and slowdown.
+//!
+//! Regenerates both figures at bench scale, then benchmarks default vs
+//! guided game runs on each test quest.
+
+use criterion::Criterion;
+use gstm_bench::game_experiment;
+use gstm_core::prelude::*;
+use gstm_harness::figures;
+use gstm_libtm::{LibTm, LibTmConfig};
+use gstm_synquake::{run_game, GameConfig, QuestLayout};
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn bench_game_modes(c: &mut Criterion) {
+    let guidance = GuidanceConfig::default();
+    let tm_cfg = LibTmConfig {
+        yield_prob_log2: Some(2),
+        ..LibTmConfig::default()
+    };
+    let game_cfg = |quest| GameConfig {
+        threads: 2,
+        players: 32,
+        frames: 10,
+        quest,
+        ..GameConfig::default()
+    };
+
+    // Train on the two training quests.
+    let rec = Arc::new(RecorderHook::new());
+    let mut runs = Vec::new();
+    for quest in [QuestLayout::WorstCase4, QuestLayout::Moving4] {
+        let tm = LibTm::with_hook(rec.clone(), tm_cfg);
+        run_game(&tm, &game_cfg(quest));
+        runs.push(rec.take_run());
+    }
+    let model = Arc::new(GuidedModel::build(Tsa::from_runs(&runs), &guidance));
+
+    for quest in [QuestLayout::Quadrants4, QuestLayout::CenterSpread6] {
+        let mut g = c.benchmark_group(format!("fig11_12/{}", quest.name()));
+        g.sample_size(10);
+        g.bench_function("default", |b| {
+            b.iter(|| {
+                let tm = LibTm::new(tm_cfg);
+                black_box(run_game(&tm, &game_cfg(quest)))
+            })
+        });
+        let model = model.clone();
+        g.bench_function("guided", |b| {
+            b.iter(|| {
+                let hook = Arc::new(GuidedHook::new(model.clone(), guidance));
+                let tm = LibTm::with_hook(hook, tm_cfg);
+                black_box(run_game(&tm, &game_cfg(quest)))
+            })
+        });
+        g.finish();
+    }
+}
+
+fn main() {
+    let g = game_experiment(4);
+    let games = [g];
+    println!("{}", figures::fig_synquake(&games, true).render());
+    println!("{}", figures::fig_synquake(&games, false).render());
+
+    let mut c = Criterion::default().configure_from_args();
+    bench_game_modes(&mut c);
+    c.final_summary();
+}

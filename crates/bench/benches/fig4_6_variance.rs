@@ -1,0 +1,61 @@
+//! Figures 4 and 6: per-thread execution-time variance improvement.
+//!
+//! Regenerates both figures at bench scale (4 and 8 threads standing in
+//! for the paper's 8 and 16), then benchmarks a full default and guided
+//! run of kmeans — the workload pair whose timing spread the figures
+//! plot.
+
+use criterion::Criterion;
+use gstm_bench::{bench_cfg, stamp_experiments};
+use gstm_core::prelude::*;
+use gstm_harness::figures;
+use gstm_stamp::{by_name, RunConfig};
+use gstm_tl2::{Stm, StmConfig};
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn bench_modes(c: &mut Criterion) {
+    let bench = by_name("kmeans").unwrap();
+    let cfg = bench_cfg(4);
+    let run_cfg = RunConfig {
+        threads: cfg.threads,
+        size: cfg.test_size,
+        seed: cfg.seed,
+    };
+    let stm_cfg = StmConfig::with_yield_injection(2);
+
+    // Train a model once for the guided variant.
+    let rec = Arc::new(RecorderHook::new());
+    let mut runs = Vec::new();
+    for _ in 0..cfg.profile_runs {
+        let stm = Stm::with_hook(rec.clone(), stm_cfg);
+        bench.run(&stm, &run_cfg);
+        runs.push(rec.take_run());
+    }
+    let model = Arc::new(GuidedModel::build(Tsa::from_runs(&runs), &cfg.guidance));
+
+    c.bench_function("fig4_6/kmeans_default_run", |b| {
+        b.iter(|| {
+            let stm = Stm::new(stm_cfg);
+            black_box(bench.run(&stm, &run_cfg))
+        })
+    });
+    c.bench_function("fig4_6/kmeans_guided_run", |b| {
+        b.iter(|| {
+            let hook = Arc::new(GuidedHook::new(model.clone(), cfg.guidance));
+            let stm = Stm::with_hook(hook, stm_cfg);
+            black_box(bench.run(&stm, &run_cfg))
+        })
+    });
+}
+
+fn main() {
+    let e4 = stamp_experiments(4);
+    let e8 = stamp_experiments(8);
+    println!("{}", figures::fig_variance(&e4, 8).render());
+    println!("{}", figures::fig_variance(&e8, 16).render());
+
+    let mut c = Criterion::default().configure_from_args();
+    bench_modes(&mut c);
+    c.final_summary();
+}

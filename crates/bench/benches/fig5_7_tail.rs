@@ -1,0 +1,50 @@
+//! Figures 5 and 7: abort-distribution tails, default vs guided.
+//!
+//! Regenerates both figures at bench scale, then benchmarks the abort
+//! bookkeeping path (record + merge) that produces the distributions.
+
+use criterion::Criterion;
+use gstm_bench::stamp_experiments;
+use gstm_core::{AbortCause, ThreadStats};
+use gstm_harness::figures;
+use std::hint::black_box;
+
+fn bench_recording(c: &mut Criterion) {
+    c.bench_function("fig5_7/thread_stats_commit_abort_cycle", |b| {
+        b.iter(|| {
+            let mut s = ThreadStats::new();
+            for i in 0..1000u32 {
+                s.record_abort(AbortCause::Validation);
+                if i % 3 == 0 {
+                    s.record_abort(AbortCause::ReadVersion);
+                }
+                s.record_commit(i % 7);
+            }
+            black_box(s)
+        })
+    });
+    let mut a = ThreadStats::new();
+    let mut bt = ThreadStats::new();
+    for i in 0..500u32 {
+        a.record_commit(i % 11);
+        bt.record_commit(i % 13);
+    }
+    c.bench_function("fig5_7/thread_stats_merge", |b| {
+        b.iter(|| {
+            let mut m = a.clone();
+            m.merge(black_box(&bt));
+            black_box(m)
+        })
+    });
+}
+
+fn main() {
+    let e4 = stamp_experiments(4);
+    let e8 = stamp_experiments(8);
+    println!("{}", figures::fig_abort_tail(&e4, 8).render());
+    println!("{}", figures::fig_abort_tail(&e8, 16).render());
+
+    let mut c = Criterion::default().configure_from_args();
+    bench_recording(&mut c);
+    c.final_summary();
+}

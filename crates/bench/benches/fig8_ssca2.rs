@@ -1,0 +1,61 @@
+//! Figure 8: ssca2 under guidance (expected degradation).
+//!
+//! Regenerates the figure at bench scale, then benchmarks ssca2 runs in
+//! default and guided mode — the comparison whose gap is the figure's
+//! message: for a low-contention workload guidance is pure overhead.
+
+use criterion::Criterion;
+use gstm_bench::{bench_cfg, one_experiment, stamp_experiments};
+use gstm_core::prelude::*;
+use gstm_harness::figures;
+use gstm_stamp::{by_name, RunConfig};
+use gstm_tl2::{Stm, StmConfig};
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn bench_ssca2(c: &mut Criterion) {
+    let bench = by_name("ssca2").unwrap();
+    let cfg = bench_cfg(4);
+    let run_cfg = RunConfig {
+        threads: cfg.threads,
+        size: cfg.test_size,
+        seed: cfg.seed,
+    };
+    let stm_cfg = StmConfig::with_yield_injection(2);
+
+    let rec = Arc::new(RecorderHook::new());
+    let mut runs = Vec::new();
+    for _ in 0..cfg.profile_runs {
+        let stm = Stm::with_hook(rec.clone(), stm_cfg);
+        bench.run(&stm, &run_cfg);
+        runs.push(rec.take_run());
+    }
+    let model = Arc::new(GuidedModel::build(Tsa::from_runs(&runs), &cfg.guidance));
+
+    c.bench_function("fig8/ssca2_default", |b| {
+        b.iter(|| {
+            let stm = Stm::new(stm_cfg);
+            black_box(bench.run(&stm, &run_cfg))
+        })
+    });
+    c.bench_function("fig8/ssca2_guided", |b| {
+        b.iter(|| {
+            let hook = Arc::new(GuidedHook::new(model.clone(), cfg.guidance));
+            let stm = Stm::with_hook(hook, stm_cfg);
+            black_box(bench.run(&stm, &run_cfg))
+        })
+    });
+}
+
+fn main() {
+    let e4: Vec<_> = stamp_experiments(4)
+        .into_iter()
+        .filter(|e| e.name == "ssca2")
+        .collect();
+    let e8 = vec![one_experiment("ssca2", 8)];
+    println!("{}", figures::fig8_ssca2(&e4, &e8).render());
+
+    let mut c = Criterion::default().configure_from_args();
+    bench_ssca2(&mut c);
+    c.final_summary();
+}

@@ -1,0 +1,60 @@
+//! Figure 9: reduction in non-determinism (distinct thread transactional
+//! states), guided vs default.
+//!
+//! Regenerates the figure at bench scale, then benchmarks the state
+//! tracker itself — the component whose cost the recording modes pay on
+//! every abort and commit.
+
+use criterion::{Criterion, Throughput};
+use gstm_bench::{one_experiment, stamp_experiments};
+use gstm_core::prelude::*;
+use gstm_core::metrics;
+use gstm_harness::figures;
+use std::hint::black_box;
+
+fn bench_tracker(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig9");
+    g.throughput(Throughput::Elements(10_000));
+    g.bench_function("recorder_10k_events", |b| {
+        b.iter(|| {
+            let rec = RecorderHook::new();
+            for i in 0..10_000u64 {
+                let who = Pair::new(TxnId((i % 3) as u16), ThreadId((i % 8) as u16));
+                if i % 5 == 0 {
+                    rec.on_abort(who, AbortCause::Validation);
+                } else {
+                    rec.on_commit(who);
+                }
+            }
+            black_box(rec.take_run())
+        })
+    });
+    g.finish();
+
+    // Counting distinct states across runs.
+    let runs: Vec<Vec<StateKey>> = (0..10)
+        .map(|r| {
+            (0..2_000u64)
+                .map(|i| {
+                    StateKey::solo(Pair::new(
+                        TxnId(((i + r) % 3) as u16),
+                        ThreadId(((i * 7 + r) % 8) as u16),
+                    ))
+                })
+                .collect()
+        })
+        .collect();
+    c.bench_function("fig9/non_determinism_20k_states", |b| {
+        b.iter(|| black_box(metrics::non_determinism(black_box(&runs))))
+    });
+}
+
+fn main() {
+    let e4 = stamp_experiments(4);
+    let e8 = vec![one_experiment("kmeans", 8), one_experiment("ssca2", 8)];
+    println!("{}", figures::fig9_nondeterminism(&e4, &e8).render());
+
+    let mut c = Criterion::default().configure_from_args();
+    bench_tracker(&mut c);
+    c.final_summary();
+}

@@ -1,0 +1,94 @@
+//! Microbenchmarks of the TL2 substrate and the transactional containers:
+//! uncontended read/write/commit costs and container operation costs —
+//! the baselines every macro number in the paper decomposes into.
+
+use criterion::{Criterion, Throughput};
+use gstm_core::TxnId;
+use gstm_structs::{THashMap, TList, TMap, TQueue};
+use gstm_tl2::{Stm, StmConfig, TVar};
+use std::hint::black_box;
+
+fn bench_primitives(c: &mut Criterion) {
+    let stm = Stm::new(StmConfig::default());
+    let mut ctx = stm.register();
+    let v = TVar::new(0u64);
+
+    c.bench_function("tl2/read_only_txn", |b| {
+        b.iter(|| ctx.atomically(TxnId(0), |tx| black_box(tx.read(&v))))
+    });
+    c.bench_function("tl2/increment_txn", |b| {
+        b.iter(|| ctx.atomically(TxnId(0), |tx| tx.modify(&v, |x| x + 1)))
+    });
+    let vars: Vec<TVar<u64>> = (0..16).map(|_| TVar::new(0)).collect();
+    c.bench_function("tl2/txn_16_reads_4_writes", |b| {
+        b.iter(|| {
+            ctx.atomically(TxnId(0), |tx| {
+                let mut sum = 0;
+                for v in &vars {
+                    sum += tx.read(v)?;
+                }
+                for v in vars.iter().take(4) {
+                    tx.write(v, sum)?;
+                }
+                Ok(black_box(sum))
+            })
+        })
+    });
+    c.bench_function("tl2/load_quiesced", |b| b.iter(|| black_box(v.load_quiesced())));
+}
+
+fn bench_containers(c: &mut Criterion) {
+    let stm = Stm::new(StmConfig::default());
+    let mut ctx = stm.register();
+    let n = 256u64;
+
+    let list = TList::new();
+    let map = TMap::new();
+    let hm = THashMap::new(64);
+    let q = TQueue::new();
+    ctx.atomically(TxnId(0), |tx| {
+        for i in 0..n {
+            list.insert(tx, i * 7 % n, i)?;
+            map.insert(tx, i * 13 % n, i)?;
+            hm.insert(tx, i, i)?;
+            q.push(tx, i)?;
+        }
+        Ok(())
+    });
+
+    let mut g = c.benchmark_group("structs");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("list_get", |b| {
+        b.iter(|| ctx.atomically(TxnId(0), |tx| list.get(tx, black_box(42 * 7 % n))))
+    });
+    g.bench_function("map_get", |b| {
+        b.iter(|| ctx.atomically(TxnId(0), |tx| map.get(tx, black_box(42 * 13 % n))))
+    });
+    g.bench_function("hashmap_get", |b| {
+        b.iter(|| ctx.atomically(TxnId(0), |tx| hm.get(tx, black_box(42))))
+    });
+    g.bench_function("map_insert_remove", |b| {
+        b.iter(|| {
+            ctx.atomically(TxnId(0), |tx| {
+                map.insert(tx, 9999, 1)?;
+                map.remove(tx, 9999)
+            })
+        })
+    });
+    g.bench_function("queue_push_pop", |b| {
+        b.iter(|| {
+            ctx.atomically(TxnId(0), |tx| {
+                q.push(tx, 1)?;
+                q.pop(tx)
+            })
+        })
+    });
+    g.finish();
+}
+
+fn main() {
+    let mut c = Criterion::default().configure_from_args();
+    bench_primitives(&mut c);
+    bench_containers(&mut c);
+    c.final_summary();
+}

@@ -1,0 +1,53 @@
+//! Table I: the model analyzer's guidance metric per benchmark.
+//!
+//! Regenerates the table at bench scale, then benchmarks the analyzer
+//! itself (the model-analysis phase of the framework).
+
+use criterion::Criterion;
+use gstm_bench::stamp_experiments;
+use gstm_core::prelude::*;
+use gstm_core::{analyzer, GuidanceConfig};
+use gstm_harness::tables;
+use std::hint::black_box;
+
+/// A synthetic profiled run large enough to exercise the analyzer.
+fn synthetic_runs(states: u16, len: usize) -> Vec<Vec<StateKey>> {
+    let mut run = Vec::with_capacity(len);
+    let mut cur: u16 = 0;
+    for step in 0..len as u64 {
+        run.push(StateKey::solo(Pair::new(TxnId(cur % 3), ThreadId(cur % 8))));
+        cur = if step % 11 == 3 {
+            (cur + 2 + (step % 5) as u16) % states
+        } else {
+            (cur + 1) % states
+        };
+    }
+    vec![run]
+}
+
+fn bench_analyzer(c: &mut Criterion) {
+    let runs = synthetic_runs(64, 20_000);
+    let tsa = Tsa::from_runs(&runs);
+    let model = GuidedModel::build(tsa.clone(), &GuidanceConfig::default());
+    c.bench_function("table1/analyze_model", |b| {
+        b.iter(|| black_box(analyzer::analyze(black_box(&model))))
+    });
+    c.bench_function("table1/build_guided_model", |b| {
+        b.iter(|| {
+            black_box(GuidedModel::build(
+                black_box(tsa.clone()),
+                &GuidanceConfig::default(),
+            ))
+        })
+    });
+}
+
+fn main() {
+    // Regenerate Table I at bench scale.
+    let e8 = stamp_experiments(4);
+    println!("{}", tables::table1(&e8, &[]).render());
+
+    let mut c = Criterion::default().configure_from_args();
+    bench_analyzer(&mut c);
+    c.final_summary();
+}

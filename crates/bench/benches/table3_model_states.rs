@@ -1,0 +1,56 @@
+//! Table III: number of states in each benchmark's trained model.
+//!
+//! Regenerates the table at bench scale, then benchmarks model
+//! generation (Algorithm 1: Tseq → TSA) and the compact model encoding.
+
+use criterion::{Criterion, Throughput};
+use gstm_bench::stamp_experiments;
+use gstm_core::prelude::*;
+use gstm_core::model_io;
+use gstm_harness::tables;
+use std::hint::black_box;
+
+/// A Tseq with a realistic mix of solo and multi-abort states.
+fn synthetic_tseq(len: usize) -> Vec<StateKey> {
+    let mut out = Vec::with_capacity(len);
+    for i in 0..len as u64 {
+        let commit = Pair::new(TxnId((i % 3) as u16), ThreadId((i % 8) as u16));
+        if i % 4 == 0 {
+            let aborts = vec![
+                Pair::new(TxnId(((i + 1) % 3) as u16), ThreadId(((i + 3) % 8) as u16)),
+                Pair::new(TxnId(((i + 2) % 3) as u16), ThreadId(((i + 5) % 8) as u16)),
+            ];
+            out.push(StateKey::new(aborts, commit));
+        } else {
+            out.push(StateKey::solo(commit));
+        }
+    }
+    out
+}
+
+fn bench_model_generation(c: &mut Criterion) {
+    let tseq = synthetic_tseq(50_000);
+    let mut g = c.benchmark_group("table3");
+    g.throughput(Throughput::Elements(tseq.len() as u64));
+    g.bench_function("tsa_from_runs_50k", |b| {
+        b.iter(|| black_box(Tsa::from_runs(black_box(std::slice::from_ref(&tseq)))))
+    });
+    let tsa = Tsa::from_runs(&[tseq]);
+    g.bench_function("model_encode", |b| {
+        b.iter(|| black_box(model_io::encode(black_box(&tsa))))
+    });
+    let bytes = model_io::encode(&tsa);
+    g.bench_function("model_decode", |b| {
+        b.iter(|| black_box(model_io::decode(black_box(&bytes)).unwrap()))
+    });
+    g.finish();
+}
+
+fn main() {
+    let e8 = stamp_experiments(4);
+    println!("{}", tables::table3(&e8, &[]).render());
+
+    let mut c = Criterion::default().configure_from_args();
+    bench_model_generation(&mut c);
+    c.final_summary();
+}

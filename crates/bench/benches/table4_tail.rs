@@ -1,0 +1,47 @@
+//! Table IV: average % improvement in the abort-tail metric.
+//!
+//! Regenerates the table at bench scale, then benchmarks the histogram
+//! machinery underneath it.
+
+use criterion::Criterion;
+use gstm_bench::stamp_experiments;
+use gstm_core::AbortHistogram;
+use gstm_harness::tables;
+use std::hint::black_box;
+
+fn bench_histograms(c: &mut Criterion) {
+    // A long-tailed distribution like an abort-storm benchmark produces.
+    let long: AbortHistogram = (0..200u32)
+        .map(|j| (j, 1_000u64 >> (j / 10).min(10)))
+        .filter(|&(_, f)| f > 0)
+        .collect();
+    c.bench_function("table4/tail_metric", |b| {
+        b.iter(|| black_box(black_box(&long).tail_metric()))
+    });
+    c.bench_function("table4/histogram_record_1k", |b| {
+        b.iter(|| {
+            let mut h = AbortHistogram::new();
+            for i in 0..1000u32 {
+                h.record(i % 17);
+            }
+            black_box(h)
+        })
+    });
+    let other = long.clone();
+    c.bench_function("table4/histogram_merge", |b| {
+        b.iter(|| {
+            let mut h = long.clone();
+            h.merge(black_box(&other));
+            black_box(h)
+        })
+    });
+}
+
+fn main() {
+    let e8 = stamp_experiments(4);
+    println!("{}", tables::table4(&e8, &[]).render());
+
+    let mut c = Criterion::default().configure_from_args();
+    bench_histograms(&mut c);
+    c.final_summary();
+}

@@ -1,0 +1,38 @@
+//! Table V: the SynQuake guidance metric.
+//!
+//! Regenerates the table at bench scale, then benchmarks one game frame
+//! under each quest layout (the workload the metric is trained on).
+
+use criterion::Criterion;
+use gstm_bench::game_experiment;
+use gstm_harness::tables;
+use gstm_libtm::{LibTm, LibTmConfig};
+use gstm_synquake::{run_game, GameConfig, QuestLayout};
+use std::hint::black_box;
+
+fn bench_frames(c: &mut Criterion) {
+    for quest in [QuestLayout::WorstCase4, QuestLayout::Quadrants4] {
+        c.bench_function(&format!("table5/10_frames_{}", quest.name()), |b| {
+            b.iter(|| {
+                let tm = LibTm::new(LibTmConfig::default());
+                let cfg = GameConfig {
+                    threads: 2,
+                    players: 32,
+                    frames: 10,
+                    quest,
+                    ..GameConfig::default()
+                };
+                black_box(run_game(&tm, &cfg))
+            })
+        });
+    }
+}
+
+fn main() {
+    let g = game_experiment(4);
+    println!("{}", tables::table5(std::slice::from_ref(&g)).render());
+
+    let mut c = Criterion::default().configure_from_args();
+    bench_frames(&mut c);
+    c.final_summary();
+}

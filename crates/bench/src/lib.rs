@@ -1,0 +1,53 @@
+//! Shared setup for the Criterion benchmark targets in `benches/`.
+//!
+//! Every bench target regenerates its table/figure once (printing the
+//! rows, like `gstm-repro` does) and then benchmarks the operation that
+//! produces it. Scales are reduced so `cargo bench` completes in minutes;
+//! use the `gstm-repro` binary for full-scale regeneration.
+
+use gstm_core::GuidanceConfig;
+use gstm_harness::experiment::{run_experiment, BenchExperiment, ExperimentConfig};
+use gstm_harness::game::{run_game_experiment, GameExperiment, GameExperimentConfig};
+use gstm_stamp::{all_benchmarks, by_name, InputSize};
+
+/// Benchmark-scale experiment config: tiny but complete.
+pub fn bench_cfg(threads: u16) -> ExperimentConfig {
+    ExperimentConfig {
+        threads,
+        profile_runs: 3,
+        measure_runs: 3,
+        train_size: InputSize::Small,
+        test_size: InputSize::Small,
+        yield_k: Some(2),
+        guidance: GuidanceConfig::default(),
+        seed: 0x5eed_cafe,
+    }
+}
+
+/// Run every STAMP benchmark once through the pipeline at bench scale.
+pub fn stamp_experiments(threads: u16) -> Vec<BenchExperiment> {
+    all_benchmarks()
+        .iter()
+        .map(|b| run_experiment(&**b, &bench_cfg(threads)))
+        .collect()
+}
+
+/// One STAMP benchmark at bench scale.
+pub fn one_experiment(name: &str, threads: u16) -> BenchExperiment {
+    let b = by_name(name).expect("benchmark exists");
+    run_experiment(&*b, &bench_cfg(threads))
+}
+
+/// The SynQuake pipeline at bench scale.
+pub fn game_experiment(threads: u16) -> GameExperiment {
+    let cfg = GameExperimentConfig {
+        threads,
+        players: 48,
+        train_frames: 12,
+        test_frames: 16,
+        yield_k: Some(2),
+        guidance: GuidanceConfig::default(),
+        seed: 0x9a3e,
+    };
+    run_game_experiment(&cfg)
+}

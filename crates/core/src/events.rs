@@ -1,0 +1,197 @@
+//! Raw transactional events and abort causes.
+//!
+//! The STM runtimes report three kinds of events to a
+//! [`crate::guidance::GuidanceHook`]: transaction begin (the *gate*), abort,
+//! and commit. This module defines the abort taxonomy shared by both STMs
+//! and a totally ordered event log used by tests and offline analyses that
+//! want to inspect raw interleavings rather than the online TSS stream.
+
+use crate::ids::{Pair, ThreadId};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Why a transaction attempt rolled back.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum AbortCause {
+    /// A location read was write-locked by another transaction.
+    ReadLocked {
+        /// The lock holder, when the lock word records one.
+        owner: Option<ThreadId>,
+    },
+    /// A location's version exceeded the transaction's read version at read
+    /// time (a conflicting commit happened since the transaction began).
+    ReadVersion,
+    /// Commit-time lock acquisition found a location locked by another
+    /// transaction and gave up after bounded spinning.
+    CommitLockBusy {
+        /// The lock holder, when known.
+        owner: Option<ThreadId>,
+    },
+    /// Commit-time read-set validation failed (a conflicting commit
+    /// intervened between first read and commit).
+    Validation,
+    /// The transaction was doomed by a committing writer
+    /// (LibTM's *abort-readers* conflict resolution).
+    AbortedByWriter {
+        /// The writer that doomed this reader, when known.
+        writer: Option<ThreadId>,
+    },
+    /// The user function requested an explicit retry.
+    Explicit,
+}
+
+impl AbortCause {
+    /// The conflicting thread, when the STM knows it.
+    pub fn conflicting_thread(&self) -> Option<ThreadId> {
+        match *self {
+            AbortCause::ReadLocked { owner } => owner,
+            AbortCause::CommitLockBusy { owner } => owner,
+            AbortCause::AbortedByWriter { writer } => writer,
+            AbortCause::ReadVersion | AbortCause::Validation | AbortCause::Explicit => None,
+        }
+    }
+}
+
+/// One entry in the global event log.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TxEvent {
+    /// A transaction attempt began.
+    Begin(Pair),
+    /// A transaction attempt aborted for the given reason.
+    Abort(Pair, AbortCause),
+    /// A transaction committed; `wv` is the write version it installed
+    /// (TL2's post-increment of the global version clock), or 0 for STMs
+    /// without a global clock.
+    Commit(Pair, u64),
+}
+
+impl TxEvent {
+    /// The `<txn,thread>` pair this event concerns.
+    pub fn pair(&self) -> Pair {
+        match *self {
+            TxEvent::Begin(p) | TxEvent::Abort(p, _) | TxEvent::Commit(p, _) => p,
+        }
+    }
+}
+
+/// A totally ordered, append-only log of [`TxEvent`]s.
+///
+/// Each appended event receives a globally unique, monotonically increasing
+/// sequence number. The log is intended for tests, debugging, and offline
+/// experiments; the production guidance path uses the cheaper online
+/// tracker in [`crate::guidance`].
+#[derive(Default)]
+pub struct EventLog {
+    seq: AtomicU64,
+    entries: Mutex<Vec<(u64, TxEvent)>>,
+}
+
+impl EventLog {
+    /// Create an empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append an event, returning its sequence number.
+    pub fn push(&self, ev: TxEvent) -> u64 {
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        self.entries.lock().push((seq, ev));
+        seq
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.entries.lock().len()
+    }
+
+    /// Whether the log is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Snapshot the log contents ordered by sequence number.
+    pub fn snapshot(&self) -> Vec<(u64, TxEvent)> {
+        let mut v = self.entries.lock().clone();
+        v.sort_by_key(|&(seq, _)| seq);
+        v
+    }
+
+    /// Drop all recorded events (the sequence counter keeps advancing).
+    pub fn clear(&self) {
+        self.entries.lock().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{ThreadId, TxnId};
+
+    fn p(t: u16, th: u16) -> Pair {
+        Pair::new(TxnId(t), ThreadId(th))
+    }
+
+    #[test]
+    fn log_orders_by_sequence() {
+        let log = EventLog::new();
+        log.push(TxEvent::Begin(p(0, 0)));
+        log.push(TxEvent::Abort(p(0, 0), AbortCause::Validation));
+        log.push(TxEvent::Commit(p(0, 1), 42));
+        let snap = log.snapshot();
+        assert_eq!(snap.len(), 3);
+        assert!(snap.windows(2).all(|w| w[0].0 < w[1].0));
+        assert_eq!(snap[2].1, TxEvent::Commit(p(0, 1), 42));
+    }
+
+    #[test]
+    fn conflicting_thread_extraction() {
+        assert_eq!(
+            AbortCause::ReadLocked {
+                owner: Some(ThreadId(3))
+            }
+            .conflicting_thread(),
+            Some(ThreadId(3))
+        );
+        assert_eq!(AbortCause::Validation.conflicting_thread(), None);
+        assert_eq!(
+            AbortCause::AbortedByWriter {
+                writer: Some(ThreadId(1))
+            }
+            .conflicting_thread(),
+            Some(ThreadId(1))
+        );
+    }
+
+    #[test]
+    fn clear_preserves_monotonic_sequence() {
+        let log = EventLog::new();
+        let s0 = log.push(TxEvent::Begin(p(0, 0)));
+        log.clear();
+        assert!(log.is_empty());
+        let s1 = log.push(TxEvent::Begin(p(0, 1)));
+        assert!(s1 > s0);
+    }
+
+    #[test]
+    fn concurrent_pushes_get_unique_sequences() {
+        use std::sync::Arc;
+        let log = Arc::new(EventLog::new());
+        let mut handles = Vec::new();
+        for th in 0..4u16 {
+            let log = Arc::clone(&log);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..100u16 {
+                    log.push(TxEvent::Commit(p(i % 8, th), 0));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let snap = log.snapshot();
+        assert_eq!(snap.len(), 400);
+        let mut seqs: Vec<u64> = snap.iter().map(|&(s, _)| s).collect();
+        seqs.dedup();
+        assert_eq!(seqs.len(), 400, "sequence numbers must be unique");
+    }
+}

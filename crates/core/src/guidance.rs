@@ -1,0 +1,353 @@
+//! Guided execution — the gate consulted by the STM at transaction begin.
+//!
+//! An STM integrates with the framework through [`GuidanceHook`]:
+//!
+//! * [`GuidanceHook::gate`] is called before each transaction attempt. In
+//!   guided mode it blocks the caller while `<txn,thread>` does not appear
+//!   in any tuple of a high-probability destination state of the *current*
+//!   state, re-examining the (possibly changed) current state up to `k`
+//!   times before releasing the thread anyway (progress guarantee).
+//! * [`GuidanceHook::on_abort`] reports a rolled-back attempt.
+//! * [`GuidanceHook::on_commit`] reports a successful commit; the tracker
+//!   drains the aborts observed since the previous commit into a new
+//!   [`StateKey`] and advances the current state.
+//!
+//! Three implementations are provided: [`NoopHook`] (default execution),
+//! [`RecorderHook`] (profiling / non-determinism measurement), and
+//! [`GuidedHook`] (model-driven gating, which also records so that
+//! non-determinism under guidance can be measured — the paper's `ND_mcmc`).
+
+use crate::config::GuidanceConfig;
+use crate::events::AbortCause;
+use crate::ids::Pair;
+use crate::tsa::{GuidedModel, StateId};
+use crate::tss::StateKey;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Sentinel for "current state not present in the model".
+const UNKNOWN: u32 = u32::MAX;
+
+/// Callbacks an STM invokes around each transaction attempt.
+///
+/// Implementations must be cheap and thread-safe; every worker thread calls
+/// into the same hook instance.
+pub trait GuidanceHook: Send + Sync {
+    /// Called before a transaction attempt begins. May block (guided mode).
+    fn gate(&self, _who: Pair) {}
+    /// Called when an attempt rolls back.
+    fn on_abort(&self, _who: Pair, _cause: AbortCause) {}
+    /// Called when an attempt commits.
+    fn on_commit(&self, _who: Pair) {}
+}
+
+/// The default hook: plain STM execution, zero overhead.
+#[derive(Default, Clone, Copy, Debug)]
+pub struct NoopHook;
+
+impl GuidanceHook for NoopHook {}
+
+/// Shared windowed-attribution tracker: groups the aborts seen since the
+/// previous commit with the next commit to form a [`StateKey`].
+#[derive(Default)]
+struct StateTracker {
+    pending: Mutex<Vec<Pair>>,
+    recorded: Mutex<Vec<StateKey>>,
+}
+
+impl StateTracker {
+    fn abort(&self, who: Pair) {
+        self.pending.lock().push(who);
+    }
+
+    /// Form the state for a commit, record it, and return it.
+    fn commit(&self, who: Pair) -> StateKey {
+        // Take the pending aborts *before* appending, so a racing commit on
+        // another thread cannot observe a half-built window.
+        let aborts = std::mem::take(&mut *self.pending.lock());
+        let key = StateKey::new(aborts, who);
+        self.recorded.lock().push(key.clone());
+        key
+    }
+
+    fn take_run(&self) -> Vec<StateKey> {
+        self.pending.lock().clear();
+        std::mem::take(&mut *self.recorded.lock())
+    }
+}
+
+/// Profiling hook: records the transaction sequence without gating.
+///
+/// Used both for model generation (the paper's `mcmc_data`) and for
+/// measuring the non-determinism of default execution (`ND_only`).
+#[derive(Default)]
+pub struct RecorderHook {
+    tracker: StateTracker,
+}
+
+impl RecorderHook {
+    /// Create a fresh recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Drain and return the recorded transaction sequence for the run that
+    /// just finished, resetting the recorder for the next run.
+    pub fn take_run(&self) -> Vec<StateKey> {
+        self.tracker.take_run()
+    }
+}
+
+impl GuidanceHook for RecorderHook {
+    fn on_abort(&self, who: Pair, _cause: AbortCause) {
+        self.tracker.abort(who);
+    }
+
+    fn on_commit(&self, who: Pair) {
+        self.tracker.commit(who);
+    }
+}
+
+/// Counters describing what the gate did during a guided run.
+#[derive(Clone, Copy, Default, Debug, PartialEq, Eq)]
+pub struct GateStats {
+    /// Gate calls that passed immediately (allowed or unknown state).
+    pub passed: u64,
+    /// Gate calls that waited at least one retry before passing.
+    pub waited: u64,
+    /// Gate calls released by the `k`-retry progress escape.
+    pub released: u64,
+    /// Commits that moved the system to a state absent from the model.
+    pub unknown_states: u64,
+}
+
+/// Model-driven gating hook (Section V of the paper).
+pub struct GuidedHook {
+    model: Arc<GuidedModel>,
+    config: GuidanceConfig,
+    tracker: StateTracker,
+    /// Current state id in the model, or [`UNKNOWN`].
+    current: AtomicU32,
+    passed: AtomicU64,
+    waited: AtomicU64,
+    released: AtomicU64,
+    unknown_states: AtomicU64,
+}
+
+impl GuidedHook {
+    /// Create a guided hook over a trained model.
+    pub fn new(model: Arc<GuidedModel>, config: GuidanceConfig) -> Self {
+        GuidedHook {
+            model,
+            config,
+            tracker: StateTracker::default(),
+            current: AtomicU32::new(UNKNOWN),
+            passed: AtomicU64::new(0),
+            waited: AtomicU64::new(0),
+            released: AtomicU64::new(0),
+            unknown_states: AtomicU64::new(0),
+        }
+    }
+
+    /// Drain the recorded state sequence (for non-determinism measurement
+    /// under guidance), resetting for the next run. Also resets the current
+    /// state so runs do not leak guidance context into each other.
+    pub fn take_run(&self) -> Vec<StateKey> {
+        self.current.store(UNKNOWN, Ordering::Release);
+        self.tracker.take_run()
+    }
+
+    /// Gate behaviour counters accumulated so far.
+    pub fn stats(&self) -> GateStats {
+        GateStats {
+            passed: self.passed.load(Ordering::Relaxed),
+            waited: self.waited.load(Ordering::Relaxed),
+            released: self.released.load(Ordering::Relaxed),
+            unknown_states: self.unknown_states.load(Ordering::Relaxed),
+        }
+    }
+
+    /// The trained model in use.
+    pub fn model(&self) -> &Arc<GuidedModel> {
+        &self.model
+    }
+}
+
+impl GuidanceHook for GuidedHook {
+    fn gate(&self, who: Pair) {
+        let mut waited = false;
+        for _retry in 0..self.config.k_retries {
+            let cur = self.current.load(Ordering::Acquire);
+            if cur == UNKNOWN {
+                // New/unmodeled state: let threads run so the system moves
+                // back into a known state (paper, Section V).
+                break;
+            }
+            if self.model.is_allowed(StateId(cur), who) {
+                break;
+            }
+            // Wait for a concurrent commit to change the current state,
+            // then re-examine from the new state.
+            waited = true;
+            let mut spins = 0;
+            while self.current.load(Ordering::Acquire) == cur {
+                spins += 1;
+                if spins >= self.config.wait_spins {
+                    break;
+                }
+                std::thread::yield_now();
+            }
+            if spins >= self.config.wait_spins && _retry + 1 == self.config.k_retries {
+                // Fell through every retry without an allowed path:
+                // release to guarantee progress.
+                self.released.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+        }
+        if waited {
+            self.waited.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.passed.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    fn on_abort(&self, who: Pair, _cause: AbortCause) {
+        self.tracker.abort(who);
+    }
+
+    fn on_commit(&self, who: Pair) {
+        let key = self.tracker.commit(who);
+        match self.model.id_of(&key) {
+            Some(id) => self.current.store(id.0, Ordering::Release),
+            None => {
+                self.unknown_states.fetch_add(1, Ordering::Relaxed);
+                self.current.store(UNKNOWN, Ordering::Release);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{ThreadId, TxnId};
+    use crate::tsa::Tsa;
+
+    fn p(t: u16, th: u16) -> Pair {
+        Pair::new(TxnId(t), ThreadId(th))
+    }
+
+    #[test]
+    fn recorder_windows_aborts_into_next_commit() {
+        let rec = RecorderHook::new();
+        rec.on_abort(p(0, 1), AbortCause::Validation);
+        rec.on_abort(p(0, 2), AbortCause::Validation);
+        rec.on_commit(p(1, 3));
+        rec.on_commit(p(1, 4));
+        let run = rec.take_run();
+        assert_eq!(run.len(), 2);
+        assert_eq!(run[0], StateKey::new(vec![p(0, 1), p(0, 2)], p(1, 3)));
+        assert_eq!(run[1], StateKey::solo(p(1, 4)));
+        assert!(rec.take_run().is_empty(), "take_run resets");
+    }
+
+    fn two_state_model() -> Arc<GuidedModel> {
+        // A -> B dominates; A -> C is rare. B commits p(0,1), C commits p(0,2).
+        let a = StateKey::solo(p(0, 0));
+        let b = StateKey::solo(p(0, 1));
+        let c = StateKey::solo(p(0, 2));
+        let mut run = Vec::new();
+        for i in 0..20 {
+            run.push(a.clone());
+            run.push(if i == 0 { c.clone() } else { b.clone() });
+        }
+        let tsa = Tsa::from_runs(&[run]);
+        Arc::new(GuidedModel::build(tsa, &GuidanceConfig::with_tfactor(1.0)))
+    }
+
+    #[test]
+    fn gate_passes_unknown_state() {
+        let hook = GuidedHook::new(two_state_model(), GuidanceConfig::default());
+        // Fresh hook: current state unknown, everything passes immediately.
+        hook.gate(p(9, 9));
+        assert_eq!(hook.stats().passed, 1);
+        assert_eq!(hook.stats().released, 0);
+    }
+
+    #[test]
+    fn gate_passes_allowed_pair_after_commit() {
+        let model = two_state_model();
+        let hook = GuidedHook::new(model.clone(), GuidanceConfig::default());
+        // Commit p(0,0): current becomes state A, whose only kept
+        // destination (Tfactor=1) is B = {<a1>}.
+        hook.on_commit(p(0, 0));
+        hook.gate(p(0, 1)); // allowed: commits B
+        assert_eq!(hook.stats().passed, 1);
+    }
+
+    #[test]
+    fn gate_releases_disallowed_pair_after_k_retries() {
+        let model = two_state_model();
+        let cfg = GuidanceConfig {
+            k_retries: 2,
+            wait_spins: 4,
+            ..GuidanceConfig::default()
+        };
+        let hook = GuidedHook::new(model, cfg);
+        hook.on_commit(p(0, 0)); // current = A; only B allowed
+        hook.gate(p(0, 2)); // C's committer: low probability, must wait then release
+        let stats = hook.stats();
+        assert_eq!(stats.released, 1);
+        assert_eq!(stats.passed, 0);
+    }
+
+    #[test]
+    fn gate_unblocks_when_state_changes() {
+        use std::sync::atomic::AtomicBool;
+        let model = two_state_model();
+        let cfg = GuidanceConfig {
+            k_retries: 1_000_000,
+            wait_spins: 1_000_000,
+            ..GuidanceConfig::default()
+        };
+        let hook = Arc::new(GuidedHook::new(model, cfg));
+        hook.on_commit(p(0, 0)); // current = A; only p(0,1) allowed
+        let done = Arc::new(AtomicBool::new(false));
+        let h2 = Arc::clone(&hook);
+        let d2 = Arc::clone(&done);
+        let waiter = std::thread::spawn(move || {
+            h2.gate(p(0, 2)); // blocked until state changes
+            d2.store(true, Ordering::SeqCst);
+        });
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        // Commit p(0,2) is not what unblocks — committing p(0,1) moves the
+        // current state to B, which is unmodeled-source (terminal) => its
+        // destination set is empty... so instead move to an UNKNOWN state,
+        // which always unblocks.
+        hook.on_commit(p(5, 5));
+        waiter.join().unwrap();
+        assert!(done.load(Ordering::SeqCst));
+        assert_eq!(hook.stats().unknown_states, 1);
+    }
+
+    #[test]
+    fn commit_to_modeled_state_updates_current() {
+        let model = two_state_model();
+        let hook = GuidedHook::new(model.clone(), GuidanceConfig::default());
+        hook.on_commit(p(0, 1)); // state B exists in model
+        assert_ne!(hook.current.load(Ordering::Relaxed), UNKNOWN);
+        let run = hook.take_run();
+        assert_eq!(run, vec![StateKey::solo(p(0, 1))]);
+        // take_run resets current state to UNKNOWN.
+        assert_eq!(hook.current.load(Ordering::Relaxed), UNKNOWN);
+    }
+
+    #[test]
+    fn noop_hook_is_inert() {
+        let hook = NoopHook;
+        hook.gate(p(0, 0));
+        hook.on_abort(p(0, 0), AbortCause::Explicit);
+        hook.on_commit(p(0, 0));
+    }
+}

@@ -1,0 +1,68 @@
+//! # gstm-core — model-driven commit optimization for STM
+//!
+//! This crate implements the primary contribution of *"Quantifying and
+//! Reducing Execution Variance in STM via Model Driven Commit Optimization"*
+//! (Mururu, Gavrilovska, Pande — PPoPP 2018): a pipeline that
+//!
+//! 1. **profiles** an STM application into a *transaction sequence* of
+//!    [`StateKey`] tuples (*Thread Transactional States*, TSS),
+//! 2. builds a probabilistic **Thread State Automaton** ([`Tsa`]),
+//! 3. **analyzes** the automaton's bias with the *guidance metric*
+//!    ([`analyzer`]), and
+//! 4. **guides** subsequent executions by holding back transactions that
+//!    would lead to low-probability states ([`guidance::GuidedHook`]).
+//!
+//! The crate is STM-agnostic: an STM integrates by invoking a
+//! [`guidance::GuidanceHook`] at transaction begin, abort, and commit.
+//! Both `gstm-tl2` and `gstm-libtm` do exactly that.
+//!
+//! ## Quick tour
+//!
+//! ```
+//! use gstm_core::prelude::*;
+//! use std::sync::Arc;
+//!
+//! // A profiled run is a sequence of thread transactional states.
+//! let run = vec![
+//!     StateKey::solo(Pair::new(TxnId(0), ThreadId(1))),
+//!     StateKey::new(
+//!         vec![Pair::new(TxnId(0), ThreadId(2))],
+//!         Pair::new(TxnId(0), ThreadId(1)),
+//!     ),
+//! ];
+//! let tsa = Tsa::from_runs(&[run]);
+//! assert_eq!(tsa.num_states(), 2);
+//!
+//! // Derive the guided model (destination sets thresholded by Tfactor).
+//! let model = Arc::new(GuidedModel::build(tsa, &GuidanceConfig::default()));
+//! let report = gstm_core::analyzer::analyze(&model);
+//! assert!(report.guidance_metric_pct <= 100.0);
+//! ```
+
+pub mod analyzer;
+pub mod config;
+pub mod events;
+pub mod guidance;
+pub mod ids;
+pub mod metrics;
+pub mod model_io;
+pub mod stats;
+pub mod tsa;
+pub mod tseq;
+pub mod tss;
+
+/// Convenient re-exports of the types used by nearly every integration.
+pub mod prelude {
+    pub use crate::analyzer::{analyze, AnalyzerReport, ModelVerdict};
+    pub use crate::config::{ExecMode, GuidanceConfig};
+    pub use crate::events::AbortCause;
+    pub use crate::guidance::{GuidanceHook, GuidedHook, NoopHook, RecorderHook};
+    pub use crate::ids::{Pair, ThreadId, TxnId};
+    pub use crate::metrics::AbortHistogram;
+    pub use crate::stats::ThreadStats;
+    pub use crate::tsa::{GuidedModel, StateId, Tsa};
+    pub use crate::tseq::{parse_causal, EventLogHook};
+    pub use crate::tss::StateKey;
+}
+
+pub use prelude::*;

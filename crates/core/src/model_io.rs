@@ -1,0 +1,207 @@
+//! Compact on-disk model format.
+//!
+//! The paper stores the trained model "in an efficient bitwise structure"
+//! (average 118 KB at 8 threads, 1.3 MB at 16 threads). This module
+//! implements a compact LEB128-varint encoding of a [`Tsa`]: state tuples
+//! as packed `<txn,thread>` pairs and transitions as delta-free
+//! `(destination, frequency)` lists.
+
+use crate::ids::Pair;
+use crate::tsa::{StateId, Tsa};
+use crate::tss::StateKey;
+use std::io::{self, Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 4] = b"GSTM";
+const FORMAT_VERSION: u8 = 1;
+
+/// Append an unsigned LEB128 varint.
+fn put_varint(buf: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.push(byte);
+            return;
+        }
+        buf.push(byte | 0x80);
+    }
+}
+
+/// Read an unsigned LEB128 varint.
+fn get_varint(bytes: &[u8], pos: &mut usize) -> io::Result<u64> {
+    let mut v: u64 = 0;
+    let mut shift = 0u32;
+    loop {
+        let &b = bytes.get(*pos).ok_or_else(|| {
+            io::Error::new(io::ErrorKind::UnexpectedEof, "truncated varint")
+        })?;
+        *pos += 1;
+        if shift >= 64 {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "varint overflow"));
+        }
+        v |= ((b & 0x7f) as u64) << shift;
+        if b & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+    }
+}
+
+/// Serialize an automaton to bytes.
+pub fn encode(tsa: &Tsa) -> Vec<u8> {
+    let mut buf = Vec::new();
+    buf.extend_from_slice(MAGIC);
+    buf.push(FORMAT_VERSION);
+    put_varint(&mut buf, tsa.num_states() as u64);
+    for key in tsa.states() {
+        put_varint(&mut buf, key.aborts().len() as u64);
+        for p in key.aborts() {
+            put_varint(&mut buf, p.packed() as u64);
+        }
+        put_varint(&mut buf, key.commit().packed() as u64);
+    }
+    for id in tsa.state_ids() {
+        let edges = tsa.outbound(id);
+        put_varint(&mut buf, edges.len() as u64);
+        for &(dst, f) in edges {
+            put_varint(&mut buf, dst.0 as u64);
+            put_varint(&mut buf, f);
+        }
+    }
+    buf
+}
+
+/// Deserialize an automaton from bytes produced by [`encode`].
+pub fn decode(bytes: &[u8]) -> io::Result<Tsa> {
+    let bad = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, msg.to_string());
+    if bytes.len() < 5 || &bytes[..4] != MAGIC {
+        return Err(bad("bad magic"));
+    }
+    if bytes[4] != FORMAT_VERSION {
+        return Err(bad("unsupported format version"));
+    }
+    let mut pos = 5usize;
+    let n_states = get_varint(bytes, &mut pos)? as usize;
+    let mut states = Vec::with_capacity(n_states);
+    for _ in 0..n_states {
+        let n_aborts = get_varint(bytes, &mut pos)? as usize;
+        let mut aborts = Vec::with_capacity(n_aborts);
+        for _ in 0..n_aborts {
+            let raw = get_varint(bytes, &mut pos)?;
+            aborts.push(Pair::from_packed(u32::try_from(raw).map_err(|_| bad("pair overflow"))?));
+        }
+        let raw = get_varint(bytes, &mut pos)?;
+        let commit = Pair::from_packed(u32::try_from(raw).map_err(|_| bad("pair overflow"))?);
+        states.push(StateKey::new(aborts, commit));
+    }
+    let mut transitions = Vec::with_capacity(n_states);
+    for _ in 0..n_states {
+        let n_edges = get_varint(bytes, &mut pos)? as usize;
+        let mut edges = Vec::with_capacity(n_edges);
+        for _ in 0..n_edges {
+            let dst = get_varint(bytes, &mut pos)? as u32;
+            if dst as usize >= n_states {
+                return Err(bad("edge destination out of range"));
+            }
+            let f = get_varint(bytes, &mut pos)?;
+            edges.push((StateId(dst), f));
+        }
+        transitions.push(edges);
+    }
+    if pos != bytes.len() {
+        return Err(bad("trailing bytes"));
+    }
+    Tsa::from_parts(states, transitions).map_err(|e| bad(&e))
+}
+
+/// Write a model to a file.
+pub fn save<P: AsRef<Path>>(tsa: &Tsa, path: P) -> io::Result<()> {
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(&encode(tsa))
+}
+
+/// Read a model from a file.
+pub fn load<P: AsRef<Path>>(path: P) -> io::Result<Tsa> {
+    let mut f = std::fs::File::open(path)?;
+    let mut bytes = Vec::new();
+    f.read_to_end(&mut bytes)?;
+    decode(&bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{ThreadId, TxnId};
+
+    fn p(t: u16, th: u16) -> Pair {
+        Pair::new(TxnId(t), ThreadId(th))
+    }
+
+    fn sample_tsa() -> Tsa {
+        let a = StateKey::solo(p(0, 0));
+        let b = StateKey::new(vec![p(0, 1), p(1, 2)], p(2, 3));
+        let c = StateKey::solo(p(3, 300));
+        let run = vec![a.clone(), b.clone(), a.clone(), c, a, b];
+        Tsa::from_runs(&[run])
+    }
+
+    #[test]
+    fn varint_round_trips() {
+        for v in [0u64, 1, 127, 128, 300, u32::MAX as u64, u64::MAX] {
+            let mut buf = Vec::new();
+            put_varint(&mut buf, v);
+            let mut pos = 0;
+            assert_eq!(get_varint(&buf, &mut pos).unwrap(), v);
+            assert_eq!(pos, buf.len());
+        }
+    }
+
+    #[test]
+    fn encode_decode_round_trips() {
+        let tsa = sample_tsa();
+        let bytes = encode(&tsa);
+        let back = decode(&bytes).unwrap();
+        assert_eq!(back.num_states(), tsa.num_states());
+        assert_eq!(back.num_edges(), tsa.num_edges());
+        for id in tsa.state_ids() {
+            assert_eq!(back.state(id), tsa.state(id));
+            assert_eq!(back.outbound(id), tsa.outbound(id));
+        }
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(decode(b"").is_err());
+        assert!(decode(b"NOPE\x01\x00").is_err());
+        assert!(decode(b"GSTM\x63\x00").is_err(), "bad version");
+        // Valid header then truncation.
+        let tsa = sample_tsa();
+        let bytes = encode(&tsa);
+        assert!(decode(&bytes[..bytes.len() - 1]).is_err());
+        let mut extra = bytes.clone();
+        extra.push(0);
+        assert!(decode(&extra).is_err(), "trailing bytes rejected");
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let tsa = sample_tsa();
+        let dir = std::env::temp_dir().join("gstm_model_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("state_data.gstm");
+        save(&tsa, &path).unwrap();
+        let back = load(&path).unwrap();
+        assert_eq!(back.num_states(), tsa.num_states());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn encoding_is_compact() {
+        // A solo state costs ~3 bytes; make sure we are in that ballpark
+        // rather than e.g. pulling in struct padding.
+        let tsa = sample_tsa();
+        let bytes = encode(&tsa);
+        assert!(bytes.len() < 80, "encoded {} bytes", bytes.len());
+    }
+}

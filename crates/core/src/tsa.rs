@@ -1,0 +1,415 @@
+//! The Thread State Automaton (TSA) and the derived guided model.
+//!
+//! The TSA is a finite automaton whose states are the distinct
+//! [`StateKey`]s (thread transactional states) observed across profiling
+//! runs, and whose weighted edges count observed transitions between
+//! consecutive states in the transaction sequence (Algorithm 1 of the
+//! paper). Transition probabilities are relative frequencies over the
+//! outbound edges of each state.
+//!
+//! [`GuidedModel`] is the run-time artifact: for every state it precomputes
+//! the *destination set* — the outbound transitions whose probability is at
+//! least `P_h / Tfactor` — together with the set of `<txn,thread>` pairs
+//! occurring in any tuple of those destination states. The guided STM's
+//! gate is a single hash-set membership test against that pair set.
+
+use crate::config::GuidanceConfig;
+use crate::ids::Pair;
+use crate::tss::StateKey;
+use std::collections::{HashMap, HashSet};
+
+/// Dense index of a state in a [`Tsa`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct StateId(pub u32);
+
+impl StateId {
+    /// Raw index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// The Thread State Automaton: interned states plus weighted transitions.
+#[derive(Clone, Debug, Default)]
+pub struct Tsa {
+    states: Vec<StateKey>,
+    index: HashMap<StateKey, StateId>,
+    /// Outbound edges per state: `(destination, frequency)`, sorted by
+    /// descending frequency (ties broken by destination id for determinism).
+    transitions: Vec<Vec<(StateId, u64)>>,
+}
+
+impl Tsa {
+    /// Build the automaton from one or more profiled runs, each a sequence
+    /// of thread transactional states (the Tseq). Transitions are counted
+    /// within a run only — the last state of run *i* is not connected to
+    /// the first state of run *i+1*.
+    pub fn from_runs<S: AsRef<[StateKey]>>(runs: &[S]) -> Self {
+        let mut tsa = Tsa::default();
+        let mut counts: Vec<HashMap<StateId, u64>> = Vec::new();
+        for run in runs {
+            let run = run.as_ref();
+            let mut prev: Option<StateId> = None;
+            for key in run {
+                let id = tsa.intern(key.clone(), &mut counts);
+                if let Some(p) = prev {
+                    *counts[p.index()].entry(id).or_insert(0) += 1;
+                }
+                prev = Some(id);
+            }
+        }
+        tsa.transitions = counts
+            .into_iter()
+            .map(|m| {
+                let mut v: Vec<(StateId, u64)> = m.into_iter().collect();
+                v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0 .0.cmp(&b.0 .0)));
+                v
+            })
+            .collect();
+        tsa
+    }
+
+    /// Reassemble an automaton from its parts (used by the model decoder).
+    /// Fails if state keys are not unique or an edge points out of range.
+    pub fn from_parts(
+        states: Vec<StateKey>,
+        transitions: Vec<Vec<(StateId, u64)>>,
+    ) -> Result<Self, String> {
+        if states.len() != transitions.len() {
+            return Err(format!(
+                "{} states but {} transition lists",
+                states.len(),
+                transitions.len()
+            ));
+        }
+        let mut index = HashMap::with_capacity(states.len());
+        for (i, key) in states.iter().enumerate() {
+            if index.insert(key.clone(), StateId(i as u32)).is_some() {
+                return Err(format!("duplicate state key {key}"));
+            }
+        }
+        for edges in &transitions {
+            for &(dst, _) in edges {
+                if dst.index() >= states.len() {
+                    return Err(format!("edge destination {} out of range", dst.0));
+                }
+            }
+        }
+        Ok(Tsa {
+            states,
+            index,
+            transitions,
+        })
+    }
+
+    fn intern(&mut self, key: StateKey, counts: &mut Vec<HashMap<StateId, u64>>) -> StateId {
+        if let Some(&id) = self.index.get(&key) {
+            return id;
+        }
+        let id = StateId(self.states.len() as u32);
+        self.index.insert(key.clone(), id);
+        self.states.push(key);
+        counts.push(HashMap::new());
+        id
+    }
+
+    /// Number of distinct states — the paper's *non-determinism* measure
+    /// for the profiled executions (Table III reports this per model).
+    pub fn num_states(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Total number of edges.
+    pub fn num_edges(&self) -> usize {
+        self.transitions.iter().map(Vec::len).sum()
+    }
+
+    /// The state key for an id.
+    pub fn state(&self, id: StateId) -> &StateKey {
+        &self.states[id.index()]
+    }
+
+    /// Look up a state key.
+    pub fn id_of(&self, key: &StateKey) -> Option<StateId> {
+        self.index.get(key).copied()
+    }
+
+    /// Outbound edges of a state, `(destination, frequency)`, sorted by
+    /// descending frequency.
+    pub fn outbound(&self, id: StateId) -> &[(StateId, u64)] {
+        &self.transitions[id.index()]
+    }
+
+    /// Transition probability `P(from -> to)` = frequency of the edge over
+    /// the sum of frequencies of all outbound edges of `from`.
+    pub fn probability(&self, from: StateId, to: StateId) -> f64 {
+        let edges = self.outbound(from);
+        let total: u64 = edges.iter().map(|&(_, f)| f).sum();
+        if total == 0 {
+            return 0.0;
+        }
+        edges
+            .iter()
+            .find(|&&(d, _)| d == to)
+            .map(|&(_, f)| f as f64 / total as f64)
+            .unwrap_or(0.0)
+    }
+
+    /// Iterate over all state ids.
+    pub fn state_ids(&self) -> impl Iterator<Item = StateId> {
+        (0..self.states.len() as u32).map(StateId)
+    }
+
+    /// All states, in interning order.
+    pub fn states(&self) -> &[StateKey] {
+        &self.states
+    }
+}
+
+/// Per-state destination summary inside a [`GuidedModel`].
+#[derive(Clone, Debug)]
+struct DestSet {
+    /// Number of outbound destinations in the unguided automaton (|S|).
+    all: u32,
+    /// Number of destinations kept after thresholding (|S'|).
+    kept: u32,
+    /// Destination state ids kept after thresholding.
+    kept_states: Vec<StateId>,
+    /// Packed `<txn,thread>` pairs appearing in any tuple of a kept
+    /// destination state. Gate checks are O(1) lookups here.
+    allowed_pairs: HashSet<u32>,
+}
+
+/// The run-time guidance artifact derived from a [`Tsa`] and a Tfactor.
+///
+/// This corresponds to the paper's "model ... cut down to exclude
+/// low-probability states and ... stored in an efficient bitwise structure"
+/// with "a hash map used to look up the destination states".
+#[derive(Clone, Debug)]
+pub struct GuidedModel {
+    tsa: Tsa,
+    tfactor: f64,
+    dests: Vec<DestSet>,
+}
+
+impl GuidedModel {
+    /// Threshold every state's outbound edges at `P_h / tfactor` and
+    /// precompute the gate's membership sets.
+    pub fn build(tsa: Tsa, config: &GuidanceConfig) -> Self {
+        assert!(config.tfactor >= 1.0, "Tfactor must be >= 1");
+        let mut dests = Vec::with_capacity(tsa.num_states());
+        for id in tsa.state_ids() {
+            let edges = tsa.outbound(id);
+            let total: u64 = edges.iter().map(|&(_, f)| f).sum();
+            let mut kept_states = Vec::new();
+            let mut allowed_pairs = HashSet::new();
+            if total > 0 {
+                // Edges are sorted by descending frequency, so the head is P_h.
+                let p_h = edges[0].1 as f64 / total as f64;
+                let threshold = p_h / config.tfactor;
+                for &(dst, f) in edges {
+                    let p = f as f64 / total as f64;
+                    if p >= threshold {
+                        kept_states.push(dst);
+                        for pair in tsa.state(dst).pairs() {
+                            allowed_pairs.insert(pair.packed());
+                        }
+                    }
+                }
+            }
+            dests.push(DestSet {
+                all: edges.len() as u32,
+                kept: kept_states.len() as u32,
+                kept_states,
+                allowed_pairs,
+            });
+        }
+        GuidedModel {
+            tsa,
+            tfactor: config.tfactor,
+            dests,
+        }
+    }
+
+    /// The underlying automaton.
+    pub fn tsa(&self) -> &Tsa {
+        &self.tsa
+    }
+
+    /// The Tfactor the model was thresholded with.
+    pub fn tfactor(&self) -> f64 {
+        self.tfactor
+    }
+
+    /// Whether `who` may proceed from `state`: true iff `who` appears in
+    /// any tuple (commit or abort) of a high-probability destination state.
+    #[inline]
+    pub fn is_allowed(&self, state: StateId, who: Pair) -> bool {
+        self.dests[state.index()].allowed_pairs.contains(&who.packed())
+    }
+
+    /// The thresholded destination states of `state`.
+    pub fn kept_destinations(&self, state: StateId) -> &[StateId] {
+        &self.dests[state.index()].kept_states
+    }
+
+    /// `(|S|, |S'|)` for a state: all vs thresholded destination counts.
+    /// The analyzer's guidance metric aggregates these over all states.
+    pub fn dest_counts(&self, state: StateId) -> (u32, u32) {
+        let d = &self.dests[state.index()];
+        (d.all, d.kept)
+    }
+
+    /// Look up the state id for an observed state key, if modeled.
+    pub fn id_of(&self, key: &StateKey) -> Option<StateId> {
+        self.tsa.id_of(key)
+    }
+
+    /// Number of states.
+    pub fn num_states(&self) -> usize {
+        self.tsa.num_states()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{ThreadId, TxnId};
+
+    fn p(t: u16, th: u16) -> Pair {
+        Pair::new(TxnId(t), ThreadId(th))
+    }
+
+    fn chain(pairs: &[(Vec<Pair>, Pair)]) -> Vec<StateKey> {
+        pairs
+            .iter()
+            .map(|(a, c)| StateKey::new(a.clone(), *c))
+            .collect()
+    }
+
+    #[test]
+    fn from_runs_counts_transitions() {
+        // Run visits A -> B -> A -> B; one run.
+        let a = StateKey::solo(p(0, 0));
+        let b = StateKey::solo(p(0, 1));
+        let run = vec![a.clone(), b.clone(), a.clone(), b.clone()];
+        let tsa = Tsa::from_runs(&[run]);
+        assert_eq!(tsa.num_states(), 2);
+        let ia = tsa.id_of(&a).unwrap();
+        let ib = tsa.id_of(&b).unwrap();
+        assert_eq!(tsa.outbound(ia), &[(ib, 2)]);
+        assert_eq!(tsa.outbound(ib), &[(ia, 1)]);
+        assert!((tsa.probability(ia, ib) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn runs_are_not_stitched_together() {
+        let a = StateKey::solo(p(0, 0));
+        let b = StateKey::solo(p(0, 1));
+        // Two runs: [A] and [B]. No transition should exist.
+        let tsa = Tsa::from_runs(&[vec![a.clone()], vec![b.clone()]]);
+        assert_eq!(tsa.num_states(), 2);
+        assert_eq!(tsa.num_edges(), 0);
+    }
+
+    #[test]
+    fn probabilities_sum_to_one() {
+        let a = StateKey::solo(p(0, 0));
+        let b = StateKey::solo(p(0, 1));
+        let c = StateKey::solo(p(0, 2));
+        let run = vec![
+            a.clone(),
+            b.clone(),
+            a.clone(),
+            c.clone(),
+            a.clone(),
+            b.clone(),
+        ];
+        let tsa = Tsa::from_runs(&[run]);
+        let ia = tsa.id_of(&a).unwrap();
+        let total: f64 = tsa
+            .state_ids()
+            .map(|to| tsa.probability(ia, to))
+            .sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tfactor_one_keeps_only_top_probability_edges() {
+        // From A: 3x to B, 1x to C. With Tfactor=1 the threshold equals
+        // P_h, so only B survives.
+        let a = StateKey::solo(p(0, 0));
+        let b = StateKey::solo(p(0, 1));
+        let c = StateKey::solo(p(0, 2));
+        let run = vec![
+            a.clone(),
+            b.clone(),
+            a.clone(),
+            b.clone(),
+            a.clone(),
+            b.clone(),
+            a.clone(),
+            c.clone(),
+        ];
+        let tsa = Tsa::from_runs(&[run]);
+        let ia = tsa.id_of(&a).unwrap();
+        let model = GuidedModel::build(tsa, &GuidanceConfig::with_tfactor(1.0));
+        let (all, kept) = model.dest_counts(ia);
+        assert_eq!(all, 2);
+        assert_eq!(kept, 1);
+        assert!(model.is_allowed(ia, p(0, 1)));
+        assert!(!model.is_allowed(ia, p(0, 2)));
+    }
+
+    #[test]
+    fn larger_tfactor_keeps_more_destinations() {
+        let a = StateKey::solo(p(0, 0));
+        let b = StateKey::solo(p(0, 1));
+        let c = StateKey::solo(p(0, 2));
+        let run = vec![
+            a.clone(),
+            b.clone(),
+            a.clone(),
+            b.clone(),
+            a.clone(),
+            b.clone(),
+            a.clone(),
+            c.clone(),
+        ];
+        let tsa = Tsa::from_runs(&[run]);
+        let ia = tsa.id_of(&a).unwrap();
+        // P(B)=0.75, P(C)=0.25; threshold at Tfactor=4 is 0.1875 <= 0.25.
+        let model = GuidedModel::build(tsa, &GuidanceConfig::with_tfactor(4.0));
+        let (_, kept) = model.dest_counts(ia);
+        assert_eq!(kept, 2);
+        assert!(model.is_allowed(ia, p(0, 2)));
+    }
+
+    #[test]
+    fn allowed_includes_abort_participants() {
+        // Destination state has thread 5 aborting txn 1; thread 5 must be
+        // allowed to run txn 1 from the source state (speculation preserved).
+        let src = StateKey::solo(p(0, 0));
+        let dst = chain(&[(vec![p(1, 5)], p(0, 2))]).remove(0);
+        let run = vec![src.clone(), dst.clone()];
+        let tsa = Tsa::from_runs(&[run]);
+        let is = tsa.id_of(&src).unwrap();
+        let model = GuidedModel::build(tsa, &GuidanceConfig::default());
+        assert!(model.is_allowed(is, p(1, 5)));
+        assert!(model.is_allowed(is, p(0, 2)));
+        assert!(!model.is_allowed(is, p(1, 2)));
+    }
+
+    #[test]
+    fn terminal_state_allows_nothing() {
+        let a = StateKey::solo(p(0, 0));
+        let b = StateKey::solo(p(0, 1));
+        let tsa = Tsa::from_runs(&[vec![a, b.clone()]]);
+        let ib = tsa.id_of(&b).unwrap();
+        let model = GuidedModel::build(tsa, &GuidanceConfig::default());
+        let (all, kept) = model.dest_counts(ib);
+        assert_eq!((all, kept), (0, 0));
+        assert!(!model.is_allowed(ib, p(0, 0)));
+    }
+}

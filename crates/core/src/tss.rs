@@ -1,0 +1,179 @@
+//! Thread Transactional States (TSS).
+//!
+//! A *thread transactional state* captures the outcome of one commit in a
+//! concurrent transactional race: the `<txn,thread>` pair that committed
+//! together with the (possibly empty) set of `<txn,thread>` pairs whose
+//! attempts rolled back in that window. The paper writes e.g.
+//! `{<a1b2c3>, <d4>}` for "thread 4 committed transaction d, aborting
+//! threads 1, 2, 3 running transactions a, b, c".
+//!
+//! ## Attribution model
+//!
+//! TL2 detects conflicts lazily: a victim discovers it must abort only when
+//! it reads a too-new version or fails commit-time validation — *after* the
+//! conflicting commit. The online tracker therefore groups the aborts
+//! observed since the previous commit with the *next* commit event. Both
+//! the profiling recorder and the guided-execution tracker use this same
+//! windowed attribution, so the states seen at run time are drawn from the
+//! same space as the states in the model. (Section III of the paper argues
+//! tracking the state of concurrent transactions this way is sufficient;
+//! precise causal attribution via write-versions is available from the raw
+//! [`crate::events::EventLog`] for offline studies.)
+
+use crate::events::{TxEvent, TxEvent::*};
+use crate::ids::Pair;
+use std::fmt;
+
+/// One thread transactional state: the aborted pairs plus the committed pair.
+///
+/// `aborts` is kept sorted so that states that differ only in the order
+/// aborts were observed compare equal, as the paper's tuple notation
+/// implies (a tuple denotes a *set* of aborted thread-transactions).
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct StateKey {
+    aborts: Box<[Pair]>,
+    commit: Pair,
+}
+
+impl StateKey {
+    /// Build a state from an abort set and the committing pair. The abort
+    /// list is sorted and deduplicated.
+    pub fn new(mut aborts: Vec<Pair>, commit: Pair) -> Self {
+        aborts.sort_unstable();
+        aborts.dedup();
+        StateKey {
+            aborts: aborts.into_boxed_slice(),
+            commit,
+        }
+    }
+
+    /// A state in which a single thread ran and committed with no aborts,
+    /// e.g. `{<c3>}` in the paper's notation.
+    pub fn solo(commit: Pair) -> Self {
+        StateKey {
+            aborts: Box::default(),
+            commit,
+        }
+    }
+
+    /// The committing `<txn,thread>` pair.
+    #[inline]
+    pub fn commit(&self) -> Pair {
+        self.commit
+    }
+
+    /// The aborted `<txn,thread>` pairs, sorted.
+    #[inline]
+    pub fn aborts(&self) -> &[Pair] {
+        &self.aborts
+    }
+
+    /// Whether `who` participates in this state at all (as the commit or as
+    /// one of the aborts). This is the membership test the guided STM uses:
+    /// a transaction is allowed to proceed if it appears in *any* tuple of a
+    /// high-probability destination state — committing **or** aborting —
+    /// because either way it keeps execution on a modeled path.
+    pub fn contains(&self, who: Pair) -> bool {
+        self.commit == who || self.aborts.binary_search(&who).is_ok()
+    }
+
+    /// All pairs of the state: aborts then commit.
+    pub fn pairs(&self) -> impl Iterator<Item = Pair> + '_ {
+        self.aborts.iter().copied().chain(std::iter::once(self.commit))
+    }
+}
+
+impl fmt::Display for StateKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        if !self.aborts.is_empty() {
+            write!(f, "<")?;
+            for p in self.aborts.iter() {
+                write!(f, "{p}")?;
+            }
+            write!(f, ">, ")?;
+        }
+        write!(f, "<{}>}}", self.commit)
+    }
+}
+
+/// Parse a totally ordered event log into the transaction sequence (Tseq)
+/// of thread transactional states, using the same windowed attribution as
+/// the online tracker: every abort is grouped with the next commit.
+///
+/// Aborts trailing the final commit are dropped (they belong to a window
+/// that never closed — in practice, retries that committed after the
+/// measured region ended).
+pub fn parse_tseq(events: &[TxEvent]) -> Vec<StateKey> {
+    let mut out = Vec::new();
+    let mut pending: Vec<Pair> = Vec::new();
+    for ev in events {
+        match *ev {
+            Begin(_) => {}
+            Abort(p, _) => pending.push(p),
+            Commit(p, _) => {
+                out.push(StateKey::new(std::mem::take(&mut pending), p));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::events::AbortCause;
+    use crate::ids::{ThreadId, TxnId};
+
+    fn p(t: u16, th: u16) -> Pair {
+        Pair::new(TxnId(t), ThreadId(th))
+    }
+
+    #[test]
+    fn display_matches_paper() {
+        let s = StateKey::new(vec![p(0, 1), p(1, 2), p(2, 3)], p(3, 4));
+        assert_eq!(s.to_string(), "{<a1b2c3>, <d4>}");
+        assert_eq!(StateKey::solo(p(2, 3)).to_string(), "{<c3>}");
+    }
+
+    #[test]
+    fn abort_order_is_canonicalized() {
+        let s1 = StateKey::new(vec![p(1, 2), p(0, 1)], p(3, 4));
+        let s2 = StateKey::new(vec![p(0, 1), p(1, 2)], p(3, 4));
+        assert_eq!(s1, s2);
+        let s3 = StateKey::new(vec![p(0, 1), p(0, 1)], p(3, 4));
+        assert_eq!(s3.aborts().len(), 1, "duplicates removed");
+    }
+
+    #[test]
+    fn contains_checks_commit_and_aborts() {
+        let s = StateKey::new(vec![p(0, 6)], p(1, 7));
+        assert!(s.contains(p(0, 6)));
+        assert!(s.contains(p(1, 7)));
+        assert!(!s.contains(p(0, 7)));
+        assert!(!s.contains(p(2, 5)));
+    }
+
+    #[test]
+    fn parse_groups_aborts_with_next_commit() {
+        let evs = vec![
+            TxEvent::Begin(p(0, 0)),
+            TxEvent::Abort(p(0, 1), AbortCause::Validation),
+            TxEvent::Abort(p(0, 2), AbortCause::Validation),
+            TxEvent::Commit(p(0, 0), 1),
+            TxEvent::Commit(p(1, 1), 2),
+            TxEvent::Abort(p(1, 3), AbortCause::ReadVersion),
+        ];
+        let tseq = parse_tseq(&evs);
+        assert_eq!(tseq.len(), 2);
+        assert_eq!(tseq[0], StateKey::new(vec![p(0, 1), p(0, 2)], p(0, 0)));
+        assert_eq!(tseq[1], StateKey::solo(p(1, 1)));
+    }
+
+    #[test]
+    fn pairs_iterates_aborts_then_commit() {
+        let s = StateKey::new(vec![p(0, 1), p(1, 2)], p(2, 3));
+        let pairs: Vec<Pair> = s.pairs().collect();
+        assert_eq!(pairs, vec![p(0, 1), p(1, 2), p(2, 3)]);
+    }
+}

@@ -1,0 +1,419 @@
+//! The profile → model → analyze → measure pipeline for one STAMP
+//! benchmark (the paper's Section II-C framework).
+
+use gstm_core::prelude::*;
+use gstm_core::{analyzer, metrics};
+use gstm_stamp::{Benchmark, InputSize, RunConfig};
+use gstm_tl2::{Stm, StmConfig};
+use std::sync::Arc;
+
+/// Parameters of one benchmark experiment.
+#[derive(Clone, Copy, Debug)]
+pub struct ExperimentConfig {
+    /// Worker threads (the paper evaluates 8 and 16).
+    pub threads: u16,
+    /// Profiling runs used to train the model (paper: 20).
+    pub profile_runs: usize,
+    /// Measurement runs per mode (paper: 20).
+    pub measure_runs: usize,
+    /// Input preset for profiling (the paper trains on medium).
+    pub train_size: InputSize,
+    /// Input preset for measurement (the artifact tests on small by
+    /// default).
+    pub test_size: InputSize,
+    /// Interleave injection exponent (see
+    /// [`gstm_tl2::StmConfig::yield_prob_log2`]); `Some(2)` reproduces
+    /// dense interleaving on a host with fewer cores than threads.
+    pub yield_k: Option<u32>,
+    /// Guidance tunables (Tfactor etc.).
+    pub guidance: GuidanceConfig,
+    /// Input seed.
+    pub seed: u64,
+}
+
+impl ExperimentConfig {
+    /// A scaled-down default suitable for this reproduction's host.
+    pub fn quick(threads: u16) -> Self {
+        ExperimentConfig {
+            threads,
+            profile_runs: 6,
+            measure_runs: 8,
+            train_size: InputSize::Small,
+            test_size: InputSize::Small,
+            yield_k: Some(2),
+            guidance: GuidanceConfig::default(),
+            seed: 0x5eed_cafe,
+        }
+    }
+}
+
+/// Measurements of one execution mode (default or guided) across runs.
+#[derive(Clone, Debug, Default)]
+pub struct ModeMeasurement {
+    /// `[run][thread]` execution time of each thread function, seconds.
+    pub per_thread_times: Vec<Vec<f64>>,
+    /// Per-thread abort histograms, merged across runs.
+    pub per_thread_hists: Vec<AbortHistogram>,
+    /// Wall-clock time of each run.
+    pub wall_secs: Vec<f64>,
+    /// Number of distinct thread transactional states observed across all
+    /// runs — the paper's non-determinism measure.
+    pub non_determinism: usize,
+}
+
+impl ModeMeasurement {
+    /// Per-thread standard deviation of execution time over runs.
+    pub fn per_thread_std_dev(&self) -> Vec<f64> {
+        let threads = self
+            .per_thread_times
+            .first()
+            .map(Vec::len)
+            .unwrap_or(0);
+        (0..threads)
+            .map(|t| {
+                let series: Vec<f64> =
+                    self.per_thread_times.iter().map(|run| run[t]).collect();
+                metrics::std_dev(&series)
+            })
+            .collect()
+    }
+
+    /// Mean wall-clock time over runs.
+    pub fn mean_wall(&self) -> f64 {
+        metrics::mean(&self.wall_secs)
+    }
+
+    /// Per-thread abort-tail metrics.
+    pub fn per_thread_tails(&self) -> Vec<u64> {
+        self.per_thread_hists
+            .iter()
+            .map(AbortHistogram::tail_metric)
+            .collect()
+    }
+
+    /// Total aborts across threads and runs.
+    pub fn total_aborts(&self) -> u64 {
+        self.per_thread_hists
+            .iter()
+            .map(AbortHistogram::total_aborts)
+            .sum()
+    }
+}
+
+/// Everything the pipeline produced for one benchmark at one thread count.
+#[derive(Clone, Debug)]
+pub struct BenchExperiment {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// Worker threads.
+    pub threads: u16,
+    /// Number of states in the trained model (Table III).
+    pub model_states: usize,
+    /// Size of the model in the compact on-disk encoding, in bytes (the
+    /// paper quotes ~118 KB at 8 threads, ~1.3 MB at 16).
+    pub model_bytes: usize,
+    /// The analyzer's report on the trained model (Table I).
+    pub analyzer: AnalyzerReport,
+    /// Default (unguided) measurements.
+    pub default_m: ModeMeasurement,
+    /// Guided measurements.
+    pub guided_m: ModeMeasurement,
+    /// Gate behaviour during the guided runs.
+    pub gate: gstm_core::guidance::GateStats,
+}
+
+impl BenchExperiment {
+    /// Per-thread percentage improvement in execution-time standard
+    /// deviation, guided over default (Figures 4/6; negative =
+    /// degradation, as for ssca2 in Figure 8).
+    pub fn variance_improvement_pct(&self) -> Vec<f64> {
+        self.default_m
+            .per_thread_std_dev()
+            .iter()
+            .zip(self.guided_m.per_thread_std_dev())
+            .map(|(&d, g)| metrics::pct_improvement(d, g))
+            .collect()
+    }
+
+    /// Average percentage improvement of the abort-tail metric across
+    /// threads (Table IV).
+    pub fn tail_improvement_pct(&self) -> f64 {
+        let d = self.default_m.per_thread_tails();
+        let g = self.guided_m.per_thread_tails();
+        let per: Vec<f64> = d
+            .iter()
+            .zip(&g)
+            .map(|(&d, &g)| metrics::pct_improvement(d as f64, g as f64))
+            .collect();
+        metrics::mean(&per)
+    }
+
+    /// Percentage reduction in non-determinism (Figure 9).
+    pub fn nondeterminism_reduction_pct(&self) -> f64 {
+        metrics::pct_improvement(
+            self.default_m.non_determinism as f64,
+            self.guided_m.non_determinism as f64,
+        )
+    }
+
+    /// Slowdown (×) of guided over default (Figure 10).
+    pub fn slowdown(&self) -> f64 {
+        metrics::slowdown(self.default_m.mean_wall(), self.guided_m.mean_wall())
+    }
+}
+
+fn stm_config(cfg: &ExperimentConfig) -> StmConfig {
+    StmConfig {
+        yield_prob_log2: cfg.yield_k,
+        ..StmConfig::default()
+    }
+}
+
+/// Run `runs` measured executions on STMs reporting to `hook_for_run`,
+/// collecting timings, histograms, and recorded state sequences.
+fn measure<H: GuidanceHook + 'static>(
+    bench: &dyn Benchmark,
+    cfg: &ExperimentConfig,
+    runs: usize,
+    size: InputSize,
+    hook: Arc<H>,
+    take_run: impl Fn(&H) -> Vec<StateKey>,
+) -> (ModeMeasurement, Vec<Vec<StateKey>>) {
+    let mut m = ModeMeasurement {
+        per_thread_hists: vec![AbortHistogram::new(); cfg.threads as usize],
+        ..Default::default()
+    };
+    let mut recorded = Vec::new();
+    for run in 0..runs {
+        let stm = Stm::with_hook(hook.clone(), stm_config(cfg));
+        let run_cfg = RunConfig {
+            threads: cfg.threads,
+            size,
+            // Identical input every run: variation comes from scheduling.
+            seed: cfg.seed,
+        };
+        let _ = run;
+        let result = bench.run(&stm, &run_cfg);
+        m.per_thread_times.push(result.per_thread_secs.clone());
+        m.wall_secs.push(result.wall_secs);
+        for (t, stats) in result.per_thread_stats.iter().enumerate() {
+            m.per_thread_hists[t].merge(&stats.abort_hist);
+        }
+        recorded.push(take_run(&hook));
+    }
+    m.non_determinism = metrics::non_determinism(&recorded);
+    (m, recorded)
+}
+
+/// Profile a benchmark and build its guided model without measuring —
+/// used by `gstm-repro inspect` for model exploration.
+pub fn train_model(bench: &dyn Benchmark, cfg: &ExperimentConfig) -> GuidedModel {
+    let recorder = Arc::new(RecorderHook::new());
+    let (_, train_runs) = measure(
+        bench,
+        cfg,
+        cfg.profile_runs,
+        cfg.train_size,
+        recorder,
+        |h| h.take_run(),
+    );
+    GuidedModel::build(Tsa::from_runs(&train_runs), &cfg.guidance)
+}
+
+/// Run the full pipeline for one benchmark at one thread count.
+pub fn run_experiment(bench: &dyn Benchmark, cfg: &ExperimentConfig) -> BenchExperiment {
+    // ---- Phase 1: profile (the artifact's `mcmc_data` option) ----
+    let recorder = Arc::new(RecorderHook::new());
+    let (_, train_runs) = measure(
+        bench,
+        cfg,
+        cfg.profile_runs,
+        cfg.train_size,
+        recorder,
+        |h| h.take_run(),
+    );
+
+    // ---- Phase 2: model generation + analysis ----
+    let tsa = Tsa::from_runs(&train_runs);
+    let model_states = tsa.num_states();
+    let model_bytes = gstm_core::model_io::encode(&tsa).len();
+    let model = Arc::new(GuidedModel::build(tsa, &cfg.guidance));
+    let analyzer_report = analyzer::analyze_with(&model, &cfg.guidance);
+
+    // ---- Phase 3: default measurement (`default` + `ND_only`) ----
+    // The recorder stays installed so default and guided runs carry the
+    // same instrumentation overhead and both yield state sequences for
+    // the non-determinism comparison.
+    let default_rec = Arc::new(RecorderHook::new());
+    let (default_m, _) = measure(
+        bench,
+        cfg,
+        cfg.measure_runs,
+        cfg.test_size,
+        default_rec,
+        |h| h.take_run(),
+    );
+
+    // ---- Phase 4: guided measurement (`model` + `ND_mcmc`) ----
+    let guided_hook = Arc::new(GuidedHook::new(model, cfg.guidance));
+    let (guided_m, _) = measure(
+        bench,
+        cfg,
+        cfg.measure_runs,
+        cfg.test_size,
+        guided_hook.clone(),
+        |h| h.take_run(),
+    );
+
+    BenchExperiment {
+        name: bench.name(),
+        threads: cfg.threads,
+        model_states,
+        model_bytes,
+        analyzer: analyzer_report,
+        default_m,
+        guided_m,
+        gate: guided_hook.stats(),
+    }
+}
+
+/// Mean and sample standard deviation of a derived metric across
+/// repeated campaigns.
+#[derive(Clone, Copy, Debug)]
+pub struct MeanSd {
+    /// Mean over repeats.
+    pub mean: f64,
+    /// Sample standard deviation over repeats.
+    pub sd: f64,
+}
+
+impl MeanSd {
+    fn of(xs: &[f64]) -> Self {
+        MeanSd {
+            mean: metrics::mean(xs),
+            sd: metrics::std_dev(xs),
+        }
+    }
+}
+
+impl std::fmt::Display for MeanSd {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.1} ± {:.1}", self.mean, self.sd)
+    }
+}
+
+/// Derived metrics aggregated over repeated pipelines — the antidote to
+/// single-campaign sampling noise on this reproduction's host (see
+/// EXPERIMENTS.md's reading guide).
+#[derive(Clone, Debug)]
+pub struct AggregatedExperiment {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// Worker threads.
+    pub threads: u16,
+    /// How many full pipelines were run.
+    pub repeats: usize,
+    /// Analyzer guidance metric %.
+    pub metric_pct: MeanSd,
+    /// Per-thread variance improvement %, averaged over threads then
+    /// aggregated over repeats.
+    pub var_improvement: MeanSd,
+    /// Non-determinism reduction %.
+    pub nd_reduction: MeanSd,
+    /// Abort-tail improvement %.
+    pub tail_improvement: MeanSd,
+    /// Slowdown ×.
+    pub slowdown: MeanSd,
+}
+
+/// Run the full pipeline `repeats` times and aggregate the derived
+/// metrics. Each repeat retrains its own model (scheduling differs), so
+/// the spread covers the whole pipeline, not just measurement.
+pub fn run_repeated(
+    bench: &dyn Benchmark,
+    cfg: &ExperimentConfig,
+    repeats: usize,
+) -> AggregatedExperiment {
+    let mut metric = Vec::new();
+    let mut var = Vec::new();
+    let mut nd = Vec::new();
+    let mut tail = Vec::new();
+    let mut slow = Vec::new();
+    let mut name = "";
+    for _ in 0..repeats.max(1) {
+        let e = run_experiment(bench, cfg);
+        name = e.name;
+        metric.push(e.analyzer.guidance_metric_pct);
+        var.push(metrics::mean(&e.variance_improvement_pct()));
+        nd.push(e.nondeterminism_reduction_pct());
+        tail.push(e.tail_improvement_pct());
+        slow.push(e.slowdown());
+    }
+    AggregatedExperiment {
+        name,
+        threads: cfg.threads,
+        repeats: repeats.max(1),
+        metric_pct: MeanSd::of(&metric),
+        var_improvement: MeanSd::of(&var),
+        nd_reduction: MeanSd::of(&nd),
+        tail_improvement: MeanSd::of(&tail),
+        slowdown: MeanSd::of(&slow),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gstm_stamp::by_name;
+
+    fn tiny_cfg(threads: u16) -> ExperimentConfig {
+        ExperimentConfig {
+            threads,
+            profile_runs: 2,
+            measure_runs: 3,
+            train_size: InputSize::Small,
+            test_size: InputSize::Small,
+            yield_k: Some(3),
+            guidance: GuidanceConfig::default(),
+            seed: 77,
+        }
+    }
+
+    #[test]
+    fn pipeline_produces_complete_experiment() {
+        let bench = by_name("kmeans").unwrap();
+        let e = run_experiment(&*bench, &tiny_cfg(2));
+        assert_eq!(e.name, "kmeans");
+        assert!(e.model_states > 0, "profiling saw states");
+        assert_eq!(e.default_m.per_thread_times.len(), 3);
+        assert_eq!(e.default_m.per_thread_times[0].len(), 2);
+        assert_eq!(e.guided_m.per_thread_times.len(), 3);
+        assert!(e.default_m.non_determinism > 0);
+        assert!(e.slowdown() > 0.0);
+        assert_eq!(e.variance_improvement_pct().len(), 2);
+    }
+
+    #[test]
+    fn repeated_aggregation_reports_spread() {
+        let bench = by_name("ssca2").unwrap();
+        let agg = run_repeated(&*bench, &tiny_cfg(2), 2);
+        assert_eq!(agg.repeats, 2);
+        assert_eq!(agg.name, "ssca2");
+        assert!(agg.slowdown.mean > 0.0);
+        assert!(agg.metric_pct.mean >= 0.0 && agg.metric_pct.mean <= 100.0);
+        // Display renders mean ± sd.
+        assert!(agg.slowdown.to_string().contains('±'));
+    }
+
+    #[test]
+    fn ssca2_model_is_low_information() {
+        // The shape the paper reports: ssca2 barely aborts, so its states
+        // are almost all solo commits and the analyzer metric is high.
+        let bench = by_name("ssca2").unwrap();
+        let e = run_experiment(&*bench, &tiny_cfg(2));
+        assert!(
+            e.default_m.total_aborts() * 10 <= e.default_m.per_thread_hists.iter().map(|h| h.total_commits()).sum::<u64>(),
+            "ssca2 must be low-contention"
+        );
+    }
+}

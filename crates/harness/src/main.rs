@@ -1,0 +1,403 @@
+//! `gstm-repro` — regenerate every table and figure of the paper.
+//!
+//! ```text
+//! gstm-repro <command> [options]
+//!
+//! Commands:
+//!   table1 table2 table3 table4 table5
+//!   fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12
+//!   stamp      (tables I, III, IV + figures 4-10)
+//!   synquake   (table V + figures 11, 12)
+//!   all        (everything)
+//!
+//! Options:
+//!   --threads A,B       thread counts            (default: 8,16)
+//!   --runs N            measurement runs/mode    (default: 8)
+//!   --profile-runs N    model-training runs      (default: 6)
+//!   --bench a,b,...     restrict STAMP benchmarks
+//!   --size s            small|medium|large test input (default: small)
+//!   --train-size s      profiling input           (default: small)
+//!   --players N         SynQuake players          (default: 192)
+//!   --frames N          SynQuake test frames      (default: 96)
+//!   --tfactor F         guidance threshold knob   (default: 4)
+//!   --seed X            input seed
+//!   --out DIR           also write CSVs to DIR    (default: results)
+//!   --no-csv            don't write CSVs
+//! ```
+
+use gstm_core::GuidanceConfig;
+use gstm_harness::experiment::{run_experiment, BenchExperiment, ExperimentConfig};
+use gstm_harness::game::{run_game_experiment, GameExperiment, GameExperimentConfig};
+use gstm_harness::report::Table;
+use gstm_harness::{figures, tables};
+use gstm_stamp::{all_benchmarks, InputSize};
+use std::collections::HashMap;
+use std::path::PathBuf;
+
+/// Default input preset per benchmark, chosen so one run is long enough
+/// for abort-driven timing effects to rise above host scheduling noise on
+/// this reproduction's hardware (see EXPERIMENTS.md).
+fn default_size(bench: &str) -> InputSize {
+    match bench {
+        "kmeans" => InputSize::Large,
+        "genome" | "intruder" | "labyrinth" | "ssca2" => InputSize::Medium,
+        _ => InputSize::Small,
+    }
+}
+
+struct Options {
+    command: String,
+    threads: Vec<u16>,
+    runs: usize,
+    profile_runs: usize,
+    benches: Option<Vec<String>>,
+    size: Option<InputSize>,
+    train_size: Option<InputSize>,
+    players: u32,
+    frames: u64,
+    tfactor: f64,
+    seed: u64,
+    repeat: usize,
+    out: Option<PathBuf>,
+}
+
+fn parse_size(s: &str) -> InputSize {
+    match s {
+        "small" => InputSize::Small,
+        "medium" => InputSize::Medium,
+        "large" => InputSize::Large,
+        _ => {
+            eprintln!("unknown size {s:?} (want small|medium|large)");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn parse_args() -> Options {
+    let mut args = std::env::args().skip(1);
+    let mut opts = Options {
+        command: String::new(),
+        threads: vec![8, 16],
+        runs: 20,
+        profile_runs: 12,
+        benches: None,
+        size: None,
+        train_size: None,
+        players: 192,
+        frames: 96,
+        tfactor: 4.0,
+        seed: 0x5eed_cafe,
+        repeat: 3,
+        out: Some(PathBuf::from("results")),
+    };
+    let next = |args: &mut dyn Iterator<Item = String>, flag: &str| -> String {
+        args.next().unwrap_or_else(|| {
+            eprintln!("missing value for {flag}");
+            std::process::exit(2);
+        })
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--threads" => {
+                opts.threads = next(&mut args, "--threads")
+                    .split(',')
+                    .map(|s| s.parse().expect("bad thread count"))
+                    .collect();
+            }
+            "--runs" => opts.runs = next(&mut args, "--runs").parse().expect("bad runs"),
+            "--profile-runs" => {
+                opts.profile_runs = next(&mut args, "--profile-runs")
+                    .parse()
+                    .expect("bad profile-runs")
+            }
+            "--bench" => {
+                opts.benches = Some(
+                    next(&mut args, "--bench")
+                        .split(',')
+                        .map(str::to_string)
+                        .collect(),
+                )
+            }
+            "--size" => opts.size = Some(parse_size(&next(&mut args, "--size"))),
+            "--train-size" => {
+                opts.train_size = Some(parse_size(&next(&mut args, "--train-size")))
+            }
+            "--players" => {
+                opts.players = next(&mut args, "--players").parse().expect("bad players")
+            }
+            "--frames" => opts.frames = next(&mut args, "--frames").parse().expect("bad frames"),
+            "--tfactor" => {
+                opts.tfactor = next(&mut args, "--tfactor").parse().expect("bad tfactor")
+            }
+            "--seed" => opts.seed = next(&mut args, "--seed").parse().expect("bad seed"),
+            "--repeat" => {
+                opts.repeat = next(&mut args, "--repeat").parse().expect("bad repeat")
+            }
+            "--out" => opts.out = Some(PathBuf::from(next(&mut args, "--out"))),
+            "--no-csv" => opts.out = None,
+            "help" | "--help" | "-h" => {
+                print_help();
+                std::process::exit(0);
+            }
+            cmd if opts.command.is_empty() && !cmd.starts_with('-') => {
+                opts.command = cmd.to_string();
+            }
+            other => {
+                eprintln!("unknown argument {other:?}; try `gstm-repro help`");
+                std::process::exit(2);
+            }
+        }
+    }
+    if opts.command.is_empty() {
+        opts.command = "all".into();
+    }
+    opts
+}
+
+fn print_help() {
+    // The module doc is the manual; print its code block.
+    println!(
+        "gstm-repro — regenerate the paper's tables and figures\n\n\
+         commands: table1 table2 table3 table4 table5 fig4 fig5 fig6 fig7\n\
+         \x20         fig8 fig9 fig10 fig11 fig12 stamp synquake summary repeated inspect all\n\n\
+         options: --threads A,B --runs N --profile-runs N --bench a,b\n\
+         \x20        --size s --train-size s --players N --frames N\n\
+         \x20        --tfactor F --seed X --out DIR --no-csv"
+    );
+}
+
+/// Lazily computed experiment results shared by the commands of one
+/// invocation.
+struct Campaign {
+    opts: Options,
+    stamp: HashMap<u16, Vec<BenchExperiment>>,
+    games: Vec<GameExperiment>,
+}
+
+impl Campaign {
+    fn new(opts: Options) -> Self {
+        Campaign {
+            opts,
+            stamp: HashMap::new(),
+            games: Vec::new(),
+        }
+    }
+
+    fn stamp_for(&mut self, threads: u16) -> &[BenchExperiment] {
+        if !self.stamp.contains_key(&threads) {
+            let mut exps = Vec::new();
+            for bench in all_benchmarks() {
+                if let Some(filter) = &self.opts.benches {
+                    if !filter.iter().any(|f| f == bench.name()) {
+                        continue;
+                    }
+                }
+                let size = self
+                    .opts
+                    .size
+                    .unwrap_or_else(|| default_size(bench.name()));
+                let cfg = ExperimentConfig {
+                    threads,
+                    profile_runs: self.opts.profile_runs,
+                    measure_runs: self.opts.runs,
+                    train_size: self.opts.train_size.unwrap_or(size),
+                    test_size: size,
+                    yield_k: Some(2),
+                    guidance: GuidanceConfig::with_tfactor(self.opts.tfactor),
+                    seed: self.opts.seed,
+                };
+                eprintln!("[gstm-repro] running {} @ {threads} threads ...", bench.name());
+                exps.push(run_experiment(&*bench, &cfg));
+            }
+            self.stamp.insert(threads, exps);
+        }
+        &self.stamp[&threads]
+    }
+
+    fn stamp_pair(&mut self) -> (Vec<BenchExperiment>, Vec<BenchExperiment>) {
+        let ts = self.opts.threads.clone();
+        let t8 = ts.first().copied().unwrap_or(8);
+        let t16 = ts.get(1).copied().unwrap_or(t8);
+        let a = self.stamp_for(t8).to_vec();
+        let b = if t16 == t8 {
+            a.clone()
+        } else {
+            self.stamp_for(t16).to_vec()
+        };
+        (a, b)
+    }
+
+    fn games(&mut self) -> &[GameExperiment] {
+        if self.games.is_empty() {
+            for &threads in &self.opts.threads.clone() {
+                eprintln!("[gstm-repro] running SynQuake @ {threads} threads ...");
+                let cfg = GameExperimentConfig {
+                    threads,
+                    players: self.opts.players,
+                    train_frames: self.opts.frames / 2,
+                    test_frames: self.opts.frames,
+                    yield_k: Some(2),
+                    guidance: GuidanceConfig::with_tfactor(self.opts.tfactor),
+                    seed: self.opts.seed,
+                };
+                self.games.push(run_game_experiment(&cfg));
+            }
+        }
+        &self.games
+    }
+
+    fn emit(&self, name: &str, table: &Table) {
+        println!("{}", table.render());
+        if let Some(dir) = &self.opts.out {
+            if let Err(e) = table.save_csv(dir, name) {
+                eprintln!("[gstm-repro] failed to write {name}.csv: {e}");
+            }
+        }
+    }
+}
+
+fn main() {
+    let opts = parse_args();
+    let command = opts.command.clone();
+    let threads = opts.threads.clone();
+    let t_lo = threads.first().copied().unwrap_or(8);
+    let t_hi = threads.get(1).copied().unwrap_or(t_lo);
+    let mut c = Campaign::new(opts);
+
+    let run_stamp_cmd = |c: &mut Campaign, which: &str| {
+        let (e8, e16) = c.stamp_pair();
+        match which {
+            "summary" => {
+                let mut seen = std::collections::HashSet::new();
+                let all: Vec<&gstm_harness::experiment::BenchExperiment> = e8
+                    .iter()
+                    .chain(e16.iter())
+                    .filter(|e| seen.insert((e.name, e.threads)))
+                    .collect();
+                c.emit("summary", &tables::summary(&all));
+            }
+            "table1" => c.emit("table1", &tables::table1(&e8, &e16)),
+            "table3" => c.emit("table3", &tables::table3(&e8, &e16)),
+            "table4" => c.emit("table4", &tables::table4(&e8, &e16)),
+            "fig4" => c.emit("fig4", &figures::fig_variance(&e8, t_lo)),
+            "fig5" => c.emit("fig5", &figures::fig_abort_tail(&e8, t_lo)),
+            "fig6" => c.emit("fig6", &figures::fig_variance(&e16, t_hi)),
+            "fig7" => c.emit("fig7", &figures::fig_abort_tail(&e16, t_hi)),
+            "fig8" => c.emit("fig8", &figures::fig8_ssca2(&e8, &e16)),
+            "fig9" => c.emit("fig9", &figures::fig9_nondeterminism(&e8, &e16)),
+            "fig10" => c.emit("fig10", &figures::fig10_slowdown(&e8, &e16)),
+            "stamp" => {
+                c.emit("table1", &tables::table1(&e8, &e16));
+                c.emit("table3", &tables::table3(&e8, &e16));
+                c.emit("table4", &tables::table4(&e8, &e16));
+                c.emit("fig4", &figures::fig_variance(&e8, t_lo));
+                c.emit("fig5", &figures::fig_abort_tail(&e8, t_lo));
+                c.emit("fig6", &figures::fig_variance(&e16, t_hi));
+                c.emit("fig7", &figures::fig_abort_tail(&e16, t_hi));
+                c.emit("fig8", &figures::fig8_ssca2(&e8, &e16));
+                c.emit("fig9", &figures::fig9_nondeterminism(&e8, &e16));
+                c.emit("fig10", &figures::fig10_slowdown(&e8, &e16));
+            }
+            _ => unreachable!(),
+        }
+    };
+    let run_game_cmd = |c: &mut Campaign, which: &str| {
+        let games = c.games().to_vec();
+        match which {
+            "table5" => c.emit("table5", &tables::table5(&games)),
+            "fig11" => c.emit("fig11", &figures::fig_synquake(&games, true)),
+            "fig12" => c.emit("fig12", &figures::fig_synquake(&games, false)),
+            "synquake" => {
+                c.emit("table5", &tables::table5(&games));
+                c.emit("fig11", &figures::fig_synquake(&games, true));
+                c.emit("fig12", &figures::fig_synquake(&games, false));
+            }
+            _ => unreachable!(),
+        }
+    };
+
+    match command.as_str() {
+        "inspect" => {
+            // Train a model for one benchmark (default kmeans, override
+            // with --bench) and print its hottest states, Figure 3-style.
+            let name = c
+                .opts
+                .benches
+                .as_ref()
+                .and_then(|b| b.first().cloned())
+                .unwrap_or_else(|| "kmeans".into());
+            let bench = gstm_stamp::by_name(&name).unwrap_or_else(|| {
+                eprintln!("unknown benchmark {name:?}");
+                std::process::exit(2);
+            });
+            let threads = c.opts.threads.first().copied().unwrap_or(8);
+            let size = c.opts.size.unwrap_or_else(|| default_size(&name));
+            let cfg = ExperimentConfig {
+                threads,
+                profile_runs: c.opts.profile_runs,
+                measure_runs: 0,
+                train_size: c.opts.train_size.unwrap_or(size),
+                test_size: size,
+                yield_k: Some(2),
+                guidance: GuidanceConfig::with_tfactor(c.opts.tfactor),
+                seed: c.opts.seed,
+            };
+            eprintln!("[gstm-repro] training {name} @ {threads} threads ...");
+            let model = gstm_harness::experiment::train_model(&*bench, &cfg);
+            println!("{}", figures::fig3_excerpt(&model, 6));
+        }
+        "repeated" => {
+            // Mean ± sd over full pipeline repeats — the statistically
+            // honest view on a noisy host. Uses --repeat (default 3).
+            let mut aggs = Vec::new();
+            for &threads in &c.opts.threads.clone() {
+                for bench in all_benchmarks() {
+                    if let Some(filter) = &c.opts.benches {
+                        if !filter.iter().any(|f| f == bench.name()) {
+                            continue;
+                        }
+                    }
+                    let size = c
+                        .opts
+                        .size
+                        .unwrap_or_else(|| default_size(bench.name()));
+                    let cfg = ExperimentConfig {
+                        threads,
+                        profile_runs: c.opts.profile_runs,
+                        measure_runs: c.opts.runs,
+                        train_size: c.opts.train_size.unwrap_or(size),
+                        test_size: size,
+                        yield_k: Some(2),
+                        guidance: GuidanceConfig::with_tfactor(c.opts.tfactor),
+                        seed: c.opts.seed,
+                    };
+                    eprintln!(
+                        "[gstm-repro] repeating {} @ {threads} threads x{} ...",
+                        bench.name(),
+                        c.opts.repeat
+                    );
+                    aggs.push(gstm_harness::experiment::run_repeated(
+                        &*bench,
+                        &cfg,
+                        c.opts.repeat,
+                    ));
+                }
+            }
+            c.emit("repeated", &tables::repeated_summary(&aggs));
+        }
+        "table2" => c.emit("table2", &tables::table2()),
+        "table1" | "table3" | "table4" | "fig4" | "fig5" | "fig6" | "fig7" | "fig8" | "fig9"
+        | "fig10" | "stamp" | "summary" => run_stamp_cmd(&mut c, &command),
+        "table5" | "fig11" | "fig12" | "synquake" => run_game_cmd(&mut c, &command),
+        "all" => {
+            c.emit("table2", &tables::table2());
+            run_stamp_cmd(&mut c, "stamp");
+            run_game_cmd(&mut c, "synquake");
+        }
+        other => {
+            eprintln!("unknown command {other:?}");
+            print_help();
+            std::process::exit(2);
+        }
+    }
+}

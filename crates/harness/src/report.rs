@@ -1,0 +1,152 @@
+//! Rendering helpers: fixed-width ASCII tables and CSV emission.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// A simple fixed-width table renderer.
+pub struct Table {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// A table with the given title and column headers.
+    pub fn new(title: &str, header: &[&str]) -> Self {
+        Table {
+            title: title.to_string(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (cells are already formatted).
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(cells.len(), self.header.len(), "row arity mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Render to an ASCII string.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} ==", self.title);
+        let line = |out: &mut String, cells: &[String]| {
+            let mut s = String::from("|");
+            for (w, cell) in widths.iter().zip(cells) {
+                let _ = write!(s, " {cell:<w$} |", w = w);
+            }
+            let _ = writeln!(out, "{s}");
+        };
+        let sep: String = {
+            let mut s = String::from("+");
+            for w in &widths {
+                s.push_str(&"-".repeat(w + 2));
+                s.push('+');
+            }
+            s
+        };
+        let _ = writeln!(out, "{sep}");
+        line(&mut out, &self.header);
+        let _ = writeln!(out, "{sep}");
+        for row in &self.rows {
+            line(&mut out, row);
+        }
+        let _ = writeln!(out, "{sep}");
+        out
+    }
+
+    /// Render to CSV (header + rows).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let esc = |s: &str| {
+            if s.contains(',') || s.contains('"') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        };
+        let _ = writeln!(
+            out,
+            "{}",
+            self.header.iter().map(|s| esc(s)).collect::<Vec<_>>().join(",")
+        );
+        for row in &self.rows {
+            let _ = writeln!(
+                out,
+                "{}",
+                row.iter().map(|s| esc(s)).collect::<Vec<_>>().join(",")
+            );
+        }
+        out
+    }
+
+    /// Write the CSV form into `dir/name.csv` (creating `dir`).
+    pub fn save_csv(&self, dir: &Path, name: &str) -> std::io::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        std::fs::write(dir.join(format!("{name}.csv")), self.to_csv())
+    }
+}
+
+/// Format a float with 1 decimal.
+pub fn f1(x: f64) -> String {
+    format!("{x:.1}")
+}
+
+/// Format a float with 2 decimals.
+pub fn f2(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+/// Format a float with 4 decimals (timings).
+pub fn f4(x: f64) -> String {
+    format!("{x:.4}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_table() {
+        let mut t = Table::new("Demo", &["name", "value"]);
+        t.row(vec!["alpha".into(), "1".into()]);
+        t.row(vec!["b".into(), "12345".into()]);
+        let s = t.render();
+        assert!(s.contains("== Demo =="));
+        assert!(s.contains("| alpha | 1     |"));
+        assert!(s.contains("| b     | 12345 |"));
+    }
+
+    #[test]
+    fn csv_escapes_commas_and_quotes() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.row(vec!["x,y".into(), "say \"hi\"".into()]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"x,y\",\"say \"\"hi\"\"\""));
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity")]
+    fn arity_is_checked() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn save_csv_writes_file() {
+        let mut t = Table::new("x", &["a"]);
+        t.row(vec!["1".into()]);
+        let dir = std::env::temp_dir().join("gstm_report_test");
+        t.save_csv(&dir, "demo").unwrap();
+        let body = std::fs::read_to_string(dir.join("demo.csv")).unwrap();
+        assert_eq!(body, "a\n1\n");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

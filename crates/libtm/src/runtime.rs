@@ -1,0 +1,416 @@
+//! The LibTM runtime: detection/resolution configuration, doomed-flag
+//! table for abort-readers, and the retry loop wired to the guidance hook.
+
+use crate::txn::{LtResult, LtTxn};
+use crate::MAX_THREADS;
+use gstm_core::{GuidanceHook, NoopHook, Pair, ThreadId, TxnId};
+use gstm_core::ThreadStats;
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU16, AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Conflict-detection mode (the four points on LibTM's pessimistic ↔
+/// optimistic spectrum).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum DetectionMode {
+    /// Read and write locks acquired before access.
+    FullyPessimistic,
+    /// Reads lock (block writers via the registry); writes lock at commit.
+    PessimisticRead,
+    /// Reads are optimistic (version-validated); writes lock at encounter.
+    PessimisticWrite,
+    /// Reads are optimistic; write locks are acquired at commit — the mode
+    /// the SynQuake experiments use.
+    FullyOptimistic,
+}
+
+/// Conflict-resolution policy applied by committing writers.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Resolution {
+    /// Spin until the object's visible readers drain.
+    WaitForReaders,
+    /// Doom the readers and proceed — the SynQuake experiments' policy.
+    AbortReaders,
+}
+
+/// Tunables of one LibTM instance.
+#[derive(Clone, Copy, Debug)]
+pub struct LibTmConfig {
+    /// Conflict-detection mode.
+    pub detection: DetectionMode,
+    /// Conflict-resolution policy.
+    pub resolution: Resolution,
+    /// Bounded spin for lock acquisition / reader draining.
+    pub commit_spin: u32,
+    /// Interleave injection, as in gstm-tl2's `StmConfig::yield_prob_log2`.
+    pub yield_prob_log2: Option<u32>,
+}
+
+impl Default for LibTmConfig {
+    fn default() -> Self {
+        LibTmConfig {
+            detection: DetectionMode::FullyOptimistic,
+            resolution: Resolution::AbortReaders,
+            commit_spin: 64,
+            yield_prob_log2: None,
+        }
+    }
+}
+
+/// One LibTM instance.
+pub struct LibTm {
+    pub(crate) config: LibTmConfig,
+    pub(crate) hook: Arc<dyn GuidanceHook>,
+    /// Doomed flags: slot t holds 0 (clear) or dooming-writer id + 1.
+    doomed: Vec<AtomicU32>,
+    next_thread: AtomicU16,
+    total_commits: AtomicU64,
+    total_aborts: AtomicU64,
+}
+
+thread_local! {
+    /// xorshift state for the interleave-injection coin flip.
+    static YIELD_RNG: Cell<u64> = const { Cell::new(0x243f_6a88_85a3_08d3) };
+}
+
+impl LibTm {
+    /// A plain instance (no recording, no gating).
+    pub fn new(config: LibTmConfig) -> Arc<Self> {
+        Self::with_hook(Arc::new(NoopHook), config)
+    }
+
+    /// An instance reporting to a guidance hook.
+    pub fn with_hook(hook: Arc<dyn GuidanceHook>, config: LibTmConfig) -> Arc<Self> {
+        Arc::new(LibTm {
+            config,
+            hook,
+            doomed: (0..MAX_THREADS).map(|_| AtomicU32::new(0)).collect(),
+            next_thread: AtomicU16::new(0),
+            total_commits: AtomicU64::new(0),
+            total_aborts: AtomicU64::new(0),
+        })
+    }
+
+    /// Register the calling thread with the next sequential id.
+    pub fn register(self: &Arc<Self>) -> LtThreadCtx {
+        let id = ThreadId(self.next_thread.fetch_add(1, Ordering::Relaxed));
+        self.register_as(id)
+    }
+
+    /// Register under an explicit id (stable ids across runs, as the
+    /// model requires).
+    pub fn register_as(self: &Arc<Self>, id: ThreadId) -> LtThreadCtx {
+        assert!(
+            (id.index()) < MAX_THREADS,
+            "thread id {} exceeds MAX_THREADS {}",
+            id.0,
+            MAX_THREADS
+        );
+        LtThreadCtx {
+            tm: Arc::clone(self),
+            thread: id,
+            stats: ThreadStats::new(),
+        }
+    }
+
+    /// This instance's configuration.
+    pub fn config(&self) -> &LibTmConfig {
+        &self.config
+    }
+
+    /// The installed guidance hook.
+    pub fn hook(&self) -> &Arc<dyn GuidanceHook> {
+        &self.hook
+    }
+
+    /// Total commits across all threads.
+    pub fn total_commits(&self) -> u64 {
+        self.total_commits.load(Ordering::Relaxed)
+    }
+
+    /// Total aborts across all threads.
+    pub fn total_aborts(&self) -> u64 {
+        self.total_aborts.load(Ordering::Relaxed)
+    }
+
+    /// Mark `victim` as doomed by `writer` (abort-readers resolution).
+    pub(crate) fn doom(&self, victim: ThreadId, writer: ThreadId) {
+        self.doomed[victim.index()].store(writer.0 as u32 + 1, Ordering::Release);
+    }
+
+    /// Consume `me`'s doomed flag, returning the dooming writer if set.
+    pub(crate) fn take_doom(&self, me: ThreadId) -> Option<ThreadId> {
+        match self.doomed[me.index()].swap(0, Ordering::AcqRel) {
+            0 => None,
+            w => Some(ThreadId((w - 1) as u16)),
+        }
+    }
+
+    /// Begin-of-transaction interleave injection: yield with p = 1/2 when
+    /// injection is enabled.
+    #[inline]
+    pub(crate) fn maybe_yield_begin(&self) {
+        if self.config.yield_prob_log2.is_some() {
+            let flip = YIELD_RNG.with(|c| {
+                let mut x = c.get();
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                c.set(x);
+                x
+            });
+            if flip & 1 == 0 {
+                std::thread::yield_now();
+            }
+        }
+    }
+
+    /// Interleave-injection coin flip (see `gstm-tl2`'s equivalent).
+    #[inline]
+    pub(crate) fn maybe_yield(&self) {
+        if let Some(k) = self.config.yield_prob_log2 {
+            let flip = YIELD_RNG.with(|c| {
+                let mut x = c.get();
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                c.set(x);
+                x
+            });
+            if flip & ((1u64 << k) - 1) == 0 {
+                std::thread::yield_now();
+            }
+        }
+    }
+}
+
+/// A worker thread's handle onto a [`LibTm`] instance.
+pub struct LtThreadCtx {
+    tm: Arc<LibTm>,
+    thread: ThreadId,
+    stats: ThreadStats,
+}
+
+impl LtThreadCtx {
+    /// This thread's id.
+    pub fn thread_id(&self) -> ThreadId {
+        self.thread
+    }
+
+    /// The owning instance.
+    pub fn tm(&self) -> &Arc<LibTm> {
+        &self.tm
+    }
+
+    /// Statistics accumulated so far.
+    pub fn stats(&self) -> &ThreadStats {
+        &self.stats
+    }
+
+    /// Take the statistics, resetting the counters.
+    pub fn take_stats(&mut self) -> ThreadStats {
+        std::mem::take(&mut self.stats)
+    }
+
+    /// Run `f` transactionally at site `txid`, retrying until commit.
+    pub fn atomically<R>(
+        &mut self,
+        txid: TxnId,
+        mut f: impl FnMut(&mut LtTxn) -> LtResult<R>,
+    ) -> R {
+        let me = Pair::new(txid, self.thread);
+        let mut retries: u32 = 0;
+        loop {
+            self.tm.hook.gate(me);
+            // Per-transaction interleave injection (see gstm-tl2's
+            // equivalent): sub-timeslice transactions would otherwise
+            // commit in long same-thread bursts on an oversubscribed host.
+            self.tm.maybe_yield_begin();
+            // A doom aimed at a previous attempt must not kill this one.
+            let _ = self.tm.take_doom(self.thread);
+            let mut tx = LtTxn::new(&self.tm, me);
+            let body = f(&mut tx);
+            let outcome = body.and_then(|r| tx.commit().map(|()| r));
+            match outcome {
+                Ok(r) => {
+                    self.tm.hook.on_commit(me);
+                    self.tm.total_commits.fetch_add(1, Ordering::Relaxed);
+                    self.stats.record_commit(retries);
+                    return r;
+                }
+                Err(abort) => {
+                    self.tm.hook.on_abort(me, abort.cause);
+                    self.tm.total_aborts.fetch_add(1, Ordering::Relaxed);
+                    self.stats.record_abort(abort.cause);
+                    retries = retries.saturating_add(1);
+                    std::thread::yield_now();
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::object::TObject;
+
+    fn all_modes() -> Vec<(DetectionMode, Resolution)> {
+        let detections = [
+            DetectionMode::FullyPessimistic,
+            DetectionMode::PessimisticRead,
+            DetectionMode::PessimisticWrite,
+            DetectionMode::FullyOptimistic,
+        ];
+        let resolutions = [Resolution::WaitForReaders, Resolution::AbortReaders];
+        detections
+            .into_iter()
+            .flat_map(|d| resolutions.into_iter().map(move |r| (d, r)))
+            .collect()
+    }
+
+    #[test]
+    fn counter_is_atomic_in_every_mode() {
+        for (detection, resolution) in all_modes() {
+            let tm = LibTm::new(LibTmConfig {
+                detection,
+                resolution,
+                yield_prob_log2: Some(2),
+                ..LibTmConfig::default()
+            });
+            let v = TObject::new(0u64);
+            std::thread::scope(|s| {
+                for t in 0..4u16 {
+                    let tm = Arc::clone(&tm);
+                    let v = v.clone();
+                    s.spawn(move || {
+                        let mut ctx = tm.register_as(ThreadId(t));
+                        for _ in 0..100 {
+                            ctx.atomically(TxnId(0), |tx| tx.modify(&v, |x| x + 1));
+                        }
+                    });
+                }
+            });
+            assert_eq!(
+                v.load_quiesced(),
+                400,
+                "lost updates under {detection:?}/{resolution:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn transfers_preserve_total_in_every_mode() {
+        for (detection, resolution) in all_modes() {
+            let tm = LibTm::new(LibTmConfig {
+                detection,
+                resolution,
+                yield_prob_log2: Some(2),
+                ..LibTmConfig::default()
+            });
+            let accounts: Vec<TObject<i64>> = (0..6).map(|_| TObject::new(100)).collect();
+            std::thread::scope(|s| {
+                for t in 0..3u16 {
+                    let tm = Arc::clone(&tm);
+                    let accounts = accounts.clone();
+                    s.spawn(move || {
+                        let mut ctx = tm.register_as(ThreadId(t));
+                        for i in 0..100usize {
+                            let from = (t as usize + i) % accounts.len();
+                            let to = (t as usize + i * 5 + 1) % accounts.len();
+                            if from == to {
+                                continue;
+                            }
+                            let (a, b) = (accounts[from].clone(), accounts[to].clone());
+                            ctx.atomically(TxnId(0), |tx| {
+                                let av = tx.read(&a)?;
+                                let bv = tx.read(&b)?;
+                                tx.write(&a, av - 1)?;
+                                tx.write(&b, bv + 1)?;
+                                Ok(())
+                            });
+                        }
+                    });
+                }
+            });
+            let total: i64 = accounts.iter().map(|a| a.load_quiesced()).sum();
+            assert_eq!(total, 600, "imbalance under {detection:?}/{resolution:?}");
+        }
+    }
+
+    #[test]
+    fn doomed_flag_round_trip() {
+        let tm = LibTm::new(LibTmConfig::default());
+        tm.doom(ThreadId(3), ThreadId(1));
+        assert_eq!(tm.take_doom(ThreadId(3)), Some(ThreadId(1)));
+        assert_eq!(tm.take_doom(ThreadId(3)), None, "take clears");
+        assert_eq!(tm.take_doom(ThreadId(0)), None);
+    }
+
+    #[test]
+    fn abort_readers_dooms_a_live_reader() {
+        use std::sync::atomic::AtomicBool;
+        // One thread sits in a long transaction reading `x`; a writer
+        // commits to `x`; the reader's next operation must abort with
+        // AbortedByWriter.
+        let tm = LibTm::new(LibTmConfig::default());
+        let x = TObject::new(0u32);
+        let saw_doom = Arc::new(AtomicBool::new(false));
+        let barrier = Arc::new(std::sync::Barrier::new(2));
+        std::thread::scope(|s| {
+            let tm1 = Arc::clone(&tm);
+            let x1 = x.clone();
+            let b1 = Arc::clone(&barrier);
+            let saw = Arc::clone(&saw_doom);
+            s.spawn(move || {
+                let mut ctx = tm1.register_as(ThreadId(0));
+                let mut first = true;
+                ctx.atomically(TxnId(0), |tx| {
+                    let _ = tx.read(&x1)?;
+                    if first {
+                        first = false;
+                        b1.wait(); // writer goes now
+                        b1.wait(); // writer committed
+                    }
+                    // This op observes the doom on the first attempt.
+                    match tx.read(&x1) {
+                        Err(a) => {
+                            if matches!(
+                                a.cause,
+                                gstm_core::AbortCause::AbortedByWriter { .. }
+                            ) {
+                                saw.store(true, Ordering::SeqCst);
+                            }
+                            Err(a)
+                        }
+                        Ok(_) => Ok(()),
+                    }
+                });
+            });
+            let tm2 = Arc::clone(&tm);
+            let x2 = x.clone();
+            s.spawn(move || {
+                barrier.wait();
+                let mut ctx = tm2.register_as(ThreadId(1));
+                ctx.atomically(TxnId(1), |tx| tx.modify(&x2, |v| v + 1));
+                barrier.wait();
+            });
+        });
+        assert!(saw_doom.load(Ordering::SeqCst), "reader was doomed");
+        assert_eq!(x.load_quiesced(), 1);
+    }
+
+    #[test]
+    fn registration_ids_are_bounded() {
+        let tm = LibTm::new(LibTmConfig::default());
+        assert_eq!(tm.register().thread_id(), ThreadId(0));
+        assert_eq!(tm.register().thread_id(), ThreadId(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds MAX_THREADS")]
+    fn oversized_thread_id_is_rejected() {
+        let tm = LibTm::new(LibTmConfig::default());
+        let _ = tm.register_as(ThreadId(MAX_THREADS as u16));
+    }
+}

@@ -1,0 +1,357 @@
+//! LibTM transactions: per-mode read/write protocols and the commit
+//! protocol with reader-conflict resolution.
+
+use crate::object::{ObjectInner, TObject};
+use crate::runtime::{DetectionMode, LibTm, Resolution};
+use gstm_core::{AbortCause, Pair, ThreadId};
+use std::any::Any;
+use std::sync::Arc;
+
+/// Rollback signal for a LibTM transaction attempt.
+#[derive(Clone, Copy, Debug)]
+pub struct LtAbort {
+    /// What killed the attempt.
+    pub cause: AbortCause,
+}
+
+/// Result of a LibTM transactional operation.
+pub type LtResult<T> = Result<T, LtAbort>;
+
+/// Type-erased view of an object for read/write sets.
+pub(crate) trait LtTarget: Send + Sync {
+    fn version(&self) -> u64;
+    fn bump_version(&self);
+    fn try_lock_writer(&self, me: ThreadId) -> bool;
+    fn writer(&self) -> Option<ThreadId>;
+    fn unlock_writer(&self, me: ThreadId);
+    fn add_reader(&self, me: ThreadId);
+    fn remove_reader(&self, me: ThreadId);
+    fn other_readers(&self, me: ThreadId) -> Vec<ThreadId>;
+    fn has_other_readers(&self, me: ThreadId) -> bool;
+    fn key(&self) -> usize;
+}
+
+impl<T: Send + Sync> LtTarget for ObjectInner<T> {
+    fn version(&self) -> u64 {
+        ObjectInner::version(self)
+    }
+    fn bump_version(&self) {
+        ObjectInner::bump_version(self)
+    }
+    fn try_lock_writer(&self, me: ThreadId) -> bool {
+        ObjectInner::try_lock_writer(self, me)
+    }
+    fn writer(&self) -> Option<ThreadId> {
+        ObjectInner::writer(self)
+    }
+    fn unlock_writer(&self, me: ThreadId) {
+        ObjectInner::unlock_writer(self, me)
+    }
+    fn add_reader(&self, me: ThreadId) {
+        ObjectInner::add_reader(self, me)
+    }
+    fn remove_reader(&self, me: ThreadId) {
+        ObjectInner::remove_reader(self, me)
+    }
+    fn other_readers(&self, me: ThreadId) -> Vec<ThreadId> {
+        ObjectInner::other_readers(self, me)
+    }
+    fn has_other_readers(&self, me: ThreadId) -> bool {
+        ObjectInner::has_other_readers(self, me)
+    }
+    fn key(&self) -> usize {
+        ObjectInner::key(self)
+    }
+}
+
+/// A buffered write awaiting publication.
+trait LtWriteEntry: Send {
+    fn target_arc(&self) -> Arc<dyn LtTarget>;
+    fn key(&self) -> usize;
+    fn publish(&self);
+    fn as_any(&self) -> &dyn Any;
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+}
+
+struct TypedWrite<T> {
+    obj: TObject<T>,
+    value: T,
+}
+
+impl<T: Clone + Send + Sync + 'static> LtWriteEntry for TypedWrite<T> {
+    fn target_arc(&self) -> Arc<dyn LtTarget> {
+        self.obj.inner.clone()
+    }
+    fn key(&self) -> usize {
+        self.obj.inner.key()
+    }
+    fn publish(&self) {
+        self.obj.inner.store(self.value.clone());
+    }
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// One in-flight LibTM transaction attempt.
+///
+/// Dropping an attempt (committed or aborted) releases every
+/// encounter-time writer lock it still holds and deregisters its visible
+/// reads, so an aborted attempt can never wedge other threads.
+pub struct LtTxn<'tm> {
+    tm: &'tm LibTm,
+    me: Pair,
+    /// Optimistic-read validation entries: `(object, observed version)`.
+    read_set: Vec<(Arc<dyn LtTarget>, u64)>,
+    /// Objects where this attempt registered as a visible reader.
+    registered: Vec<Arc<dyn LtTarget>>,
+    /// Buffered writes.
+    write_set: Vec<Box<dyn LtWriteEntry>>,
+    /// Writer locks acquired at encounter time (pessimistic-write modes).
+    held_write: Vec<Arc<dyn LtTarget>>,
+}
+
+impl Drop for LtTxn<'_> {
+    fn drop(&mut self) {
+        let me = self.me.thread;
+        for h in self.held_write.drain(..) {
+            h.unlock_writer(me);
+        }
+        for r in self.registered.drain(..) {
+            r.remove_reader(me);
+        }
+    }
+}
+
+impl<'tm> LtTxn<'tm> {
+    pub(crate) fn new(tm: &'tm LibTm, me: Pair) -> Self {
+        LtTxn {
+            tm,
+            me,
+            read_set: Vec::new(),
+            registered: Vec::new(),
+            write_set: Vec::new(),
+            held_write: Vec::new(),
+        }
+    }
+
+    /// The `<txn,thread>` identity of this attempt.
+    pub fn who(&self) -> Pair {
+        self.me
+    }
+
+    /// Explicitly abort and retry.
+    pub fn retry(&self) -> LtAbort {
+        LtAbort {
+            cause: AbortCause::Explicit,
+        }
+    }
+
+    fn check_doomed(&self) -> LtResult<()> {
+        if let Some(writer) = self.tm.take_doom(self.me.thread) {
+            return Err(LtAbort {
+                cause: AbortCause::AbortedByWriter {
+                    writer: Some(writer),
+                },
+            });
+        }
+        Ok(())
+    }
+
+    fn write_index(&self, key: usize) -> Option<usize> {
+        self.write_set.iter().position(|e| e.key() == key)
+    }
+
+    fn register_reader(&mut self, inner: &Arc<dyn LtTarget>) {
+        if !self.registered.iter().any(|r| r.key() == inner.key()) {
+            inner.add_reader(self.me.thread);
+            self.registered.push(Arc::clone(inner));
+        }
+    }
+
+    /// Transactional read under the configured detection mode.
+    pub fn read<T: Clone + Send + Sync + 'static>(&mut self, obj: &TObject<T>) -> LtResult<T> {
+        self.check_doomed()?;
+        self.tm.maybe_yield();
+        if let Some(i) = self.write_index(obj.inner.key()) {
+            let e = self.write_set[i]
+                .as_any()
+                .downcast_ref::<TypedWrite<T>>()
+                .expect("write-set entry type mismatch");
+            return Ok(e.value.clone());
+        }
+        let target: Arc<dyn LtTarget> = obj.inner.clone();
+        let me = self.me.thread;
+        // A held writer lock means a commit is in flight: back off.
+        if let Some(owner) = target.writer() {
+            if owner != me {
+                return Err(LtAbort {
+                    cause: AbortCause::ReadLocked { owner: Some(owner) },
+                });
+            }
+        }
+        // Visible-reader registration — the reader side of both
+        // resolution policies.
+        self.register_reader(&target);
+        match self.tm.config.detection {
+            DetectionMode::FullyOptimistic | DetectionMode::PessimisticWrite => {
+                // Version-validated read.
+                let v1 = target.version();
+                let value = obj.inner.snapshot();
+                if target.version() != v1 || target.writer().is_some_and(|w| w != me) {
+                    return Err(LtAbort {
+                        cause: AbortCause::ReadVersion,
+                    });
+                }
+                self.read_set.push((target, v1));
+                Ok(value)
+            }
+            DetectionMode::FullyPessimistic | DetectionMode::PessimisticRead => {
+                // Registration blocks writers (they wait for us or doom
+                // us); no version record needed.
+                Ok(obj.inner.snapshot())
+            }
+        }
+    }
+
+    /// Transactional write under the configured detection mode.
+    pub fn write<T: Clone + Send + Sync + 'static>(
+        &mut self,
+        obj: &TObject<T>,
+        value: T,
+    ) -> LtResult<()> {
+        self.check_doomed()?;
+        self.tm.maybe_yield();
+        let key = obj.inner.key();
+        if let Some(i) = self.write_index(key) {
+            let e = self.write_set[i]
+                .as_any_mut()
+                .downcast_mut::<TypedWrite<T>>()
+                .expect("write-set entry type mismatch");
+            e.value = value;
+            return Ok(());
+        }
+        // Encounter-time locking in pessimistic-write modes.
+        if matches!(
+            self.tm.config.detection,
+            DetectionMode::FullyPessimistic | DetectionMode::PessimisticWrite
+        ) {
+            let target: Arc<dyn LtTarget> = obj.inner.clone();
+            if !self.held_write.iter().any(|h| h.key() == key) {
+                self.acquire_writer(&target)?;
+                self.held_write.push(target);
+            }
+        }
+        self.write_set.push(Box::new(TypedWrite {
+            obj: obj.clone(),
+            value,
+        }));
+        Ok(())
+    }
+
+    /// Read-modify-write convenience.
+    pub fn modify<T: Clone + Send + Sync + 'static>(
+        &mut self,
+        obj: &TObject<T>,
+        f: impl FnOnce(T) -> T,
+    ) -> LtResult<()> {
+        let v = self.read(obj)?;
+        self.write(obj, f(v))
+    }
+
+    fn acquire_writer(&self, target: &Arc<dyn LtTarget>) -> LtResult<()> {
+        let me = self.me.thread;
+        for _ in 0..self.tm.config.commit_spin {
+            if target.try_lock_writer(me) {
+                return Ok(());
+            }
+            std::thread::yield_now();
+        }
+        Err(LtAbort {
+            cause: AbortCause::CommitLockBusy {
+                owner: target.writer(),
+            },
+        })
+    }
+
+    /// Resolve this committing writer against the visible readers of one
+    /// write target, per the configured policy.
+    fn resolve_readers(&self, target: &dyn LtTarget) -> LtResult<()> {
+        let me = self.me.thread;
+        match self.tm.config.resolution {
+            Resolution::AbortReaders => {
+                for reader in target.other_readers(me) {
+                    self.tm.doom(reader, me);
+                }
+                Ok(())
+            }
+            Resolution::WaitForReaders => {
+                for _ in 0..self.tm.config.commit_spin {
+                    if !target.has_other_readers(me) {
+                        return Ok(());
+                    }
+                    std::thread::yield_now();
+                }
+                // Could not drain readers: give way (avoids
+                // writer/reader deadlock).
+                Err(LtAbort {
+                    cause: AbortCause::CommitLockBusy { owner: None },
+                })
+            }
+        }
+    }
+
+    /// Commit: take commit-time writer locks (optimistic-write modes),
+    /// validate optimistic reads, resolve visible readers, publish, and
+    /// release everything.
+    pub(crate) fn commit(mut self) -> Result<(), LtAbort> {
+        let me = self.me.thread;
+        let mut acquired: Vec<Arc<dyn LtTarget>> = Vec::new();
+        let result = (|| -> Result<(), LtAbort> {
+            self.check_doomed()?;
+            if self.write_set.is_empty() {
+                return Ok(());
+            }
+            // Commit-time locking (the "fully optimistic" side).
+            if matches!(
+                self.tm.config.detection,
+                DetectionMode::FullyOptimistic | DetectionMode::PessimisticRead
+            ) {
+                self.write_set.sort_by_key(|e| e.key());
+                for entry in &self.write_set {
+                    let target = entry.target_arc();
+                    self.acquire_writer(&target)?;
+                    acquired.push(target);
+                }
+            }
+            // Validate optimistic reads: versions unchanged and no foreign
+            // writer in flight.
+            for (t, v) in &self.read_set {
+                if t.version() != *v || t.writer().is_some_and(|w| w != me) {
+                    return Err(LtAbort {
+                        cause: AbortCause::Validation,
+                    });
+                }
+            }
+            self.check_doomed()?;
+            // Resolve readers of each written object, then publish.
+            for entry in &self.write_set {
+                self.resolve_readers(&*entry.target_arc())?;
+            }
+            for entry in &self.write_set {
+                entry.publish();
+                entry.target_arc().bump_version();
+            }
+            Ok(())
+        })();
+        // Release commit-time locks; Drop releases encounter-time locks
+        // and reader registrations.
+        for t in acquired {
+            t.unlock_writer(me);
+        }
+        result
+    }
+}

@@ -1,0 +1,187 @@
+//! Transactional bitmap (STAMP `bitmap.c`).
+
+use gstm_tl2::{TVar, TxResult, Txn};
+use std::sync::Arc;
+
+/// A fixed-size bitmap stored as transactional 64-bit words. Transactions
+/// touching bits in different words never conflict.
+pub struct TBitmap {
+    words: Arc<[TVar<u64>]>,
+    num_bits: usize,
+}
+
+impl Clone for TBitmap {
+    fn clone(&self) -> Self {
+        TBitmap {
+            words: Arc::clone(&self.words),
+            num_bits: self.num_bits,
+        }
+    }
+}
+
+impl TBitmap {
+    /// A bitmap of `num_bits` bits, all clear.
+    pub fn new(num_bits: usize) -> Self {
+        let n_words = num_bits.div_ceil(64).max(1);
+        TBitmap {
+            words: (0..n_words).map(|_| TVar::new(0u64)).collect(),
+            num_bits,
+        }
+    }
+
+    /// Number of addressable bits.
+    pub fn num_bits(&self) -> usize {
+        self.num_bits
+    }
+
+    #[inline]
+    fn index(&self, bit: usize) -> (usize, u64) {
+        assert!(bit < self.num_bits, "bit {bit} out of range");
+        (bit / 64, 1u64 << (bit % 64))
+    }
+
+    /// Read bit `bit`.
+    pub fn test(&self, tx: &mut Txn, bit: usize) -> TxResult<bool> {
+        let (w, mask) = self.index(bit);
+        Ok(tx.read(&self.words[w])? & mask != 0)
+    }
+
+    /// Set bit `bit`; returns the previous value.
+    pub fn set(&self, tx: &mut Txn, bit: usize) -> TxResult<bool> {
+        let (w, mask) = self.index(bit);
+        let old = tx.read(&self.words[w])?;
+        tx.write(&self.words[w], old | mask)?;
+        Ok(old & mask != 0)
+    }
+
+    /// Clear bit `bit`; returns the previous value.
+    pub fn clear(&self, tx: &mut Txn, bit: usize) -> TxResult<bool> {
+        let (w, mask) = self.index(bit);
+        let old = tx.read(&self.words[w])?;
+        tx.write(&self.words[w], old & !mask)?;
+        Ok(old & mask != 0)
+    }
+
+    /// Atomically find the first clear bit at or after `from`, set it, and
+    /// return its index. `None` when the map is full past `from`.
+    pub fn find_clear_and_set(&self, tx: &mut Txn, from: usize) -> TxResult<Option<usize>> {
+        let mut bit = from;
+        while bit < self.num_bits {
+            let (w, _) = self.index(bit);
+            let word = tx.read(&self.words[w])?;
+            // Scan this word from `bit`'s offset.
+            let start = bit % 64;
+            let masked = word | ((1u64 << start) - 1).wrapping_mul((start != 0) as u64);
+            if masked != u64::MAX {
+                let free = masked.trailing_ones() as usize;
+                let idx = w * 64 + free;
+                if idx < self.num_bits {
+                    tx.write(&self.words[w], word | (1u64 << free))?;
+                    return Ok(Some(idx));
+                }
+                return Ok(None);
+            }
+            bit = (w + 1) * 64;
+        }
+        Ok(None)
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self, tx: &mut Txn) -> TxResult<u32> {
+        let mut n = 0;
+        for w in self.words.iter() {
+            n += tx.read(w)?.count_ones();
+        }
+        Ok(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gstm_core::{ThreadId, TxnId};
+    use gstm_tl2::{Stm, StmConfig};
+    use std::sync::Arc;
+
+    fn with_tx<R>(f: impl FnMut(&mut Txn) -> TxResult<R>) -> R {
+        let stm = Stm::new(StmConfig::default());
+        let mut ctx = stm.register();
+        ctx.atomically(TxnId(0), f)
+    }
+
+    #[test]
+    fn set_test_clear() {
+        let bm = TBitmap::new(130);
+        with_tx(|tx| {
+            assert!(!bm.test(tx, 0)?);
+            assert!(!bm.set(tx, 0)?);
+            assert!(bm.set(tx, 0)?);
+            assert!(bm.test(tx, 0)?);
+            assert!(!bm.set(tx, 129)?); // last bit, third word
+            assert_eq!(bm.count_ones(tx)?, 2);
+            assert!(bm.clear(tx, 0)?);
+            assert!(!bm.clear(tx, 0)?);
+            assert_eq!(bm.count_ones(tx)?, 1);
+            Ok(())
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_panics() {
+        let bm = TBitmap::new(10);
+        with_tx(|tx| bm.test(tx, 10));
+    }
+
+    #[test]
+    fn find_clear_and_set_scans_forward() {
+        let bm = TBitmap::new(70);
+        with_tx(|tx| {
+            for bit in 0..64 {
+                bm.set(tx, bit)?;
+            }
+            assert_eq!(bm.find_clear_and_set(tx, 0)?, Some(64));
+            assert_eq!(bm.find_clear_and_set(tx, 0)?, Some(65));
+            assert_eq!(bm.find_clear_and_set(tx, 68)?, Some(68));
+            // Fill the rest.
+            for bit in [66, 67, 69] {
+                bm.set(tx, bit)?;
+            }
+            assert_eq!(bm.find_clear_and_set(tx, 0)?, None);
+            Ok(())
+        });
+    }
+
+    #[test]
+    fn concurrent_allocation_is_collision_free() {
+        let stm = Stm::new(StmConfig::with_yield_injection(2));
+        let bm = TBitmap::new(256);
+        let mut all: Vec<usize> = std::thread::scope(|s| {
+            let mut handles = Vec::new();
+            for t in 0..4u16 {
+                let stm = Arc::clone(&stm);
+                let bm = bm.clone();
+                handles.push(s.spawn(move || {
+                    let mut ctx = stm.register_as(ThreadId(t));
+                    let mut got = Vec::new();
+                    for _ in 0..50 {
+                        if let Some(bit) =
+                            ctx.atomically(TxnId(0), |tx| bm.find_clear_and_set(tx, 0))
+                        {
+                            got.push(bit);
+                        }
+                    }
+                    got
+                }));
+            }
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().unwrap())
+                .collect()
+        });
+        assert_eq!(all.len(), 200);
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), 200, "every allocated bit must be unique");
+    }
+}

@@ -1,0 +1,195 @@
+//! Fixed-capacity transactional vector (STAMP `vector.c`).
+
+use gstm_tl2::{TVar, TxResult, Txn};
+use std::sync::Arc;
+
+/// A vector with a fixed capacity, a transactional length, and one
+/// transactional slot per element. Concurrent transactions touching
+/// disjoint slots never conflict.
+pub struct TVector<V> {
+    slots: Arc<[TVar<V>]>,
+    len: TVar<usize>,
+}
+
+impl<V> Clone for TVector<V> {
+    fn clone(&self) -> Self {
+        TVector {
+            slots: Arc::clone(&self.slots),
+            len: self.len.clone(),
+        }
+    }
+}
+
+impl<V: Clone + Send + Sync + 'static> TVector<V> {
+    /// An empty vector with room for `capacity` elements, pre-filling the
+    /// backing slots with `fill` (slots past `len` are logically absent).
+    pub fn with_capacity(capacity: usize, fill: V) -> Self {
+        TVector {
+            slots: (0..capacity).map(|_| TVar::new(fill.clone())).collect(),
+            len: TVar::new(0),
+        }
+    }
+
+    /// A vector initialized from `values` with the same capacity.
+    pub fn from_values(values: Vec<V>) -> Self {
+        let n = values.len();
+        TVector {
+            slots: values.into_iter().map(TVar::new).collect(),
+            len: TVar::new(n),
+        }
+    }
+
+    /// Fixed capacity.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Current length.
+    pub fn len(&self, tx: &mut Txn) -> TxResult<usize> {
+        tx.read(&self.len)
+    }
+
+    /// Whether the vector is empty.
+    pub fn is_empty(&self, tx: &mut Txn) -> TxResult<bool> {
+        Ok(self.len(tx)? == 0)
+    }
+
+    /// Append `value`; returns `false` when at capacity.
+    pub fn push(&self, tx: &mut Txn, value: V) -> TxResult<bool> {
+        let n = tx.read(&self.len)?;
+        if n >= self.slots.len() {
+            return Ok(false);
+        }
+        tx.write(&self.slots[n], value)?;
+        tx.write(&self.len, n + 1)?;
+        Ok(true)
+    }
+
+    /// Remove and return the last element.
+    pub fn pop(&self, tx: &mut Txn) -> TxResult<Option<V>> {
+        let n = tx.read(&self.len)?;
+        if n == 0 {
+            return Ok(None);
+        }
+        let v = tx.read(&self.slots[n - 1])?;
+        tx.write(&self.len, n - 1)?;
+        Ok(Some(v))
+    }
+
+    /// Read slot `i`; `None` if out of bounds.
+    pub fn get(&self, tx: &mut Txn, i: usize) -> TxResult<Option<V>> {
+        let n = tx.read(&self.len)?;
+        if i >= n {
+            return Ok(None);
+        }
+        Ok(Some(tx.read(&self.slots[i])?))
+    }
+
+    /// Write slot `i`; returns `false` if out of bounds.
+    pub fn set(&self, tx: &mut Txn, i: usize, value: V) -> TxResult<bool> {
+        let n = tx.read(&self.len)?;
+        if i >= n {
+            return Ok(false);
+        }
+        tx.write(&self.slots[i], value)?;
+        Ok(true)
+    }
+
+    /// Read-modify-write slot `i`; returns `false` if out of bounds.
+    pub fn update(&self, tx: &mut Txn, i: usize, f: impl FnOnce(V) -> V) -> TxResult<bool> {
+        let n = tx.read(&self.len)?;
+        if i >= n {
+            return Ok(false);
+        }
+        let v = tx.read(&self.slots[i])?;
+        tx.write(&self.slots[i], f(v))?;
+        Ok(true)
+    }
+
+    /// Collect the live elements.
+    pub fn snapshot(&self, tx: &mut Txn) -> TxResult<Vec<V>> {
+        let n = tx.read(&self.len)?;
+        let mut out = Vec::with_capacity(n);
+        for i in 0..n {
+            out.push(tx.read(&self.slots[i])?);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gstm_core::{ThreadId, TxnId};
+    use gstm_tl2::{Stm, StmConfig};
+    use std::sync::Arc;
+
+    fn with_tx<R>(f: impl FnMut(&mut Txn) -> TxResult<R>) -> R {
+        let stm = Stm::new(StmConfig::default());
+        let mut ctx = stm.register();
+        ctx.atomically(TxnId(0), f)
+    }
+
+    #[test]
+    fn push_pop_get_set() {
+        let v = TVector::with_capacity(4, 0i32);
+        with_tx(|tx| {
+            assert!(v.push(tx, 1)?);
+            assert!(v.push(tx, 2)?);
+            assert_eq!(v.get(tx, 0)?, Some(1));
+            assert_eq!(v.get(tx, 2)?, None);
+            assert!(v.set(tx, 1, 20)?);
+            assert!(!v.set(tx, 2, 99)?);
+            assert_eq!(v.pop(tx)?, Some(20));
+            assert_eq!(v.len(tx)?, 1);
+            Ok(())
+        });
+    }
+
+    #[test]
+    fn capacity_is_enforced() {
+        let v = TVector::with_capacity(2, 0u8);
+        with_tx(|tx| {
+            assert!(v.push(tx, 1)?);
+            assert!(v.push(tx, 2)?);
+            assert!(!v.push(tx, 3)?);
+            assert_eq!(v.snapshot(tx)?, vec![1, 2]);
+            Ok(())
+        });
+    }
+
+    #[test]
+    fn from_values_starts_full() {
+        let v = TVector::from_values(vec![5, 6, 7]);
+        with_tx(|tx| {
+            assert_eq!(v.len(tx)?, 3);
+            assert_eq!(v.snapshot(tx)?, vec![5, 6, 7]);
+            assert!(v.update(tx, 2, |x| x * 10)?);
+            assert_eq!(v.get(tx, 2)?, Some(70));
+            Ok(())
+        });
+    }
+
+    #[test]
+    fn concurrent_disjoint_slot_updates() {
+        let stm = Stm::new(StmConfig::with_yield_injection(2));
+        let v = TVector::from_values(vec![0u64; 8]);
+        std::thread::scope(|s| {
+            for t in 0..4u16 {
+                let stm = Arc::clone(&stm);
+                let v = v.clone();
+                s.spawn(move || {
+                    let mut ctx = stm.register_as(ThreadId(t));
+                    for _ in 0..100 {
+                        let slot = t as usize * 2;
+                        ctx.atomically(TxnId(0), |tx| v.update(tx, slot, |x| x + 1));
+                    }
+                });
+            }
+        });
+        let stm2 = Stm::new(StmConfig::default());
+        let mut ctx = stm2.register();
+        let snap = ctx.atomically(TxnId(0), |tx| v.snapshot(tx));
+        assert_eq!(snap, vec![100, 0, 100, 0, 100, 0, 100, 0]);
+    }
+}

@@ -1,0 +1,82 @@
+//! The global version clock.
+//!
+//! TL2's central serialization device: a single monotonically increasing
+//! counter. Transactions sample it at begin (`rv`); committing writers
+//! advance it and stamp their write locations with the new value (`wv`).
+//! A location whose version exceeds a transaction's `rv` was written after
+//! that transaction began, so reading it would be inconsistent.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A shared, monotonically increasing version clock.
+#[derive(Debug, Default)]
+pub struct GlobalClock(AtomicU64);
+
+/// The process-wide version clock.
+///
+/// TL2 uses *one* global clock; sharing it across every [`crate::Stm`]
+/// instance means a `TVar` created under one instance can safely be read
+/// under another (its stamped versions are always ≤ the clock every
+/// transaction samples its `rv` from).
+static CLOCK: GlobalClock = GlobalClock::new();
+
+/// The process-wide clock all STM instances commit through.
+#[inline]
+pub fn global() -> &'static GlobalClock {
+    &CLOCK
+}
+
+impl GlobalClock {
+    /// A clock starting at version 0.
+    pub const fn new() -> Self {
+        GlobalClock(AtomicU64::new(0))
+    }
+
+    /// Sample the current version (a transaction's read version `rv`).
+    #[inline]
+    pub fn now(&self) -> u64 {
+        self.0.load(Ordering::SeqCst)
+    }
+
+    /// Atomically advance the clock and return the new version (a
+    /// committing transaction's write version `wv`).
+    #[inline]
+    pub fn advance(&self) -> u64 {
+        self.0.fetch_add(1, Ordering::SeqCst) + 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn starts_at_zero_and_advances() {
+        let c = GlobalClock::new();
+        assert_eq!(c.now(), 0);
+        assert_eq!(c.advance(), 1);
+        assert_eq!(c.advance(), 2);
+        assert_eq!(c.now(), 2);
+    }
+
+    #[test]
+    fn concurrent_advances_are_unique() {
+        let c = Arc::new(GlobalClock::new());
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let c = Arc::clone(&c);
+            handles.push(std::thread::spawn(move || {
+                (0..1000).map(|_| c.advance()).collect::<Vec<u64>>()
+            }));
+        }
+        let mut all: Vec<u64> = handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), 4000, "every advance() must be unique");
+        assert_eq!(c.now(), 4000);
+    }
+}

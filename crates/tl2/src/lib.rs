@@ -1,0 +1,56 @@
+//! # gstm-tl2 — a TL2-style software transactional memory
+//!
+//! A Rust implementation of Transactional Locking II (Dice, Shalev, Shavit
+//! — DISC'06), the STM the paper's STAMP experiments run on:
+//!
+//! * **Global version clock** ([`clock::GlobalClock`]): committers advance
+//!   it; every transaction samples it at begin into its read version `rv`.
+//! * **Commit-time locking, write-back**: writes are buffered in the
+//!   transaction's write set; at commit the write locations are locked,
+//!   the read set is validated against `rv`, and the buffered values are
+//!   published with the new write version `wv`.
+//! * **Invisible readers, lazy conflict detection**: a read samples the
+//!   location's versioned lock before and after reading; a version newer
+//!   than `rv` (or a held lock) aborts the transaction.
+//!
+//! Transactional locations are object-granularity [`TVar<T>`]s. Snapshot
+//! values are immutable once published and reclaimed with epoch-based
+//! garbage collection (`crossbeam-epoch`), which is what makes the racy
+//! read window of TL2 expressible in safe terms: a reader that loses the
+//! version race clones a stale-but-intact snapshot and then aborts.
+//!
+//! The runtime reports every begin/abort/commit to a
+//! [`gstm_core::GuidanceHook`], which is how profiled and guided execution
+//! (the paper's contribution) plug in without touching the STM's core.
+//!
+//! ## Example
+//!
+//! ```
+//! use gstm_tl2::{Stm, StmConfig, TVar};
+//! use gstm_core::TxnId;
+//! use std::sync::Arc;
+//!
+//! let stm = Stm::new(StmConfig::default());
+//! let acct = TVar::new(100i64);
+//! let mut ctx = stm.register();
+//! let seen = ctx.atomically(TxnId(0), |tx| {
+//!     let v = tx.read(&acct)?;
+//!     tx.write(&acct, v - 30)?;
+//!     Ok(v)
+//! });
+//! assert_eq!(seen, 100);
+//! assert_eq!(acct.load_quiesced(), 70);
+//! ```
+
+pub mod clock;
+pub mod runtime;
+pub mod tvar;
+pub mod txn;
+pub mod vlock;
+
+pub use clock::GlobalClock;
+pub use runtime::{Detection, Stm, StmConfig, ThreadCtx};
+pub use gstm_core::ThreadStats;
+pub use tvar::TVar;
+pub use txn::{Abort, TxResult, Txn};
+pub use vlock::{LockTable, VLock};

@@ -1,0 +1,240 @@
+//! Transactional variables.
+//!
+//! A [`TVar<T>`] is an object-granularity transactional location: a
+//! versioned lock word plus the current committed snapshot of the value.
+//! Snapshots are immutable once published; commits swap in a fresh
+//! snapshot and retire the old one through epoch-based reclamation, so a
+//! reader that loses TL2's version race still clones from an intact (if
+//! stale) snapshot and then aborts — no torn reads, no unsafety leaking to
+//! users.
+
+use crate::vlock::{LockTable, VLock};
+use crossbeam::epoch::{self, Atomic, Guard, Owned};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+/// Where a location's versioned lock lives: embedded (TL2 "PO",
+/// per-object — the default) or in a shared [`LockTable`] stripe (TL2
+/// "PS", constant lock memory but occasional false conflicts).
+pub(crate) enum LockSlot {
+    Own(VLock),
+    Striped(Arc<LockTable>, usize),
+}
+
+impl LockSlot {
+    #[inline]
+    pub(crate) fn vlock(&self) -> &VLock {
+        match self {
+            LockSlot::Own(l) => l,
+            LockSlot::Striped(table, index) => table.lock(*index),
+        }
+    }
+}
+
+/// The lock-word view of a transactional location, type-erased so read and
+/// write sets can hold heterogeneous targets.
+pub(crate) trait TxTarget: Send + Sync {
+    /// The location's versioned lock.
+    fn vlock(&self) -> &VLock;
+    /// A stable identity for the location (its allocation address), used
+    /// for write-set ordering and read-own-write lookups.
+    fn key(&self) -> usize;
+}
+
+pub(crate) struct TVarInner<T> {
+    pub(crate) lock: LockSlot,
+    value: Atomic<T>,
+}
+
+impl<T: Send + Sync> TxTarget for TVarInner<T> {
+    fn vlock(&self) -> &VLock {
+        self.lock.vlock()
+    }
+
+    fn key(&self) -> usize {
+        self as *const Self as *const () as usize
+    }
+}
+
+impl<T: Clone> TVarInner<T> {
+    /// Clone the current snapshot. Callers must sandwich this between lock
+    /// samples (TL2's read protocol) to learn whether the snapshot was
+    /// current.
+    pub(crate) fn read_snapshot(&self) -> T {
+        let guard = epoch::pin();
+        let shared = self.value.load(Ordering::Acquire, &guard);
+        // SAFETY: the snapshot pointer is never null after construction and
+        // cannot be reclaimed while this thread's epoch pin is live;
+        // snapshots are immutable after publication, so cloning cannot race
+        // with a write to the pointee.
+        unsafe { shared.deref() }.clone()
+    }
+}
+
+impl<T> TVarInner<T> {
+    /// Publish a new snapshot (commit path — the caller holds the lock) and
+    /// retire the old one.
+    pub(crate) fn publish(&self, value: T, guard: &Guard) {
+        let old = self.value.swap(Owned::new(value), Ordering::AcqRel, guard);
+        // SAFETY: `old` was the unique current snapshot; after the swap no
+        // new readers can obtain it, and existing readers are protected by
+        // their epoch pins until `defer_destroy` runs.
+        unsafe { guard.defer_destroy(old) };
+    }
+}
+
+impl<T> Drop for TVarInner<T> {
+    fn drop(&mut self) {
+        let slot = std::mem::replace(&mut self.value, Atomic::null());
+        // SAFETY: we have exclusive access (`&mut self` in drop) and the
+        // slot is never null, so converting to `Owned` and dropping it
+        // frees the final snapshot exactly once.
+        unsafe {
+            drop(slot.try_into_owned());
+        }
+    }
+}
+
+/// A transactional variable holding a value of type `T`.
+///
+/// Cloning a `TVar` clones the *handle* (both clones refer to the same
+/// location), which is how transactional data structures link nodes.
+///
+/// All access from concurrently running code must go through
+/// [`crate::Txn::read`] / [`crate::Txn::write`]; [`TVar::load_quiesced`]
+/// reads directly and is meant for setup and post-run verification.
+pub struct TVar<T> {
+    pub(crate) inner: Arc<TVarInner<T>>,
+}
+
+impl<T> Clone for TVar<T> {
+    fn clone(&self) -> Self {
+        TVar {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<T: Clone + Send + Sync + 'static> TVar<T> {
+    /// Create a location initialized to `value`, at version 0, with its
+    /// own embedded lock (TL2 "PO" mode — the default).
+    pub fn new(value: T) -> Self {
+        TVar {
+            inner: Arc::new(TVarInner {
+                lock: LockSlot::Own(VLock::new(0)),
+                value: Atomic::new(value),
+            }),
+        }
+    }
+
+    /// Create a location whose lock is a stripe of `table` (TL2 "PS"
+    /// mode): lock metadata stays constant-size no matter how many
+    /// locations exist, at the cost of occasional false conflicts between
+    /// locations hashing to the same stripe.
+    pub fn new_striped(table: &Arc<LockTable>, value: T) -> Self {
+        let inner = Arc::new_cyclic(|weak: &std::sync::Weak<TVarInner<T>>| {
+            let index = table.index_for(weak.as_ptr() as usize);
+            TVarInner {
+                lock: LockSlot::Striped(Arc::clone(table), index),
+                value: Atomic::new(value),
+            }
+        });
+        TVar { inner }
+    }
+
+    /// Read the committed value outside any transaction.
+    ///
+    /// Linearizes against commits (it retries around a concurrently held
+    /// lock) but provides no multi-location consistency; use it for
+    /// initialization and quiesced post-run checks.
+    pub fn load_quiesced(&self) -> T {
+        loop {
+            let s1 = self.inner.lock.vlock().sample();
+            if s1.is_locked() {
+                std::thread::yield_now();
+                continue;
+            }
+            let v = self.inner.read_snapshot();
+            if self.inner.lock.vlock().sample() == s1 {
+                return v;
+            }
+        }
+    }
+
+    /// The location's stable identity.
+    pub(crate) fn key(&self) -> usize {
+        self.inner.key()
+    }
+
+    /// Whether two handles refer to the same location.
+    pub fn same_location(&self, other: &TVar<T>) -> bool {
+        Arc::ptr_eq(&self.inner, &other.inner)
+    }
+}
+
+impl<T: Clone + Send + Sync + std::fmt::Debug + 'static> std::fmt::Debug for TVar<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TVar")
+            .field("value", &self.load_quiesced())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_and_quiesced_read() {
+        let v = TVar::new(41i32);
+        assert_eq!(v.load_quiesced(), 41);
+    }
+
+    #[test]
+    fn clone_aliases_the_location() {
+        let a = TVar::new(vec![1, 2, 3]);
+        let b = a.clone();
+        assert!(a.same_location(&b));
+        assert_eq!(a.key(), b.key());
+        let c = TVar::new(vec![1, 2, 3]);
+        assert!(!a.same_location(&c));
+        assert_ne!(a.key(), c.key());
+    }
+
+    #[test]
+    fn publish_swaps_snapshots() {
+        let v = TVar::new(1u64);
+        let guard = epoch::pin();
+        v.inner.publish(2, &guard);
+        drop(guard);
+        assert_eq!(v.load_quiesced(), 2);
+    }
+
+    #[test]
+    fn drop_reclaims_snapshot() {
+        // Dropping a TVar holding an allocation must not leak or
+        // double-free; run under a counting payload.
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        static LIVE: AtomicUsize = AtomicUsize::new(0);
+
+        #[derive(Clone)]
+        struct Counted;
+        impl Counted {
+            fn new() -> Self {
+                LIVE.fetch_add(1, Ordering::SeqCst);
+                Counted
+            }
+        }
+        impl Drop for Counted {
+            fn drop(&mut self) {
+                LIVE.fetch_sub(1, Ordering::SeqCst);
+            }
+        }
+
+        {
+            let _v = TVar::new(Counted::new());
+            assert_eq!(LIVE.load(Ordering::SeqCst), 1);
+        }
+        assert_eq!(LIVE.load(Ordering::SeqCst), 0);
+    }
+}

@@ -1,0 +1,770 @@
+//! Transactions: read/write sets, the TL2 read protocol, and the commit
+//! protocol (commit-time locking, read-set validation, write-back).
+
+use crate::runtime::{Detection, Stm};
+use crate::tvar::{TVar, TxTarget};
+use crossbeam::epoch::{self, Guard};
+use gstm_core::{AbortCause, Pair};
+use std::any::Any;
+use std::collections::HashSet;
+use std::sync::Arc;
+
+/// Control-flow signal that the current transaction attempt must roll
+/// back. Produced by conflict detection (or [`Txn::retry`]) and propagated
+/// with `?` out of the user's transaction body to the retry loop.
+#[derive(Clone, Copy, Debug)]
+pub struct Abort {
+    /// What killed the attempt.
+    pub cause: AbortCause,
+}
+
+/// Result of a transactional operation.
+pub type TxResult<T> = Result<T, Abort>;
+
+/// A buffered write awaiting commit.
+trait WriteEntry: Send {
+    fn target(&self) -> &dyn TxTarget;
+    fn key(&self) -> usize;
+    /// Install the buffered value into the location (lock held).
+    fn publish(&self, guard: &Guard);
+    fn as_any(&self) -> &dyn Any;
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+}
+
+struct TypedWrite<T> {
+    tvar: TVar<T>,
+    value: T,
+}
+
+impl<T: Clone + Send + Sync + 'static> WriteEntry for TypedWrite<T> {
+    fn target(&self) -> &dyn TxTarget {
+        &*self.tvar.inner
+    }
+
+    fn key(&self) -> usize {
+        self.tvar.key()
+    }
+
+    fn publish(&self, guard: &Guard) {
+        self.tvar.inner.publish(self.value.clone(), guard);
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// One in-flight transaction attempt.
+///
+/// Created by [`crate::ThreadCtx::atomically`]; user code receives
+/// `&mut Txn` and performs reads and writes through it. All conflict
+/// detection surfaces as an [`Abort`] error, which the retry loop converts
+/// into a rollback and a fresh attempt.
+pub struct Txn<'stm> {
+    stm: &'stm Stm,
+    me: Pair,
+    rv: u64,
+    read_set: Vec<Arc<dyn TxTarget>>,
+    read_keys: HashSet<usize>,
+    write_set: Vec<Box<dyn WriteEntry>>,
+    /// Encounter-time locks held in eager detection mode, with the
+    /// version each lock word carried before acquisition (needed to
+    /// restore on abort and to validate own reads at commit).
+    eager_locks: Vec<(Arc<dyn TxTarget>, u64)>,
+    /// xorshift state for the interleave-injection knob.
+    rng: u64,
+    n_reads: u64,
+    n_writes: u64,
+}
+
+impl Drop for Txn<'_> {
+    fn drop(&mut self) {
+        // Abort path (or a panicking body): restore every encounter-time
+        // lock to its pre-acquisition version. The commit path drains
+        // `eager_locks` before returning, so this releases nothing there.
+        for (target, prev) in self.eager_locks.drain(..) {
+            target.vlock().unlock(prev);
+        }
+    }
+}
+
+impl<'stm> Txn<'stm> {
+    pub(crate) fn new(stm: &'stm Stm, me: Pair, rv: u64, rng_seed: u64) -> Self {
+        Txn {
+            stm,
+            me,
+            rv,
+            read_set: Vec::new(),
+            read_keys: HashSet::new(),
+            write_set: Vec::new(),
+            eager_locks: Vec::new(),
+            rng: rng_seed | 1,
+            n_reads: 0,
+            n_writes: 0,
+        }
+    }
+
+    /// The `<txn,thread>` identity of this attempt.
+    pub fn who(&self) -> Pair {
+        self.me
+    }
+
+    /// The read version sampled from the global clock at begin.
+    pub fn rv(&self) -> u64 {
+        self.rv
+    }
+
+    /// Number of transactional reads performed so far.
+    pub fn reads(&self) -> u64 {
+        self.n_reads
+    }
+
+    /// Number of transactional writes performed so far.
+    pub fn writes(&self) -> u64 {
+        self.n_writes
+    }
+
+    /// Explicitly abort and retry the transaction (e.g. a queue consumer
+    /// finding the queue empty).
+    pub fn retry(&self) -> Abort {
+        Abort {
+            cause: AbortCause::Explicit,
+        }
+    }
+
+    /// The interleave-injection point: with the configured probability,
+    /// yield the OS thread so transactional lifetimes overlap densely even
+    /// on a machine with fewer cores than worker threads. A no-op unless
+    /// [`crate::StmConfig::yield_prob_log2`] is set.
+    #[inline]
+    fn maybe_yield(&mut self) {
+        if let Some(k) = self.stm.config.yield_prob_log2 {
+            // xorshift64 — cheap, good enough for a coin flip.
+            let mut x = self.rng;
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            self.rng = x;
+            if x & ((1u64 << k) - 1) == 0 {
+                std::thread::yield_now();
+            }
+        }
+    }
+
+    fn write_index(&self, key: usize) -> Option<usize> {
+        // Write sets are small in STAMP-style workloads; linear scan beats
+        // a map until tens of entries.
+        self.write_set.iter().position(|e| e.key() == key)
+    }
+
+    /// Transactional read (TL2 read protocol).
+    ///
+    /// Returns the buffered value if this transaction already wrote the
+    /// location; otherwise samples the versioned lock, clones the
+    /// snapshot, and re-samples — aborting on a held lock or a version
+    /// newer than `rv`.
+    pub fn read<T: Clone + Send + Sync + 'static>(&mut self, tvar: &TVar<T>) -> TxResult<T> {
+        self.n_reads += 1;
+        self.maybe_yield();
+        if let Some(i) = self.write_index(tvar.key()) {
+            let entry = self.write_set[i]
+                .as_any()
+                .downcast_ref::<TypedWrite<T>>()
+                .expect("write-set entry type mismatch for aliased key");
+            return Ok(entry.value.clone());
+        }
+        let inner = &tvar.inner;
+        let s1 = inner.lock.vlock().sample();
+        if s1.is_locked() {
+            return Err(Abort {
+                cause: AbortCause::ReadLocked { owner: s1.owner() },
+            });
+        }
+        if s1.version() > self.rv {
+            return Err(Abort {
+                cause: AbortCause::ReadVersion,
+            });
+        }
+        let value = inner.read_snapshot();
+        if inner.lock.vlock().sample() != s1 {
+            return Err(Abort {
+                cause: AbortCause::ReadVersion,
+            });
+        }
+        if self.read_keys.insert(tvar.key()) {
+            self.read_set.push(Arc::clone(&tvar.inner) as Arc<dyn TxTarget>);
+        }
+        Ok(value)
+    }
+
+    /// Acquire `target`'s lock at encounter time (eager detection).
+    /// Deduplicates by *lock* identity, so stripe-mates (TL2 "PS" mode)
+    /// acquire their shared lock once.
+    fn eager_acquire(&mut self, target: Arc<dyn TxTarget>) -> TxResult<()> {
+        let lock_addr = target.vlock() as *const _ as usize;
+        if self
+            .eager_locks
+            .iter()
+            .any(|(t, _)| t.vlock() as *const _ as usize == lock_addr)
+        {
+            return Ok(());
+        }
+        let lock = target.vlock();
+        let mut last_owner = None;
+        for _ in 0..self.stm.config.commit_spin {
+            match lock.try_lock(self.me.thread) {
+                Ok(prev) => {
+                    self.eager_locks.push((target, prev));
+                    return Ok(());
+                }
+                Err(observed) => {
+                    last_owner = observed.owner();
+                    std::hint::spin_loop();
+                    std::thread::yield_now();
+                }
+            }
+        }
+        Err(Abort {
+            cause: AbortCause::CommitLockBusy { owner: last_owner },
+        })
+    }
+
+    /// Transactional write: buffer `value` in the write set (write-back).
+    /// In eager mode the location's lock is also acquired immediately, so
+    /// writer/writer conflicts surface here instead of at commit.
+    pub fn write<T: Clone + Send + Sync + 'static>(
+        &mut self,
+        tvar: &TVar<T>,
+        value: T,
+    ) -> TxResult<()> {
+        self.n_writes += 1;
+        self.maybe_yield();
+        if self.stm.config.detection == Detection::Eager {
+            self.eager_acquire(Arc::clone(&tvar.inner) as Arc<dyn TxTarget>)?;
+        }
+        if let Some(i) = self.write_index(tvar.key()) {
+            let entry = self.write_set[i]
+                .as_any_mut()
+                .downcast_mut::<TypedWrite<T>>()
+                .expect("write-set entry type mismatch for aliased key");
+            entry.value = value;
+        } else {
+            self.write_set.push(Box::new(TypedWrite {
+                tvar: tvar.clone(),
+                value,
+            }));
+        }
+        Ok(())
+    }
+
+    /// Read-modify-write convenience.
+    pub fn modify<T: Clone + Send + Sync + 'static>(
+        &mut self,
+        tvar: &TVar<T>,
+        f: impl FnOnce(T) -> T,
+    ) -> TxResult<()> {
+        let v = self.read(tvar)?;
+        self.write(tvar, f(v))
+    }
+
+    /// The TL2 commit protocol. Consumes the transaction.
+    ///
+    /// 1. Read-only transactions commit immediately: every read was
+    ///    validated against `rv` at read time.
+    /// 2. Lock the write set in address order (bounded spinning per lock;
+    ///    on failure, release and abort with the holder's identity).
+    /// 3. Advance the global clock to obtain `wv`.
+    /// 4. Unless `wv == rv + 1` (no concurrent committer — TL2's fast
+    ///    path), validate the read set: every location must be unlocked at
+    ///    version ≤ `rv`, or locked by this very transaction with its
+    ///    pre-lock version ≤ `rv`.
+    /// 5. Publish buffered values and release the locks stamped with `wv`.
+    pub(crate) fn commit(mut self) -> Result<(), Abort> {
+        if self.write_set.is_empty() {
+            return Ok(());
+        }
+        self.write_set.sort_by_key(|e| e.key());
+        let me = self.me.thread;
+        let eager = self.stm.config.detection == Detection::Eager;
+
+        // Phase 2: acquire write locks (lazy mode only — eager writes
+        // already hold theirs).
+        let mut locked: Vec<(usize, u64)> = Vec::with_capacity(self.write_set.len());
+        let release_all = |write_set: &[Box<dyn WriteEntry>], locked: &[(usize, u64)]| {
+            for &(j, prev) in locked {
+                write_set[j].target().vlock().unlock(prev);
+            }
+        };
+        if !eager {
+            // Dedupe by lock identity: in striped ("PS") mode several
+            // write-set entries can share one lock, which must be taken
+            // (and later released) exactly once.
+            let mut seen_locks = HashSet::new();
+            for (i, entry) in self.write_set.iter().enumerate() {
+                let lock = entry.target().vlock();
+                if !seen_locks.insert(lock as *const _ as usize) {
+                    continue;
+                }
+                let mut acquired = None;
+                let mut last_owner = None;
+                for _ in 0..self.stm.config.commit_spin {
+                    match lock.try_lock(me) {
+                        Ok(prev) => {
+                            acquired = Some(prev);
+                            break;
+                        }
+                        Err(observed) => {
+                            last_owner = observed.owner();
+                            std::hint::spin_loop();
+                            std::thread::yield_now();
+                        }
+                    }
+                }
+                match acquired {
+                    Some(prev) => locked.push((i, prev)),
+                    None => {
+                        release_all(&self.write_set, &locked);
+                        return Err(Abort {
+                            cause: AbortCause::CommitLockBusy { owner: last_owner },
+                        });
+                    }
+                }
+            }
+        }
+
+        // Phase 3: obtain the write version.
+        let wv = crate::clock::global().advance();
+
+        // Phase 4: validate the read set. A location this transaction
+        // itself locked (at commit in lazy mode, at encounter in eager
+        // mode) validates against its pre-lock version.
+        if wv != self.rv + 1 {
+            let own_prev = |txn: &Self, locked: &[(usize, u64)], lock_addr: usize| -> Option<u64> {
+                locked
+                    .iter()
+                    .find(|&&(j, _)| {
+                        txn.write_set[j].target().vlock() as *const _ as usize == lock_addr
+                    })
+                    .map(|&(_, p)| p)
+                    .or_else(|| {
+                        txn.eager_locks
+                            .iter()
+                            .find(|(t, _)| t.vlock() as *const _ as usize == lock_addr)
+                            .map(|&(_, p)| p)
+                    })
+            };
+            for target in &self.read_set {
+                let lock = target.vlock();
+                if lock.is_locked_by(me) {
+                    match own_prev(&self, &locked, lock as *const _ as usize) {
+                        Some(p) if p <= self.rv => continue,
+                        _ => {
+                            release_all(&self.write_set, &locked);
+                            return Err(Abort {
+                                cause: AbortCause::Validation,
+                            });
+                        }
+                    }
+                } else {
+                    let s = lock.sample();
+                    if s.is_locked() || s.version() > self.rv {
+                        release_all(&self.write_set, &locked);
+                        return Err(Abort {
+                            cause: AbortCause::Validation,
+                        });
+                    }
+                }
+            }
+        }
+
+        // Phase 5: write back, then release each *acquired lock* exactly
+        // once with wv (write-set entries may share stripes). Draining
+        // eager_locks keeps Drop (the abort path) from double-releasing.
+        let guard = epoch::pin();
+        for entry in &self.write_set {
+            entry.publish(&guard);
+        }
+        for &(j, _) in &locked {
+            self.write_set[j].target().vlock().unlock(wv);
+        }
+        for (target, _) in self.eager_locks.drain(..) {
+            target.vlock().unlock(wv);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::runtime::{Stm, StmConfig};
+    use crate::tvar::TVar;
+    use gstm_core::{AbortCause, ThreadId, TxnId};
+    use std::sync::Arc;
+
+    #[test]
+    fn blind_writes_commit_without_reads() {
+        let stm = Stm::new(StmConfig::default());
+        let v = TVar::new(1u32);
+        let mut ctx = stm.register();
+        ctx.atomically(TxnId(0), |tx| tx.write(&v, 42));
+        assert_eq!(v.load_quiesced(), 42);
+    }
+
+    #[test]
+    fn non_copy_values_round_trip() {
+        let stm = Stm::new(StmConfig::default());
+        let v: TVar<Vec<String>> = TVar::new(vec!["a".into()]);
+        let mut ctx = stm.register();
+        ctx.atomically(TxnId(0), |tx| {
+            let mut val = tx.read(&v)?;
+            val.push("b".into());
+            tx.write(&v, val)
+        });
+        assert_eq!(v.load_quiesced(), vec!["a".to_string(), "b".to_string()]);
+    }
+
+    #[test]
+    fn repeated_writes_keep_last_value_and_one_entry() {
+        let stm = Stm::new(StmConfig::default());
+        let v = TVar::new(0u8);
+        let mut ctx = stm.register();
+        let writes_seen = ctx.atomically(TxnId(0), |tx| {
+            tx.write(&v, 1)?;
+            tx.write(&v, 2)?;
+            tx.write(&v, 3)?;
+            Ok(tx.writes())
+        });
+        assert_eq!(writes_seen, 3, "three write calls");
+        assert_eq!(v.load_quiesced(), 3, "last value wins");
+    }
+
+    #[test]
+    fn read_counts_and_rv_are_exposed() {
+        let stm = Stm::new(StmConfig::default());
+        let a = TVar::new(1u32);
+        let b = TVar::new(2u32);
+        let mut ctx = stm.register();
+        let (reads, rv_ok, who) = ctx.atomically(TxnId(7), |tx| {
+            let _ = tx.read(&a)?;
+            let _ = tx.read(&b)?;
+            let _ = tx.read(&a)?; // duplicate: still counted as a read call
+            Ok((tx.reads(), tx.rv() <= stm.clock_now(), tx.who()))
+        });
+        assert_eq!(reads, 3);
+        assert!(rv_ok);
+        assert_eq!(who.txn, TxnId(7));
+    }
+
+    #[test]
+    fn read_of_locked_location_aborts_with_owner() {
+        // Lock a TVar's word directly (simulating a committing writer)
+        // and observe the reader's abort cause.
+        let stm = Stm::new(StmConfig::default());
+        let v = TVar::new(5u32);
+        v.inner.lock.vlock().try_lock(ThreadId(9)).unwrap();
+        let mut ctx = stm.register_as(ThreadId(0));
+        let mut causes = Vec::new();
+        let mut attempts = 0;
+        ctx.atomically(TxnId(0), |tx| {
+            attempts += 1;
+            if attempts > 1 {
+                // Unlock so the retry can succeed.
+                return Ok(());
+            }
+            match tx.read(&v) {
+                Err(a) => {
+                    causes.push(a.cause);
+                    v.inner.lock.vlock().unlock(0);
+                    Err(a)
+                }
+                Ok(_) => Ok(()),
+            }
+        });
+        assert_eq!(
+            causes,
+            vec![AbortCause::ReadLocked {
+                owner: Some(ThreadId(9))
+            }]
+        );
+    }
+
+    #[test]
+    fn conflicting_commit_aborts_reader_with_version_cause() {
+        // Thread A reads x, then B commits to x, then A reads y: A must
+        // see a consistent snapshot, i.e. abort the first attempt.
+        let stm = Stm::new(StmConfig::default());
+        let x = TVar::new(0u32);
+        let y = TVar::new(0u32);
+        let stm2 = Arc::clone(&stm);
+        let (x2, y2) = (x.clone(), y.clone());
+        let mut ctx = stm.register_as(ThreadId(0));
+        let mut attempt = 0;
+        let (a, b) = ctx.atomically(TxnId(0), |tx| {
+            attempt += 1;
+            let a = tx.read(&x2)?;
+            if attempt == 1 {
+                // Interleave a conflicting committer.
+                let mut other = stm2.register_as(ThreadId(1));
+                other.atomically(TxnId(1), |tx2| {
+                    tx2.write(&x2, 10)?;
+                    tx2.write(&y2, 10)
+                });
+            }
+            let b = tx.read(&y2)?;
+            Ok((a, b))
+        });
+        assert_eq!(attempt, 2, "first attempt aborted");
+        assert_eq!((a, b), (10, 10), "second attempt sees the new snapshot");
+        assert_eq!(ctx.stats().read_version + ctx.stats().validation, 1);
+    }
+
+    #[test]
+    fn eager_mode_counter_is_atomic() {
+        let config = StmConfig {
+            detection: crate::Detection::Eager,
+            yield_prob_log2: Some(2),
+            ..StmConfig::default()
+        };
+        let stm = Stm::new(config);
+        let v = TVar::new(0u64);
+        std::thread::scope(|s| {
+            for t in 0..4u16 {
+                let stm = Arc::clone(&stm);
+                let v = v.clone();
+                s.spawn(move || {
+                    let mut ctx = stm.register_as(ThreadId(t));
+                    for _ in 0..150 {
+                        ctx.atomically(TxnId(0), |tx| tx.modify(&v, |x| x + 1));
+                    }
+                });
+            }
+        });
+        assert_eq!(v.load_quiesced(), 600);
+    }
+
+    #[test]
+    fn eager_writer_conflict_aborts_at_write_not_commit() {
+        let config = StmConfig {
+            detection: crate::Detection::Eager,
+            commit_spin: 2,
+            ..StmConfig::default()
+        };
+        let stm = Stm::new(config);
+        let v = TVar::new(0u32);
+        // Simulate a concurrent writer holding the lock.
+        let prev = v.inner.lock.vlock().try_lock(ThreadId(9)).unwrap();
+        let mut ctx = stm.register_as(ThreadId(0));
+        let mut first_attempt_cause = None;
+        let mut attempts = 0;
+        ctx.atomically(TxnId(0), |tx| {
+            attempts += 1;
+            if attempts > 1 {
+                return Ok(()); // lock released below; succeed now
+            }
+            match tx.write(&v, 5) {
+                Err(a) => {
+                    first_attempt_cause = Some(a.cause);
+                    v.inner.lock.vlock().unlock(prev);
+                    Err(a)
+                }
+                Ok(()) => Ok(()),
+            }
+        });
+        assert!(matches!(
+            first_attempt_cause,
+            Some(AbortCause::CommitLockBusy {
+                owner: Some(ThreadId(9))
+            })
+        ));
+    }
+
+    #[test]
+    fn eager_abort_restores_lock_version() {
+        let config = StmConfig {
+            detection: crate::Detection::Eager,
+            ..StmConfig::default()
+        };
+        let stm = Stm::new(config);
+        let v = TVar::new(3u32);
+        let before = v.inner.lock.vlock().sample();
+        let mut ctx = stm.register();
+        let mut attempts = 0;
+        ctx.atomically(TxnId(0), |tx| {
+            attempts += 1;
+            tx.write(&v, 9)?; // takes the encounter-time lock
+            if attempts == 1 {
+                return Err(tx.retry()); // rollback must restore the lock
+            }
+            Ok(())
+        });
+        assert_eq!(v.load_quiesced(), 9);
+        // Version advanced exactly once (the successful commit), and the
+        // aborted attempt left no residue in between.
+        assert!(!before.is_locked());
+        assert_eq!(attempts, 2);
+    }
+
+    #[test]
+    fn eager_transfers_preserve_total() {
+        let config = StmConfig {
+            detection: crate::Detection::Eager,
+            yield_prob_log2: Some(2),
+            ..StmConfig::default()
+        };
+        let stm = Stm::new(config);
+        let accounts: Vec<TVar<i64>> = (0..6).map(|_| TVar::new(100)).collect();
+        std::thread::scope(|s| {
+            for t in 0..3u16 {
+                let stm = Arc::clone(&stm);
+                let accounts = accounts.clone();
+                s.spawn(move || {
+                    let mut ctx = stm.register_as(ThreadId(t));
+                    for i in 0..120usize {
+                        let from = (t as usize + i) % accounts.len();
+                        let to = (t as usize + i * 5 + 1) % accounts.len();
+                        if from == to {
+                            continue;
+                        }
+                        let (a, b) = (accounts[from].clone(), accounts[to].clone());
+                        ctx.atomically(TxnId(0), |tx| {
+                            let av = tx.read(&a)?;
+                            let bv = tx.read(&b)?;
+                            tx.write(&a, av - 2)?;
+                            tx.write(&b, bv + 2)?;
+                            Ok(())
+                        });
+                    }
+                });
+            }
+        });
+        let total: i64 = accounts.iter().map(TVar::load_quiesced).sum();
+        assert_eq!(total, 600);
+    }
+
+    #[test]
+    fn striped_vars_share_a_table_and_stay_correct() {
+        use crate::vlock::LockTable;
+        // A 2-stripe table over 16 vars: heavy lock sharing, maximal
+        // false conflicts — correctness must be unaffected.
+        let table = Arc::new(LockTable::new(2));
+        let stm = Stm::new(StmConfig::with_yield_injection(2));
+        let vars: Vec<TVar<u64>> = (0..16)
+            .map(|_| TVar::new_striped(&table, 0))
+            .collect();
+        std::thread::scope(|s| {
+            for t in 0..4u16 {
+                let stm = Arc::clone(&stm);
+                let vars = vars.clone();
+                s.spawn(move || {
+                    let mut ctx = stm.register_as(ThreadId(t));
+                    for i in 0..100usize {
+                        let a = vars[(t as usize + i) % vars.len()].clone();
+                        let b = vars[(t as usize + i * 7 + 1) % vars.len()].clone();
+                        ctx.atomically(TxnId(0), |tx| {
+                            // a and b may share a stripe: the commit
+                            // protocol must take that lock once.
+                            tx.modify(&a, |x| x + 1)?;
+                            tx.modify(&b, |x| x + 1)
+                        });
+                    }
+                });
+            }
+        });
+        let total: u64 = vars.iter().map(TVar::load_quiesced).sum();
+        assert_eq!(total, 4 * 100 * 2);
+    }
+
+    #[test]
+    fn striped_and_own_locked_vars_mix_in_one_txn() {
+        use crate::vlock::LockTable;
+        let table = Arc::new(LockTable::new(4));
+        let stm = Stm::new(StmConfig::default());
+        let own = TVar::new(1u32);
+        let striped = TVar::new_striped(&table, 2u32);
+        let mut ctx = stm.register();
+        let sum = ctx.atomically(TxnId(0), |tx| {
+            let a = tx.read(&own)?;
+            let b = tx.read(&striped)?;
+            tx.write(&own, a + 10)?;
+            tx.write(&striped, b + 10)?;
+            Ok(a + b)
+        });
+        assert_eq!(sum, 3);
+        assert_eq!(own.load_quiesced(), 11);
+        assert_eq!(striped.load_quiesced(), 12);
+    }
+
+    #[test]
+    fn eager_mode_handles_stripe_sharing() {
+        use crate::vlock::LockTable;
+        // Single-stripe table: every striped var shares one lock. Eager
+        // writes must acquire it once and release it once.
+        let table = Arc::new(LockTable::new(1));
+        let config = StmConfig {
+            detection: crate::Detection::Eager,
+            ..StmConfig::default()
+        };
+        let stm = Stm::new(config);
+        let a = TVar::new_striped(&table, 0u32);
+        let b = TVar::new_striped(&table, 0u32);
+        let mut ctx = stm.register();
+        ctx.atomically(TxnId(0), |tx| {
+            tx.write(&a, 1)?;
+            tx.write(&b, 2)
+        });
+        assert_eq!((a.load_quiesced(), b.load_quiesced()), (1, 2));
+        // The shared lock is released: a later txn works.
+        ctx.atomically(TxnId(0), |tx| tx.modify(&a, |x| x + 1));
+        assert_eq!(a.load_quiesced(), 2);
+    }
+
+    #[test]
+    fn false_conflicts_occur_but_resolve() {
+        use crate::vlock::LockTable;
+        // Two disjoint counters on one stripe: writers to different data
+        // contend on the shared lock, yet both make progress.
+        let table = Arc::new(LockTable::new(1));
+        let stm = Stm::new(StmConfig::with_yield_injection(2));
+        let a = TVar::new_striped(&table, 0u64);
+        let b = TVar::new_striped(&table, 0u64);
+        std::thread::scope(|s| {
+            let stm1 = Arc::clone(&stm);
+            let a1 = a.clone();
+            s.spawn(move || {
+                let mut ctx = stm1.register_as(ThreadId(0));
+                for _ in 0..200 {
+                    ctx.atomically(TxnId(0), |tx| tx.modify(&a1, |x| x + 1));
+                }
+            });
+            let stm2 = Arc::clone(&stm);
+            let b2 = b.clone();
+            s.spawn(move || {
+                let mut ctx = stm2.register_as(ThreadId(1));
+                for _ in 0..200 {
+                    ctx.atomically(TxnId(1), |tx| tx.modify(&b2, |x| x + 1));
+                }
+            });
+        });
+        assert_eq!(a.load_quiesced(), 200);
+        assert_eq!(b.load_quiesced(), 200);
+    }
+
+    #[test]
+    fn write_then_read_other_var_keeps_isolation() {
+        let stm = Stm::new(StmConfig::default());
+        let x = TVar::new(1u32);
+        let y = TVar::new(2u32);
+        let mut ctx = stm.register();
+        let sum = ctx.atomically(TxnId(0), |tx| {
+            tx.write(&x, 100)?;
+            let xv = tx.read(&x)?; // own write
+            let yv = tx.read(&y)?; // committed value
+            Ok(xv + yv)
+        });
+        assert_eq!(sum, 102);
+    }
+}

@@ -1,0 +1,136 @@
+//! Failure injection: a panicking transaction body must never wedge the
+//! STM — no lock may stay held, no reader registration may leak — and
+//! other threads must keep committing.
+
+use gstm_core::{ThreadId, TxnId};
+use gstm_libtm::{DetectionMode, LibTm, LibTmConfig, Resolution, TObject};
+use gstm_tl2::{Stm, StmConfig, TVar};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+
+#[test]
+fn tl2_panicking_body_leaves_no_locks() {
+    let stm = Stm::new(StmConfig::default());
+    let v = TVar::new(7u32);
+    let mut ctx = stm.register_as(ThreadId(0));
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        ctx.atomically(TxnId(0), |tx| {
+            tx.write(&v, 99)?;
+            panic!("injected failure");
+            #[allow(unreachable_code)]
+            Ok(())
+        })
+    }));
+    assert!(result.is_err(), "panic propagates");
+    // TL2 only locks at commit, so the location must be untouched and
+    // freely usable afterwards.
+    assert_eq!(v.load_quiesced(), 7, "buffered write discarded");
+    let mut ctx2 = stm.register_as(ThreadId(1));
+    ctx2.atomically(TxnId(1), |tx| tx.modify(&v, |x| x + 1));
+    assert_eq!(v.load_quiesced(), 8);
+}
+
+#[test]
+fn libtm_panicking_body_releases_encounter_locks() {
+    // Pessimistic-write mode takes writer locks *during the body*; the
+    // transaction's Drop must release them even on panic.
+    for detection in [
+        DetectionMode::FullyPessimistic,
+        DetectionMode::PessimisticRead,
+        DetectionMode::PessimisticWrite,
+        DetectionMode::FullyOptimistic,
+    ] {
+        let tm = LibTm::new(LibTmConfig {
+            detection,
+            resolution: Resolution::AbortReaders,
+            ..LibTmConfig::default()
+        });
+        let v = TObject::new(7u32);
+        let mut ctx = tm.register_as(ThreadId(0));
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            ctx.atomically(TxnId(0), |tx| {
+                let _ = tx.read(&v)?;
+                tx.write(&v, 99)?;
+                panic!("injected failure");
+                #[allow(unreachable_code)]
+                Ok(())
+            })
+        }));
+        assert!(result.is_err());
+        assert_eq!(v.load_quiesced(), 7, "{detection:?}: write leaked");
+        // Another thread must be able to lock and commit immediately —
+        // a leaked writer lock or reader registration would block it
+        // (WaitForReaders) or abort it forever.
+        let mut ctx2 = tm.register_as(ThreadId(1));
+        ctx2.atomically(TxnId(1), |tx| tx.modify(&v, |x| x + 1));
+        assert_eq!(v.load_quiesced(), 8, "{detection:?}: STM wedged");
+    }
+}
+
+#[test]
+fn tl2_survives_a_crashing_worker_among_live_ones() {
+    let stm = Stm::new(StmConfig::with_yield_injection(3));
+    let v = TVar::new(0u64);
+    std::thread::scope(|s| {
+        // A worker that panics mid-transaction.
+        let stm_c = Arc::clone(&stm);
+        let v_c = v.clone();
+        let crasher = s.spawn(move || {
+            let mut ctx = stm_c.register_as(ThreadId(0));
+            let _ = catch_unwind(AssertUnwindSafe(|| {
+                ctx.atomically(TxnId(0), |tx| {
+                    tx.write(&v_c, u64::MAX)?;
+                    panic!("boom");
+                    #[allow(unreachable_code)]
+                    Ok(())
+                })
+            }));
+        });
+        // Healthy workers.
+        for t in 1..4u16 {
+            let stm = Arc::clone(&stm);
+            let v = v.clone();
+            s.spawn(move || {
+                let mut ctx = stm.register_as(ThreadId(t));
+                for _ in 0..200 {
+                    ctx.atomically(TxnId(1), |tx| tx.modify(&v, |x| x + 1));
+                }
+            });
+        }
+        crasher.join().unwrap();
+    });
+    assert_eq!(v.load_quiesced(), 600, "healthy workers unaffected");
+}
+
+#[test]
+fn explicit_retry_storm_does_not_starve_commits() {
+    // Threads that explicitly retry on a predicate make progress as soon
+    // as the predicate flips, even under heavy conflict.
+    let stm = Stm::new(StmConfig::with_yield_injection(3));
+    let gatevar = TVar::new(false);
+    let hits = TVar::new(0u32);
+    std::thread::scope(|s| {
+        for t in 0..3u16 {
+            let stm = Arc::clone(&stm);
+            let gatevar = gatevar.clone();
+            let hits = hits.clone();
+            s.spawn(move || {
+                let mut ctx = stm.register_as(ThreadId(t));
+                ctx.atomically(TxnId(0), |tx| {
+                    if !tx.read(&gatevar)? {
+                        return Err(tx.retry());
+                    }
+                    tx.modify(&hits, |h| h + 1)
+                });
+            });
+        }
+        let stm_o = Arc::clone(&stm);
+        let gate_o = gatevar.clone();
+        s.spawn(move || {
+            std::thread::yield_now();
+            let mut ctx = stm_o.register_as(ThreadId(3));
+            ctx.atomically(TxnId(1), |tx| tx.write(&gate_o, true));
+        });
+    });
+    assert_eq!(hits.load_quiesced(), 3);
+}

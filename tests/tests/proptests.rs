@@ -1,0 +1,323 @@
+//! Property-based tests over the model pipeline and the transactional
+//! containers.
+
+use gstm_core::prelude::*;
+use gstm_core::{analyzer, metrics, model_io, GuidanceConfig};
+use proptest::prelude::*;
+
+fn arb_pair() -> impl Strategy<Value = Pair> {
+    (0u16..4, 0u16..8).prop_map(|(t, th)| Pair::new(TxnId(t), ThreadId(th)))
+}
+
+fn arb_state() -> impl Strategy<Value = StateKey> {
+    (proptest::collection::vec(arb_pair(), 0..4), arb_pair())
+        .prop_map(|(aborts, commit)| StateKey::new(aborts, commit))
+}
+
+fn arb_runs() -> impl Strategy<Value = Vec<Vec<StateKey>>> {
+    proptest::collection::vec(proptest::collection::vec(arb_state(), 1..40), 1..5)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn state_key_is_order_invariant(mut aborts in proptest::collection::vec(arb_pair(), 0..6), commit in arb_pair()) {
+        let a = StateKey::new(aborts.clone(), commit);
+        aborts.reverse();
+        let b = StateKey::new(aborts, commit);
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn tsa_probabilities_sum_to_one(runs in arb_runs()) {
+        let tsa = Tsa::from_runs(&runs);
+        for from in tsa.state_ids() {
+            let total: f64 = tsa
+                .state_ids()
+                .map(|to| tsa.probability(from, to))
+                .sum();
+            // Either no outbound edges (terminal) or a proper distribution.
+            prop_assert!(
+                total.abs() < 1e-9 || (total - 1.0).abs() < 1e-9,
+                "state {from:?} sums to {total}"
+            );
+        }
+    }
+
+    #[test]
+    fn model_encoding_round_trips(runs in arb_runs()) {
+        let tsa = Tsa::from_runs(&runs);
+        let bytes = model_io::encode(&tsa);
+        let back = model_io::decode(&bytes).unwrap();
+        prop_assert_eq!(back.num_states(), tsa.num_states());
+        prop_assert_eq!(back.num_edges(), tsa.num_edges());
+        for id in tsa.state_ids() {
+            prop_assert_eq!(back.state(id), tsa.state(id));
+            prop_assert_eq!(back.outbound(id), tsa.outbound(id));
+        }
+    }
+
+    #[test]
+    fn guided_model_keeps_subset_and_always_keeps_top_edge(runs in arb_runs(), tf in 1.0f64..10.0) {
+        let tsa = Tsa::from_runs(&runs);
+        let model = GuidedModel::build(tsa, &GuidanceConfig::with_tfactor(tf));
+        for id in model.tsa().state_ids() {
+            let (all, kept) = model.dest_counts(id);
+            prop_assert!(kept <= all);
+            if all > 0 {
+                prop_assert!(kept >= 1, "the P_h edge always survives");
+                // The top-probability destination is allowed.
+                let top = model.tsa().outbound(id)[0].0;
+                for p in model.tsa().state(top).pairs() {
+                    prop_assert!(model.is_allowed(id, p));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn analyzer_metric_is_bounded_and_monotone_in_tfactor(runs in arb_runs()) {
+        let tsa = Tsa::from_runs(&runs);
+        let mut last = 0.0f64;
+        for tf in [1.0, 2.0, 4.0, 8.0] {
+            let cfg = GuidanceConfig::with_tfactor(tf);
+            let model = GuidedModel::build(tsa.clone(), &cfg);
+            let rep = analyzer::analyze_with(&model, &cfg);
+            prop_assert!((0.0..=100.0 + 1e-9).contains(&rep.guidance_metric_pct));
+            prop_assert!(rep.guidance_metric_pct + 1e-9 >= last,
+                "larger Tfactor keeps at least as many destinations");
+            last = rep.guidance_metric_pct;
+        }
+    }
+
+    #[test]
+    fn non_determinism_counts_distinct_states(runs in arb_runs()) {
+        let nd = metrics::non_determinism(&runs);
+        let mut set = std::collections::HashSet::new();
+        for run in &runs {
+            for s in run {
+                set.insert(s.clone());
+            }
+        }
+        prop_assert_eq!(nd, set.len());
+        let tsa = Tsa::from_runs(&runs);
+        prop_assert_eq!(nd, tsa.num_states());
+    }
+
+    #[test]
+    fn histogram_totals_are_consistent(samples in proptest::collection::vec(0u32..50, 1..200)) {
+        let mut h = AbortHistogram::new();
+        for &s in &samples {
+            h.record(s);
+        }
+        prop_assert_eq!(h.total_commits(), samples.len() as u64);
+        prop_assert_eq!(h.total_aborts(), samples.iter().map(|&s| s as u64).sum::<u64>());
+        prop_assert_eq!(h.max_aborts(), samples.iter().copied().max().unwrap());
+        // Tail metric only grows when new distinct abort counts appear.
+        let before = h.tail_metric();
+        let mut h2 = h.clone();
+        h2.record(*samples.first().unwrap());
+        prop_assert_eq!(h2.tail_metric(), before);
+    }
+
+    #[test]
+    fn std_dev_is_translation_invariant_and_scales(xs in proptest::collection::vec(-1e3f64..1e3, 2..50), shift in -100f64..100.0) {
+        let sd = metrics::std_dev(&xs);
+        let shifted: Vec<f64> = xs.iter().map(|x| x + shift).collect();
+        prop_assert!((metrics::std_dev(&shifted) - sd).abs() < 1e-6);
+        let scaled: Vec<f64> = xs.iter().map(|x| x * 2.0).collect();
+        prop_assert!((metrics::std_dev(&scaled) - 2.0 * sd).abs() < 1e-6);
+    }
+}
+
+mod tseq_props {
+    use super::*;
+    use gstm_core::events::{AbortCause, TxEvent};
+    use gstm_core::tseq::parse_causal;
+    use gstm_core::tss::parse_tseq;
+
+    fn arb_event() -> impl Strategy<Value = TxEvent> {
+        prop_oneof![
+            arb_pair().prop_map(TxEvent::Begin),
+            (arb_pair(), prop_oneof![
+                Just(AbortCause::ReadVersion),
+                Just(AbortCause::Validation),
+                Just(AbortCause::Explicit),
+                (0u16..8).prop_map(|t| AbortCause::ReadLocked {
+                    owner: Some(ThreadId(t))
+                }),
+            ])
+                .prop_map(|(p, c)| TxEvent::Abort(p, c)),
+            arb_pair().prop_map(|p| TxEvent::Commit(p, 0)),
+        ]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn causal_parse_emits_one_state_per_commit(events in proptest::collection::vec(arb_event(), 0..120)) {
+            let commits = events
+                .iter()
+                .filter(|e| matches!(e, TxEvent::Commit(..)))
+                .count();
+            let tseq = parse_causal(&events);
+            prop_assert_eq!(tseq.len(), commits);
+            // Commit order is preserved.
+            let commit_pairs: Vec<_> = events
+                .iter()
+                .filter_map(|e| match e {
+                    TxEvent::Commit(p, _) => Some(*p),
+                    _ => None,
+                })
+                .collect();
+            let tseq_commits: Vec<_> = tseq.iter().map(|s| s.commit()).collect();
+            prop_assert_eq!(tseq_commits, commit_pairs);
+        }
+
+        #[test]
+        fn causal_attributes_each_abort_at_most_once(events in proptest::collection::vec(arb_event(), 0..120)) {
+            let aborts = events
+                .iter()
+                .filter(|e| matches!(e, TxEvent::Abort(..)))
+                .count();
+            let tseq = parse_causal(&events);
+            let attributed: usize = tseq.iter().map(|s| s.aborts().len()).sum();
+            // Canonicalization dedups identical pairs inside one window,
+            // so attributed <= aborts always holds.
+            prop_assert!(attributed <= aborts);
+        }
+
+        #[test]
+        fn windowed_parse_never_drops_commits(events in proptest::collection::vec(arb_event(), 0..120)) {
+            let commits = events
+                .iter()
+                .filter(|e| matches!(e, TxEvent::Commit(..)))
+                .count();
+            prop_assert_eq!(parse_tseq(&events).len(), commits);
+        }
+    }
+}
+
+mod container_props {
+    use super::*;
+    use gstm_core::TxnId;
+    use gstm_structs::{THashMap, TList, TMap};
+    use gstm_tl2::{Stm, StmConfig};
+    use std::collections::BTreeMap;
+
+    #[derive(Clone, Debug)]
+    enum Op {
+        Insert(u64, u64),
+        Remove(u64),
+        Get(u64),
+        Upsert(u64, u64),
+    }
+
+    fn arb_op() -> impl Strategy<Value = Op> {
+        prop_oneof![
+            (0u64..40, any::<u64>()).prop_map(|(k, v)| Op::Insert(k, v)),
+            (0u64..40).prop_map(Op::Remove),
+            (0u64..40).prop_map(Op::Get),
+            (0u64..40, any::<u64>()).prop_map(|(k, v)| Op::Upsert(k, v)),
+        ]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn tmap_matches_btreemap(ops in proptest::collection::vec(arb_op(), 1..150)) {
+            let stm = Stm::new(StmConfig::default());
+            let mut ctx = stm.register();
+            let map: TMap<u64> = TMap::new();
+            let mut model: BTreeMap<u64, u64> = BTreeMap::new();
+            for op in &ops {
+                match *op {
+                    Op::Insert(k, v) => {
+                        let did = ctx.atomically(TxnId(0), |tx| map.insert(tx, k, v));
+                        prop_assert_eq!(did, !model.contains_key(&k));
+                        model.entry(k).or_insert(v);
+                    }
+                    Op::Remove(k) => {
+                        let got = ctx.atomically(TxnId(0), |tx| map.remove(tx, k));
+                        prop_assert_eq!(got, model.remove(&k));
+                    }
+                    Op::Get(k) => {
+                        let got = ctx.atomically(TxnId(0), |tx| map.get(tx, k));
+                        prop_assert_eq!(got, model.get(&k).copied());
+                    }
+                    Op::Upsert(k, v) => {
+                        let old = ctx.atomically(TxnId(0), |tx| map.upsert(tx, k, v));
+                        prop_assert_eq!(old, model.insert(k, v));
+                    }
+                }
+            }
+            let snap = ctx.atomically(TxnId(0), |tx| map.snapshot(tx));
+            prop_assert_eq!(snap, model.into_iter().collect::<Vec<_>>());
+        }
+
+        #[test]
+        fn tlist_matches_btreemap(ops in proptest::collection::vec(arb_op(), 1..100)) {
+            let stm = Stm::new(StmConfig::default());
+            let mut ctx = stm.register();
+            let list: TList<u64> = TList::new();
+            let mut model: BTreeMap<u64, u64> = BTreeMap::new();
+            for op in &ops {
+                match *op {
+                    Op::Insert(k, v) => {
+                        let did = ctx.atomically(TxnId(0), |tx| list.insert(tx, k, v));
+                        prop_assert_eq!(did, !model.contains_key(&k));
+                        model.entry(k).or_insert(v);
+                    }
+                    Op::Remove(k) => {
+                        let got = ctx.atomically(TxnId(0), |tx| list.remove(tx, k));
+                        prop_assert_eq!(got, model.remove(&k));
+                    }
+                    Op::Get(k) => {
+                        let got = ctx.atomically(TxnId(0), |tx| list.get(tx, k));
+                        prop_assert_eq!(got, model.get(&k).copied());
+                    }
+                    Op::Upsert(k, v) => {
+                        let old = ctx.atomically(TxnId(0), |tx| list.upsert(tx, k, v));
+                        prop_assert_eq!(old, model.insert(k, v));
+                    }
+                }
+            }
+            let snap = ctx.atomically(TxnId(0), |tx| list.snapshot(tx));
+            prop_assert_eq!(snap, model.into_iter().collect::<Vec<_>>());
+        }
+
+        #[test]
+        fn thashmap_matches_model(ops in proptest::collection::vec(arb_op(), 1..100), buckets in 1usize..16) {
+            let stm = Stm::new(StmConfig::default());
+            let mut ctx = stm.register();
+            let map: THashMap<u64> = THashMap::new(buckets);
+            let mut model: BTreeMap<u64, u64> = BTreeMap::new();
+            for op in &ops {
+                match *op {
+                    Op::Insert(k, v) => {
+                        let did = ctx.atomically(TxnId(0), |tx| map.insert(tx, k, v));
+                        prop_assert_eq!(did, !model.contains_key(&k));
+                        model.entry(k).or_insert(v);
+                    }
+                    Op::Remove(k) => {
+                        let got = ctx.atomically(TxnId(0), |tx| map.remove(tx, k));
+                        prop_assert_eq!(got, model.remove(&k));
+                    }
+                    Op::Get(k) => {
+                        let got = ctx.atomically(TxnId(0), |tx| map.get(tx, k));
+                        prop_assert_eq!(got, model.get(&k).copied());
+                    }
+                    Op::Upsert(k, v) => {
+                        let old = ctx.atomically(TxnId(0), |tx| map.upsert(tx, k, v));
+                        prop_assert_eq!(old, model.insert(k, v));
+                    }
+                }
+            }
+            let len = ctx.atomically(TxnId(0), |tx| map.len(tx));
+            prop_assert_eq!(len as usize, model.len());
+        }
+    }
+}
