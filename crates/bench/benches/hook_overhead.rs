@@ -1,0 +1,197 @@
+//! Per-commit guidance-hook overhead: Noop vs Recorder vs Guided, at 1
+//! thread and 8 oversubscribed threads, each against a replica of the
+//! pre-sharding double-mutex tracker (`legacy/*`), plus component
+//! microbenchmarks of the two rebuilt hot-path pieces (bitmap gate
+//! membership and borrowed-parts commit classification).
+//!
+//! The dependency-free twin of this bench is
+//! `crates/core/examples/hook_overhead.rs` — same schedule, same legacy
+//! replica — for machines where criterion isn't available.
+
+use criterion::Criterion;
+use gstm_core::guidance::{GuidanceHook, GuidedHook, NoopHook, RecorderHook};
+use gstm_core::{AbortCause, GuidanceConfig, GuidedModel, Pair, StateKey, ThreadId, Tsa, TxnId};
+use std::collections::{HashMap, HashSet};
+use std::hint::black_box;
+use std::sync::{Arc, Barrier, Mutex};
+use std::time::{Duration, Instant};
+
+/// Replica of the tracker the sharded design replaced: one global pending
+/// mutex plus one recorded mutex; `StateKey::new` and a clone per commit.
+#[derive(Default)]
+struct LegacyRecorder {
+    pending: Mutex<Vec<Pair>>,
+    recorded: Mutex<Vec<StateKey>>,
+}
+
+impl GuidanceHook for LegacyRecorder {
+    fn on_abort(&self, who: Pair, _cause: AbortCause) {
+        self.pending.lock().unwrap().push(who);
+    }
+
+    fn on_commit(&self, who: Pair) {
+        let aborts = std::mem::take(&mut *self.pending.lock().unwrap());
+        let key = StateKey::new(aborts, who);
+        self.recorded.lock().unwrap().push(key.clone());
+    }
+}
+
+const ABORTS_PER_COMMIT: usize = 3;
+
+/// Run `iters` gate + 3-abort + commit windows per thread and return the
+/// total wall time (criterion `iter_custom` contract).
+fn drive(hook: &Arc<dyn GuidanceHook>, threads: u16, iters: u64) -> Duration {
+    let barrier = Arc::new(Barrier::new(threads as usize + 1));
+    let mut handles = Vec::new();
+    for t in 0..threads {
+        let hook = Arc::clone(hook);
+        let barrier = Arc::clone(&barrier);
+        handles.push(std::thread::spawn(move || {
+            let me = Pair::new(TxnId(t % 4), ThreadId(t));
+            barrier.wait();
+            for _ in 0..iters {
+                hook.gate(me);
+                for _ in 0..ABORTS_PER_COMMIT {
+                    hook.on_abort(me, AbortCause::Validation);
+                }
+                hook.on_commit(me);
+            }
+            barrier.wait();
+        }));
+    }
+    barrier.wait();
+    let start = Instant::now();
+    barrier.wait();
+    let elapsed = start.elapsed();
+    for h in handles {
+        h.join().unwrap();
+    }
+    elapsed
+}
+
+fn harness_model(threads: u16) -> Arc<GuidedModel> {
+    let keys: Vec<StateKey> = (0..threads)
+        .map(|t| StateKey::solo(Pair::new(TxnId(t % 4), ThreadId(t))))
+        .collect();
+    let mut run = Vec::new();
+    for _ in 0..8 {
+        run.extend(keys.iter().cloned());
+    }
+    let tsa = Tsa::from_runs(&[run]);
+    Arc::new(GuidedModel::build(tsa, &GuidanceConfig::default()))
+}
+
+fn bench_hooks(c: &mut Criterion) {
+    for threads in [1u16, 8] {
+        let mut g = c.benchmark_group(format!("hook_overhead/{threads}t"));
+        let cases: Vec<(&str, Box<dyn Fn() -> Arc<dyn GuidanceHook>>)> = vec![
+            ("noop", Box::new(|| Arc::new(NoopHook))),
+            ("legacy", Box::new(|| Arc::new(LegacyRecorder::default()))),
+            ("recorder", Box::new(|| Arc::new(RecorderHook::new()))),
+            ("guided", {
+                let model = harness_model(threads);
+                Box::new(move || {
+                    Arc::new(GuidedHook::new(
+                        Arc::clone(&model),
+                        GuidanceConfig::default(),
+                    ))
+                })
+            }),
+        ];
+        for (name, mk) in cases {
+            g.bench_function(name, |b| {
+                b.iter_custom(|iters| {
+                    let hook = mk();
+                    drive(&hook, threads, iters)
+                })
+            });
+        }
+        g.finish();
+    }
+}
+
+/// The two rebuilt per-commit components, each against its predecessor.
+fn bench_components(c: &mut Criterion) {
+    let ab = vec![
+        Pair::new(TxnId(0), ThreadId(1)),
+        Pair::new(TxnId(1), ThreadId(2)),
+    ];
+    let mut run = Vec::new();
+    for round in 0..8u16 {
+        for t in 0..8u16 {
+            let commit = Pair::new(TxnId(t % 4), ThreadId(t));
+            run.push(if (round + t) % 2 == 0 {
+                StateKey::solo(commit)
+            } else {
+                StateKey::new(ab.clone(), commit)
+            });
+        }
+    }
+    let model = GuidedModel::build(Tsa::from_runs(&[run]), &GuidanceConfig::default());
+    let tsa = model.tsa();
+
+    let legacy_allowed: Vec<HashSet<u32>> = tsa
+        .state_ids()
+        .map(|id| {
+            model
+                .kept_destinations(id)
+                .iter()
+                .flat_map(|&d| tsa.state(d).pairs())
+                .map(Pair::packed)
+                .collect()
+        })
+        .collect();
+    let legacy_index: HashMap<StateKey, u32> = tsa
+        .states()
+        .iter()
+        .enumerate()
+        .map(|(i, k)| (k.clone(), i as u32))
+        .collect();
+    let queries: Vec<Pair> = (0..64u16)
+        .map(|i| Pair::new(TxnId(i % 5), ThreadId(i % 9)))
+        .collect();
+    let state_ids: Vec<_> = tsa.state_ids().collect();
+    let commits: Vec<Pair> = tsa.states().iter().map(StateKey::commit).collect();
+    let scratch = {
+        let mut v = ab.clone();
+        v.sort_unstable();
+        v
+    };
+
+    let mut g = c.benchmark_group("hook_overhead/components");
+    let mut i = 0usize;
+    g.bench_function("gate_membership/legacy_hashset", |b| {
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            let s = &legacy_allowed[i % legacy_allowed.len()];
+            black_box(s.contains(&queries[i % queries.len()].packed()))
+        })
+    });
+    g.bench_function("gate_membership/bitmap", |b| {
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            black_box(model.is_allowed(state_ids[i % state_ids.len()], queries[i % queries.len()]))
+        })
+    });
+    g.bench_function("commit_classify/legacy_alloc_siphash", |b| {
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            let key = StateKey::new(scratch.clone(), commits[i % commits.len()]);
+            black_box(legacy_index.get(&key).copied())
+        })
+    });
+    g.bench_function("commit_classify/parts_fnv", |b| {
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            black_box(tsa.id_of_parts(&scratch, commits[i % commits.len()]))
+        })
+    });
+    g.finish();
+}
+
+fn main() {
+    let mut c = Criterion::default().configure_from_args();
+    bench_hooks(&mut c);
+    bench_components(&mut c);
+    c.final_summary();
+}

@@ -1,0 +1,234 @@
+//! Standalone hook-overhead harness (no criterion, std only).
+//!
+//! Measures the per-commit cost of the guidance hooks under the same
+//! schedule the `hook_overhead` criterion bench uses: each worker runs
+//! gate → (3 aborts : 1 commit) cycles against one shared hook. The
+//! `legacy` row is a faithful replica of the pre-sharding tracker (one
+//! global pending mutex + one recorded mutex, `StateKey::new` on every
+//! commit), so the printed ratio is the speedup this PR's sharded tracker
+//! delivers. Run with:
+//!
+//! ```text
+//! cargo run --release --example hook_overhead [threads...]
+//! ```
+//!
+//! Numbers in README.md § Performance come from this harness.
+
+use gstm_core::guidance::{GuidanceHook, GuidedHook, NoopHook, RecorderHook};
+use gstm_core::{AbortCause, GuidanceConfig, GuidedModel, Pair, StateKey, ThreadId, Tsa, TxnId};
+use std::collections::{HashMap, HashSet};
+use std::hint::black_box;
+use std::sync::{Arc, Barrier, Mutex};
+use std::time::Instant;
+
+/// Replica of the tracker this PR replaced: every abort and every commit
+/// takes a global lock; each commit allocates a fresh abort `Vec` and a
+/// cloned `StateKey`.
+#[derive(Default)]
+struct LegacyRecorder {
+    pending: Mutex<Vec<Pair>>,
+    recorded: Mutex<Vec<StateKey>>,
+}
+
+impl GuidanceHook for LegacyRecorder {
+    fn on_abort(&self, who: Pair, _cause: AbortCause) {
+        self.pending.lock().unwrap().push(who);
+    }
+
+    fn on_commit(&self, who: Pair) {
+        let aborts = std::mem::take(&mut *self.pending.lock().unwrap());
+        let key = StateKey::new(aborts, who);
+        self.recorded.lock().unwrap().push(key.clone());
+    }
+}
+
+/// Aborts per commit in the measured cycle (3:1, a contended-workload mix).
+const ABORTS_PER_COMMIT: usize = 3;
+
+/// Drive `commits` windows against `hook` from `threads` workers and
+/// return the mean wall-clock nanoseconds per commit (full window: one
+/// gate + three aborts + one commit).
+fn drive(hook: Arc<dyn GuidanceHook>, threads: u16, commits_per_thread: usize) -> f64 {
+    let barrier = Arc::new(Barrier::new(threads as usize + 1));
+    let mut handles = Vec::new();
+    for t in 0..threads {
+        let hook = Arc::clone(&hook);
+        let barrier = Arc::clone(&barrier);
+        handles.push(std::thread::spawn(move || {
+            let me = Pair::new(TxnId(t % 4), ThreadId(t));
+            barrier.wait();
+            for _ in 0..commits_per_thread {
+                hook.gate(me);
+                for _ in 0..ABORTS_PER_COMMIT {
+                    hook.on_abort(me, AbortCause::Validation);
+                }
+                hook.on_commit(me);
+            }
+            barrier.wait();
+        }));
+    }
+    barrier.wait();
+    let start = Instant::now();
+    barrier.wait();
+    let elapsed = start.elapsed();
+    for h in handles {
+        h.join().unwrap();
+    }
+    elapsed.as_nanos() as f64 / (threads as usize * commits_per_thread) as f64
+}
+
+/// A model whose states are the solo commits of every pair the harness
+/// uses, chained so each state allows its successors — gates exercise the
+/// bitmap path against mostly-known states.
+fn harness_model(threads: u16) -> Arc<GuidedModel> {
+    let keys: Vec<StateKey> = (0..threads)
+        .map(|t| StateKey::solo(Pair::new(TxnId(t % 4), ThreadId(t))))
+        .collect();
+    let mut run = Vec::new();
+    for _ in 0..8 {
+        run.extend(keys.iter().cloned());
+    }
+    let tsa = Tsa::from_runs(&[run]);
+    Arc::new(GuidedModel::build(tsa, &GuidanceConfig::default()))
+}
+
+/// Micro-measure the two per-commit hook components this PR rebuilt, each
+/// against a replica of its predecessor:
+///
+/// * **gate membership** — the old per-state `HashSet<u32>` of packed
+///   allowed pairs vs [`GuidedModel::is_allowed`]'s bitmap load;
+/// * **commit classify** — the old `StateKey::new` (allocates the boxed
+///   abort slice) + `HashMap<StateKey, u32>` SipHash lookup vs
+///   [`GuidedModel::id_of_parts`] over the borrowed scratch window.
+fn component_micro() {
+    // A model rich enough that the classify queries below hit real
+    // states: solo commits plus two-abort windows for every pair.
+    let ab = vec![
+        Pair::new(TxnId(0), ThreadId(1)),
+        Pair::new(TxnId(1), ThreadId(2)),
+    ];
+    let mut run = Vec::new();
+    for round in 0..8u16 {
+        for t in 0..8u16 {
+            let commit = Pair::new(TxnId(t % 4), ThreadId(t));
+            run.push(if (round + t) % 2 == 0 {
+                StateKey::solo(commit)
+            } else {
+                StateKey::new(ab.clone(), commit)
+            });
+        }
+    }
+    let model = GuidedModel::build(Tsa::from_runs(&[run]), &GuidanceConfig::default());
+    let tsa = model.tsa();
+    let states: Vec<StateKey> = tsa.states().to_vec();
+    // Replicas of the seed's per-state HashSet membership and
+    // StateKey-keyed index.
+    let legacy_allowed: Vec<HashSet<u32>> = tsa
+        .state_ids()
+        .map(|id| {
+            model
+                .kept_destinations(id)
+                .iter()
+                .flat_map(|&d| tsa.state(d).pairs())
+                .map(Pair::packed)
+                .collect()
+        })
+        .collect();
+    let legacy_index: HashMap<StateKey, u32> = states
+        .iter()
+        .enumerate()
+        .map(|(i, k)| (k.clone(), i as u32))
+        .collect();
+    let queries: Vec<Pair> = (0..64u16)
+        .map(|i| Pair::new(TxnId(i % 5), ThreadId(i % 9)))
+        .collect();
+    let state_ids: Vec<gstm_core::StateId> = tsa.state_ids().collect();
+
+    const REPS: usize = 2_000_000;
+    let time = |f: &mut dyn FnMut(usize) -> usize| -> f64 {
+        let start = Instant::now();
+        let mut acc = 0usize;
+        for i in 0..REPS {
+            acc = acc.wrapping_add(f(i));
+        }
+        black_box(acc);
+        start.elapsed().as_nanos() as f64 / REPS as f64
+    };
+
+    let gate_legacy = time(&mut |i| {
+        let s = &legacy_allowed[i % legacy_allowed.len()];
+        s.contains(&queries[i % queries.len()].packed()) as usize
+    });
+    let gate_bitmap = time(&mut |i| {
+        model.is_allowed(state_ids[i % state_ids.len()], queries[i % queries.len()]) as usize
+    });
+
+    // Classify a two-abort window, the shape a contended commit drains.
+    let scratch: Vec<Pair> = {
+        let mut v = ab.clone();
+        v.sort_unstable();
+        v
+    };
+    let commits: Vec<Pair> = states.iter().map(StateKey::commit).collect();
+    let classify_legacy = time(&mut |i| {
+        let key = StateKey::new(scratch.clone(), commits[i % commits.len()]);
+        legacy_index.get(&key).copied().unwrap_or(0) as usize
+    });
+    let classify_parts = time(&mut |i| {
+        tsa.id_of_parts(&scratch, commits[i % commits.len()])
+            .map(|s| s.0)
+            .unwrap_or(0) as usize
+    });
+
+    println!("\ncomponent micro (ns/op, single thread):");
+    println!(
+        "gate membership   legacy(HashSet) {gate_legacy:>7.2}  bitmap {gate_bitmap:>7.2}  ({:.1}x)",
+        gate_legacy / gate_bitmap
+    );
+    println!(
+        "commit classify   legacy(alloc+SipHash) {classify_legacy:>7.2}  parts(FNV) {classify_parts:>7.2}  ({:.1}x)",
+        classify_legacy / classify_parts
+    );
+}
+
+fn main() {
+    let thread_counts: Vec<u16> = {
+        let args: Vec<u16> = std::env::args()
+            .skip(1)
+            .filter_map(|a| a.parse().ok())
+            .collect();
+        if args.is_empty() {
+            vec![1, 8]
+        } else {
+            args
+        }
+    };
+    const COMMITS: usize = 200_000;
+    println!(
+        "hook_overhead: ns/commit-window (gate + {ABORTS_PER_COMMIT} aborts + commit), \
+         {COMMITS} commits/thread"
+    );
+    println!("{:<10} {:>8} {:>12} {:>10}", "hook", "threads", "ns/commit", "vs legacy");
+    for &threads in &thread_counts {
+        // Warmup + measure; take the best of 3 to damp scheduler noise.
+        let mut rows: Vec<(&str, f64)> = Vec::new();
+        let best = |mk: &dyn Fn() -> Arc<dyn GuidanceHook>| -> f64 {
+            (0..3)
+                .map(|_| drive(mk(), threads, COMMITS))
+                .fold(f64::INFINITY, f64::min)
+        };
+        let legacy = best(&|| Arc::new(LegacyRecorder::default()));
+        rows.push(("noop", best(&|| Arc::new(NoopHook))));
+        rows.push(("legacy", legacy));
+        rows.push(("sharded", best(&|| Arc::new(RecorderHook::new()))));
+        let model = harness_model(threads);
+        rows.push((
+            "guided",
+            best(&|| Arc::new(GuidedHook::new(Arc::clone(&model), GuidanceConfig::default()))),
+        ));
+        for (name, ns) in rows {
+            println!("{name:<10} {threads:>8} {ns:>12.1} {:>9.2}x", legacy / ns);
+        }
+    }
+    component_micro();
+}

@@ -7,7 +7,7 @@
 //! want to inspect raw interleavings rather than the online TSS stream.
 
 use crate::ids::{Pair, ThreadId};
-use parking_lot::Mutex;
+use crate::sync::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Why a transaction attempt rolled back.

@@ -16,18 +16,45 @@
 //! [`RecorderHook`] (profiling / non-determinism measurement), and
 //! [`GuidedHook`] (model-driven gating, which also records so that
 //! non-determinism under guidance can be measured — the paper's `ND_mcmc`).
+//!
+//! ## Hot-path architecture
+//!
+//! The hooks sit on **every** transaction begin/abort/commit, so the
+//! tracker is built to be contention-free and allocation-free at steady
+//! state:
+//!
+//! * **Aborts** push into one of [`TRACKER_SHARDS`] cache-padded per-thread
+//!   buffers selected by the aborting thread's id — an uncontended lock
+//!   acquisition (a single CAS) plus a `Vec` push; no global lock is
+//!   touched and no other thread's cache line is written.
+//! * **Commits** take the *single* commit-side lock, sweep the shards into
+//!   a reused scratch buffer, canonicalize it in place, classify the state
+//!   (model lookup by borrowed slice, via precomputed 64-bit hashes — see
+//!   [`crate::tsa`]), and append one owned [`StateKey`] to the recorded
+//!   Tseq. The common solo state (no aborts since the last commit)
+//!   allocates nothing.
+//!
+//! The windowed attribution semantics are unchanged from the original
+//! double-mutex tracker: every abort is grouped with the next commit, and
+//! the recorded per-run multiset of states is identical (the equivalence
+//! stress test in `tests/tracker_equivalence.rs` pins this down).
 
 use crate::config::GuidanceConfig;
 use crate::events::AbortCause;
 use crate::ids::Pair;
+use crate::sync::Mutex;
 use crate::tsa::{GuidedModel, StateId};
 use crate::tss::StateKey;
-use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Sentinel for "current state not present in the model".
 const UNKNOWN: u32 = u32::MAX;
+
+/// Number of per-thread abort buffers (power of two; thread ids map to
+/// shards by masking). 64 covers every thread count the experiments use
+/// without aliasing; beyond that, aliased threads merely share a buffer.
+const TRACKER_SHARDS: usize = 64;
 
 /// Callbacks an STM invokes around each transaction attempt.
 ///
@@ -48,32 +75,103 @@ pub struct NoopHook;
 
 impl GuidanceHook for NoopHook {}
 
+/// One per-thread abort buffer, padded to its own cache line so abort
+/// traffic from different threads never false-shares.
+#[derive(Default)]
+#[repr(align(128))]
+struct Shard {
+    pending: Mutex<Vec<Pair>>,
+}
+
+/// Commit-side state, all behind one lock: the scratch buffer commits
+/// drain into (reused, so steady-state commits never allocate it) and the
+/// recorded Tseq.
+#[derive(Default)]
+struct CommitSide {
+    scratch: Vec<Pair>,
+    recorded: Vec<StateKey>,
+}
+
 /// Shared windowed-attribution tracker: groups the aborts seen since the
 /// previous commit with the next commit to form a [`StateKey`].
-#[derive(Default)]
+///
+/// See the module docs for the sharded hot-path design. The `occupied`
+/// bitmap (bit *i* set ⇒ shard *i* may hold pending aborts) lets the
+/// commit drain visit only shards that actually received aborts since the
+/// last drain — the common low-conflict commit swaps one word and touches
+/// no shard at all.
 struct StateTracker {
-    pending: Mutex<Vec<Pair>>,
-    recorded: Mutex<Vec<StateKey>>,
+    shards: Box<[Shard]>,
+    occupied: AtomicU64,
+    commit: Mutex<CommitSide>,
+}
+
+impl Default for StateTracker {
+    fn default() -> Self {
+        StateTracker {
+            shards: (0..TRACKER_SHARDS).map(|_| Shard::default()).collect(),
+            occupied: AtomicU64::new(0),
+            commit: Mutex::new(CommitSide::default()),
+        }
+    }
 }
 
 impl StateTracker {
+    /// Record an abort: a push into the aborting thread's own shard, plus
+    /// an occupancy-bit publication when the shard transitions from empty
+    /// (so repeat aborts within one window never touch the shared word).
+    #[inline]
     fn abort(&self, who: Pair) {
-        self.pending.lock().push(who);
+        let idx = who.thread.index() & (TRACKER_SHARDS - 1);
+        let was_empty = {
+            let mut buf = self.shards[idx].pending.lock();
+            let was_empty = buf.is_empty();
+            buf.push(who);
+            was_empty
+        };
+        // Published after the push: a commit that swaps the bitmap in
+        // between simply leaves this abort for the next window, which is
+        // valid windowed attribution. The bit can never be lost — either
+        // this fetch_or lands it, or a concurrent drain already holds the
+        // shard lock and empties the buffer first, after which the next
+        // push re-publishes.
+        if was_empty {
+            self.occupied.fetch_or(1 << idx, Ordering::Release);
+        }
     }
 
-    /// Form the state for a commit, record it, and return it.
-    fn commit(&self, who: Pair) -> StateKey {
-        // Take the pending aborts *before* appending, so a racing commit on
-        // another thread cannot observe a half-built window.
-        let aborts = std::mem::take(&mut *self.pending.lock());
-        let key = StateKey::new(aborts, who);
-        self.recorded.lock().push(key.clone());
-        key
+    /// Form the state for a commit, record it, and hand the canonicalized
+    /// window to `classify` (borrowed — no allocation) before it is
+    /// materialized into the recorded Tseq. Returns `classify`'s result.
+    ///
+    /// The whole drain-classify-record sequence runs under the single
+    /// commit-side lock, so concurrent committers observe disjoint,
+    /// complete windows.
+    fn commit_with<R>(&self, who: Pair, classify: impl FnOnce(&[Pair], Pair) -> R) -> R {
+        let mut side = self.commit.lock();
+        let side = &mut *side;
+        side.scratch.clear();
+        let mut occupied = self.occupied.swap(0, Ordering::AcqRel);
+        while occupied != 0 {
+            let idx = occupied.trailing_zeros() as usize;
+            occupied &= occupied - 1;
+            side.scratch.append(&mut self.shards[idx].pending.lock());
+        }
+        side.scratch.sort_unstable();
+        side.scratch.dedup();
+        let result = classify(&side.scratch, who);
+        side.recorded.push(StateKey::from_sorted(&side.scratch, who));
+        result
     }
 
     fn take_run(&self) -> Vec<StateKey> {
-        self.pending.lock().clear();
-        std::mem::take(&mut *self.recorded.lock())
+        let mut side = self.commit.lock();
+        self.occupied.store(0, Ordering::Release);
+        for shard in self.shards.iter() {
+            shard.pending.lock().clear();
+        }
+        side.scratch.clear();
+        std::mem::take(&mut side.recorded)
     }
 }
 
@@ -105,18 +203,22 @@ impl GuidanceHook for RecorderHook {
     }
 
     fn on_commit(&self, who: Pair) {
-        self.tracker.commit(who);
+        self.tracker.commit_with(who, |_, _| ());
     }
 }
 
 /// Counters describing what the gate did during a guided run.
+///
+/// The three outcome counters partition gate calls:
+/// `passed + waited + released` equals the number of calls.
 #[derive(Clone, Copy, Default, Debug, PartialEq, Eq)]
 pub struct GateStats {
     /// Gate calls that passed immediately (allowed or unknown state).
     pub passed: u64,
     /// Gate calls that waited at least one retry before passing.
     pub waited: u64,
-    /// Gate calls released by the `k`-retry progress escape.
+    /// Gate calls that waited and were then released by the `k`-retry
+    /// progress escape without ever becoming allowed.
     pub released: u64,
     /// Commits that moved the system to a state absent from the model.
     pub unknown_states: u64,
@@ -172,6 +274,15 @@ impl GuidedHook {
     pub fn model(&self) -> &Arc<GuidedModel> {
         &self.model
     }
+
+    /// Whether `who` may proceed from the current state. An unknown (or
+    /// unmodeled) current state always passes: threads are let run so the
+    /// system moves back into a known state (paper, Section V).
+    #[inline]
+    fn allowed_now(&self, who: Pair) -> bool {
+        let cur = self.current.load(Ordering::Acquire);
+        cur == UNKNOWN || self.model.is_allowed(StateId(cur), who)
+    }
 }
 
 impl GuidanceHook for GuidedHook {
@@ -179,36 +290,34 @@ impl GuidanceHook for GuidedHook {
         let mut waited = false;
         for _retry in 0..self.config.k_retries {
             let cur = self.current.load(Ordering::Acquire);
-            if cur == UNKNOWN {
-                // New/unmodeled state: let threads run so the system moves
-                // back into a known state (paper, Section V).
-                break;
-            }
-            if self.model.is_allowed(StateId(cur), who) {
-                break;
-            }
-            // Wait for a concurrent commit to change the current state,
-            // then re-examine from the new state.
-            waited = true;
-            let mut spins = 0;
-            while self.current.load(Ordering::Acquire) == cur {
-                spins += 1;
-                if spins >= self.config.wait_spins {
-                    break;
+            if cur == UNKNOWN || self.model.is_allowed(StateId(cur), who) {
+                if waited {
+                    self.waited.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    self.passed.fetch_add(1, Ordering::Relaxed);
                 }
-                std::thread::yield_now();
-            }
-            if spins >= self.config.wait_spins && _retry + 1 == self.config.k_retries {
-                // Fell through every retry without an allowed path:
-                // release to guarantee progress.
-                self.released.fetch_add(1, Ordering::Relaxed);
                 return;
             }
+            // Wait (bounded) for a concurrent commit to change the current
+            // state, then loop to re-examine from the new state.
+            waited = true;
+            let mut spins = 0;
+            while spins < self.config.wait_spins && self.current.load(Ordering::Acquire) == cur {
+                spins += 1;
+                std::thread::yield_now();
+            }
         }
-        if waited {
-            self.waited.fetch_add(1, Ordering::Relaxed);
+        // Retry budget exhausted. Re-examine once — the final wait may have
+        // ended on a state change whose new state allows us — and otherwise
+        // release to guarantee progress.
+        if self.allowed_now(who) {
+            if waited {
+                self.waited.fetch_add(1, Ordering::Relaxed);
+            } else {
+                self.passed.fetch_add(1, Ordering::Relaxed);
+            }
         } else {
-            self.passed.fetch_add(1, Ordering::Relaxed);
+            self.released.fetch_add(1, Ordering::Relaxed);
         }
     }
 
@@ -217,8 +326,10 @@ impl GuidanceHook for GuidedHook {
     }
 
     fn on_commit(&self, who: Pair) {
-        let key = self.tracker.commit(who);
-        match self.model.id_of(&key) {
+        let id = self
+            .tracker
+            .commit_with(who, |aborts, commit| self.model.id_of_parts(aborts, commit));
+        match id {
             Some(id) => self.current.store(id.0, Ordering::Release),
             None => {
                 self.unknown_states.fetch_add(1, Ordering::Relaxed);
@@ -250,6 +361,19 @@ mod tests {
         assert_eq!(run[0], StateKey::new(vec![p(0, 1), p(0, 2)], p(1, 3)));
         assert_eq!(run[1], StateKey::solo(p(1, 4)));
         assert!(rec.take_run().is_empty(), "take_run resets");
+    }
+
+    #[test]
+    fn aliased_threads_share_a_shard_without_loss() {
+        // Thread ids TRACKER_SHARDS apart alias to one shard; the window
+        // must still contain both aborts.
+        let rec = RecorderHook::new();
+        let far = TRACKER_SHARDS as u16;
+        rec.on_abort(p(0, 1), AbortCause::Validation);
+        rec.on_abort(p(0, 1 + far), AbortCause::Validation);
+        rec.on_commit(p(1, 0));
+        let run = rec.take_run();
+        assert_eq!(run, vec![StateKey::new(vec![p(0, 1), p(0, 1 + far)], p(1, 0))]);
     }
 
     fn two_state_model() -> Arc<GuidedModel> {
@@ -300,6 +424,31 @@ mod tests {
         let stats = hook.stats();
         assert_eq!(stats.released, 1);
         assert_eq!(stats.passed, 0);
+        assert_eq!(stats.waited, 0, "released calls are not double-counted");
+    }
+
+    #[test]
+    fn gate_recounts_allowance_after_final_wait() {
+        // With a single retry whose wait ends on a state change, the gate
+        // must re-examine the new state instead of releasing blindly: the
+        // new state is UNKNOWN here, so the call counts as waited-then-
+        // passed, not released.
+        let model = two_state_model();
+        let cfg = GuidanceConfig {
+            k_retries: 1,
+            wait_spins: 1_000_000,
+            ..GuidanceConfig::default()
+        };
+        let hook = Arc::new(GuidedHook::new(model, cfg));
+        hook.on_commit(p(0, 0)); // current = A; only p(0,1) allowed
+        let h2 = Arc::clone(&hook);
+        let waiter = std::thread::spawn(move || h2.gate(p(0, 2)));
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        hook.on_commit(p(5, 5)); // unknown state: everything allowed
+        waiter.join().unwrap();
+        let stats = hook.stats();
+        assert_eq!(stats.waited, 1, "final re-examination sees the new state");
+        assert_eq!(stats.released, 0);
     }
 
     #[test]
@@ -341,6 +490,17 @@ mod tests {
         assert_eq!(run, vec![StateKey::solo(p(0, 1))]);
         // take_run resets current state to UNKNOWN.
         assert_eq!(hook.current.load(Ordering::Relaxed), UNKNOWN);
+    }
+
+    #[test]
+    fn guided_commit_windows_aborts_like_recorder() {
+        let model = two_state_model();
+        let hook = GuidedHook::new(model, GuidanceConfig::default());
+        hook.on_abort(p(0, 2), AbortCause::Validation);
+        hook.on_abort(p(0, 1), AbortCause::Validation);
+        hook.on_commit(p(0, 0));
+        let run = hook.take_run();
+        assert_eq!(run, vec![StateKey::new(vec![p(0, 1), p(0, 2)], p(0, 0))]);
     }
 
     #[test]

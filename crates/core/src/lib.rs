@@ -42,11 +42,13 @@
 pub mod analyzer;
 pub mod config;
 pub mod events;
+pub mod fastset;
 pub mod guidance;
 pub mod ids;
 pub mod metrics;
 pub mod model_io;
 pub mod stats;
+pub mod sync;
 pub mod tsa;
 pub mod tseq;
 pub mod tss;
@@ -56,7 +58,8 @@ pub mod prelude {
     pub use crate::analyzer::{analyze, AnalyzerReport, ModelVerdict};
     pub use crate::config::{ExecMode, GuidanceConfig};
     pub use crate::events::AbortCause;
-    pub use crate::guidance::{GuidanceHook, GuidedHook, NoopHook, RecorderHook};
+    pub use crate::fastset::AddrSet;
+    pub use crate::guidance::{GateStats, GuidanceHook, GuidedHook, NoopHook, RecorderHook};
     pub use crate::ids::{Pair, ThreadId, TxnId};
     pub use crate::metrics::AbortHistogram;
     pub use crate::stats::ThreadStats;

@@ -1,0 +1,55 @@
+//! Poison-transparent wrapper over [`std::sync::Mutex`].
+//!
+//! The guidance hot path holds its locks only for a handful of
+//! instructions and never panics while holding one, so lock poisoning is
+//! dead weight: every call site would have to write
+//! `.lock().unwrap_or_else(PoisonError::into_inner)`. This wrapper folds
+//! that in once, giving the crate a dependency-free mutex with the
+//! ergonomics the code previously got from `parking_lot`.
+
+use std::sync::MutexGuard;
+
+/// A mutual-exclusion lock whose `lock` ignores poisoning.
+#[derive(Default, Debug)]
+pub struct Mutex<T>(std::sync::Mutex<T>);
+
+impl<T> Mutex<T> {
+    /// Create a mutex owning `value`.
+    pub const fn new(value: T) -> Self {
+        Mutex(std::sync::Mutex::new(value))
+    }
+
+    /// Acquire the lock, blocking until available. A poisoned lock (a
+    /// panic on another thread while holding it) is treated as unlocked:
+    /// the state the tracker protects stays valid under partial updates,
+    /// and tests that intentionally panic must not wedge the tracker.
+    #[inline]
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        self.0.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn lock_round_trips() {
+        let m = Mutex::new(41);
+        *m.lock() += 1;
+        assert_eq!(*m.lock(), 42);
+    }
+
+    #[test]
+    fn poisoned_lock_still_opens() {
+        let m = Arc::new(Mutex::new(7));
+        let m2 = Arc::clone(&m);
+        let _ = std::thread::spawn(move || {
+            let _guard = m2.lock();
+            panic!("poison the lock");
+        })
+        .join();
+        assert_eq!(*m.lock(), 7);
+    }
+}

@@ -15,8 +15,8 @@
 
 use crate::config::GuidanceConfig;
 use crate::ids::Pair;
-use crate::tss::StateKey;
-use std::collections::{HashMap, HashSet};
+use crate::tss::{hash_parts, StateKey};
+use std::collections::HashMap;
 
 /// Dense index of a state in a [`Tsa`].
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
@@ -30,11 +30,89 @@ impl StateId {
     }
 }
 
+/// Open-addressed map from precomputed 64-bit state hashes to state ids.
+///
+/// This is the "hash map used to look up the destination states" of the
+/// paper, built for the commit hot path: states are interned once into a
+/// dense id space, each slot stores `(hash64, id)`, and a lookup is one
+/// multiply-free probe sequence plus an equality check against the dense
+/// `states` vec — no `StateKey` construction, cloning, or SipHash on the
+/// query side. Collisions on the full 64-bit hash fall back to the
+/// caller-supplied equality predicate, so correctness never depends on
+/// hash quality.
+#[derive(Clone, Debug, Default)]
+struct StateIndex {
+    /// Power-of-two slot array; `id == EMPTY_SLOT` marks an empty slot.
+    slots: Box<[(u64, u32)]>,
+    len: usize,
+}
+
+const EMPTY_SLOT: u32 = u32::MAX;
+
+impl StateIndex {
+    fn with_capacity(n: usize) -> Self {
+        let cap = (n.max(4) * 2).next_power_of_two();
+        StateIndex {
+            slots: vec![(0, EMPTY_SLOT); cap].into_boxed_slice(),
+            len: 0,
+        }
+    }
+
+    /// Find the id whose slot hash equals `hash` and for which `eq` holds.
+    #[inline]
+    fn lookup(&self, hash: u64, mut eq: impl FnMut(StateId) -> bool) -> Option<StateId> {
+        if self.slots.is_empty() {
+            return None;
+        }
+        let mask = self.slots.len() - 1;
+        let mut i = hash as usize & mask;
+        loop {
+            let (h, id) = self.slots[i];
+            if id == EMPTY_SLOT {
+                return None;
+            }
+            if h == hash && eq(StateId(id)) {
+                return Some(StateId(id));
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    /// Insert a (hash, id) pair. The caller guarantees the id is not
+    /// already present under this hash.
+    fn insert(&mut self, hash: u64, id: StateId) {
+        if self.slots.is_empty() {
+            *self = Self::with_capacity(4);
+        } else if (self.len + 1) * 4 > self.slots.len() * 3 {
+            let old = std::mem::replace(self, Self::with_capacity(self.slots.len()));
+            self.len = old.len;
+            let mask = self.slots.len() - 1;
+            for &(h, raw) in old.slots.iter() {
+                if raw == EMPTY_SLOT {
+                    continue;
+                }
+                let mut i = h as usize & mask;
+                while self.slots[i].1 != EMPTY_SLOT {
+                    i = (i + 1) & mask;
+                }
+                self.slots[i] = (h, raw);
+            }
+        }
+        let mask = self.slots.len() - 1;
+        let mut i = hash as usize & mask;
+        while self.slots[i].1 != EMPTY_SLOT {
+            i = (i + 1) & mask;
+        }
+        self.slots[i] = (hash, id.0);
+        self.len += 1;
+    }
+}
+
 /// The Thread State Automaton: interned states plus weighted transitions.
 #[derive(Clone, Debug, Default)]
 pub struct Tsa {
     states: Vec<StateKey>,
-    index: HashMap<StateKey, StateId>,
+    index: StateIndex,
     /// Outbound edges per state: `(destination, frequency)`, sorted by
     /// descending frequency (ties broken by destination id for determinism).
     transitions: Vec<Vec<(StateId, u64)>>,
@@ -83,11 +161,13 @@ impl Tsa {
                 transitions.len()
             ));
         }
-        let mut index = HashMap::with_capacity(states.len());
+        let mut index = StateIndex::with_capacity(states.len());
         for (i, key) in states.iter().enumerate() {
-            if index.insert(key.clone(), StateId(i as u32)).is_some() {
+            let hash = key.hash64();
+            if index.lookup(hash, |id| states[id.index()] == *key).is_some() {
                 return Err(format!("duplicate state key {key}"));
             }
+            index.insert(hash, StateId(i as u32));
         }
         for edges in &transitions {
             for &(dst, _) in edges {
@@ -104,12 +184,15 @@ impl Tsa {
     }
 
     fn intern(&mut self, key: StateKey, counts: &mut Vec<HashMap<StateId, u64>>) -> StateId {
-        if let Some(&id) = self.index.get(&key) {
+        let hash = key.hash64();
+        if let Some(id) = self.index.lookup(hash, |id| self.states[id.index()] == key) {
             return id;
         }
+        // New state: move the key straight into the dense states vec — the
+        // index stores only (hash, id), so interning never clones a key.
         let id = StateId(self.states.len() as u32);
-        self.index.insert(key.clone(), id);
         self.states.push(key);
+        self.index.insert(hash, id);
         counts.push(HashMap::new());
         id
     }
@@ -132,7 +215,18 @@ impl Tsa {
 
     /// Look up a state key.
     pub fn id_of(&self, key: &StateKey) -> Option<StateId> {
-        self.index.get(key).copied()
+        self.index
+            .lookup(key.hash64(), |id| self.states[id.index()] == *key)
+    }
+
+    /// Look up the state described by a *sorted, deduplicated* abort slice
+    /// and a committing pair — the commit hot path's lookup, which hashes
+    /// the borrowed parts directly instead of constructing a `StateKey`.
+    #[inline]
+    pub fn id_of_parts(&self, aborts: &[Pair], commit: Pair) -> Option<StateId> {
+        self.index.lookup(hash_parts(aborts, commit), |id| {
+            self.states[id.index()].matches_parts(aborts, commit)
+        })
     }
 
     /// Outbound edges of a state, `(destination, frequency)`, sorted by
@@ -176,44 +270,70 @@ struct DestSet {
     kept: u32,
     /// Destination state ids kept after thresholding.
     kept_states: Vec<StateId>,
-    /// Packed `<txn,thread>` pairs appearing in any tuple of a kept
-    /// destination state. Gate checks are O(1) lookups here.
-    allowed_pairs: HashSet<u32>,
 }
 
 /// The run-time guidance artifact derived from a [`Tsa`] and a Tfactor.
 ///
-/// This corresponds to the paper's "model ... cut down to exclude
-/// low-probability states and ... stored in an efficient bitwise structure"
-/// with "a hash map used to look up the destination states".
+/// This is the paper's "model ... cut down to exclude low-probability
+/// states and ... stored in an efficient bitwise structure" with "a hash
+/// map used to look up the destination states": the allowed
+/// `<txn,thread>` pairs of every state live in one dense bitmap (a row of
+/// `words_per_state` 64-bit words per state, bit `txn * thread_limit +
+/// thread`), so the gate's membership test is a bounds check, one load,
+/// and a mask — no hashing and no pointer chasing. State lookup at commit
+/// goes through the [`Tsa`]'s precomputed-hash index.
 #[derive(Clone, Debug)]
 pub struct GuidedModel {
     tsa: Tsa,
     tfactor: f64,
     dests: Vec<DestSet>,
+    /// Bitmap geometry: pairs with `txn < txn_limit && thread <
+    /// thread_limit` are representable; anything outside occurs in no
+    /// modeled state and is never allowed.
+    txn_limit: u32,
+    thread_limit: u32,
+    /// `ceil(txn_limit * thread_limit / 64)` — bitmap words per state.
+    words_per_state: usize,
+    /// `num_states * words_per_state` words, row `s` holding state `s`'s
+    /// allowed-pair bitmap.
+    bits: Box<[u64]>,
 }
 
 impl GuidedModel {
     /// Threshold every state's outbound edges at `P_h / tfactor` and
-    /// precompute the gate's membership sets.
+    /// precompute the gate's bitwise membership structure.
     pub fn build(tsa: Tsa, config: &GuidanceConfig) -> Self {
         assert!(config.tfactor >= 1.0, "Tfactor must be >= 1");
+        // Geometry over every pair occurring anywhere in the model: dense
+        // in practice, since benchmarks number transaction sites and
+        // threads contiguously from zero.
+        let (mut txn_limit, mut thread_limit) = (0u32, 0u32);
+        for key in tsa.states() {
+            for pair in key.pairs() {
+                txn_limit = txn_limit.max(pair.txn.0 as u32 + 1);
+                thread_limit = thread_limit.max(pair.thread.0 as u32 + 1);
+            }
+        }
+        let words_per_state = ((txn_limit * thread_limit) as usize).div_ceil(64);
+        let mut bits = vec![0u64; tsa.num_states() * words_per_state].into_boxed_slice();
         let mut dests = Vec::with_capacity(tsa.num_states());
         for id in tsa.state_ids() {
             let edges = tsa.outbound(id);
             let total: u64 = edges.iter().map(|&(_, f)| f).sum();
             let mut kept_states = Vec::new();
-            let mut allowed_pairs = HashSet::new();
             if total > 0 {
                 // Edges are sorted by descending frequency, so the head is P_h.
                 let p_h = edges[0].1 as f64 / total as f64;
                 let threshold = p_h / config.tfactor;
+                let row = &mut bits[id.index() * words_per_state..][..words_per_state];
                 for &(dst, f) in edges {
                     let p = f as f64 / total as f64;
                     if p >= threshold {
                         kept_states.push(dst);
                         for pair in tsa.state(dst).pairs() {
-                            allowed_pairs.insert(pair.packed());
+                            let bit =
+                                pair.txn.0 as usize * thread_limit as usize + pair.thread.0 as usize;
+                            row[bit >> 6] |= 1u64 << (bit & 63);
                         }
                     }
                 }
@@ -222,13 +342,16 @@ impl GuidedModel {
                 all: edges.len() as u32,
                 kept: kept_states.len() as u32,
                 kept_states,
-                allowed_pairs,
             });
         }
         GuidedModel {
             tsa,
             tfactor: config.tfactor,
             dests,
+            txn_limit,
+            thread_limit,
+            words_per_state,
+            bits,
         }
     }
 
@@ -244,9 +367,16 @@ impl GuidedModel {
 
     /// Whether `who` may proceed from `state`: true iff `who` appears in
     /// any tuple (commit or abort) of a high-probability destination state.
+    /// A single bitmap load + mask — this sits on every gate retry.
     #[inline]
     pub fn is_allowed(&self, state: StateId, who: Pair) -> bool {
-        self.dests[state.index()].allowed_pairs.contains(&who.packed())
+        let (txn, thread) = (who.txn.0 as u32, who.thread.0 as u32);
+        if txn >= self.txn_limit || thread >= self.thread_limit {
+            return false;
+        }
+        let bit = (txn * self.thread_limit + thread) as usize;
+        let word = self.bits[state.index() * self.words_per_state + (bit >> 6)];
+        word >> (bit & 63) & 1 != 0
     }
 
     /// The thresholded destination states of `state`.
@@ -264,6 +394,12 @@ impl GuidedModel {
     /// Look up the state id for an observed state key, if modeled.
     pub fn id_of(&self, key: &StateKey) -> Option<StateId> {
         self.tsa.id_of(key)
+    }
+
+    /// Hot-path state lookup by borrowed parts (see [`Tsa::id_of_parts`]).
+    #[inline]
+    pub fn id_of_parts(&self, aborts: &[Pair], commit: Pair) -> Option<StateId> {
+        self.tsa.id_of_parts(aborts, commit)
     }
 
     /// Number of states.
@@ -399,6 +535,60 @@ mod tests {
         assert!(model.is_allowed(is, p(1, 5)));
         assert!(model.is_allowed(is, p(0, 2)));
         assert!(!model.is_allowed(is, p(1, 2)));
+    }
+
+    #[test]
+    fn id_of_parts_matches_id_of() {
+        let keys = vec![
+            StateKey::solo(p(0, 0)),
+            StateKey::new(vec![p(0, 1), p(1, 2)], p(2, 3)),
+            StateKey::new(vec![p(0, 1)], p(2, 3)),
+            StateKey::solo(p(2, 3)),
+        ];
+        let tsa = Tsa::from_runs(&[keys.clone()]);
+        for key in &keys {
+            let mut aborts = key.aborts().to_vec();
+            aborts.sort_unstable();
+            assert_eq!(
+                tsa.id_of_parts(&aborts, key.commit()),
+                tsa.id_of(key),
+                "parts lookup disagrees for {key}"
+            );
+        }
+        assert_eq!(tsa.id_of_parts(&[], p(9, 9)), None);
+        assert_eq!(tsa.id_of_parts(&[p(0, 1)], p(9, 9)), None);
+    }
+
+    #[test]
+    fn index_survives_growth_past_initial_capacity() {
+        // Hundreds of distinct states force several StateIndex growths;
+        // every state must remain findable and intern must stay stable.
+        let run: Vec<StateKey> = (0..500u16)
+            .map(|i| StateKey::solo(p(i % 26, i / 26)))
+            .collect();
+        let tsa = Tsa::from_runs(&[run.clone()]);
+        let distinct: std::collections::HashSet<_> = run.iter().cloned().collect();
+        assert_eq!(tsa.num_states(), distinct.len());
+        for key in &distinct {
+            let id = tsa.id_of(key).expect("interned state must be found");
+            assert_eq!(tsa.state(id), key);
+        }
+    }
+
+    #[test]
+    fn is_allowed_rejects_pairs_outside_bitmap_geometry() {
+        let a = StateKey::solo(p(0, 0));
+        let b = StateKey::solo(p(1, 2));
+        let tsa = Tsa::from_runs(&[vec![a.clone(), b]]);
+        let ia = tsa.id_of(&a).unwrap();
+        let model = GuidedModel::build(tsa, &GuidanceConfig::default());
+        assert!(model.is_allowed(ia, p(1, 2)));
+        // In-geometry but never occurring: bit is simply zero.
+        assert!(!model.is_allowed(ia, p(0, 1)));
+        // Outside the geometry on either axis: bounds check rejects.
+        assert!(!model.is_allowed(ia, p(7, 0)));
+        assert!(!model.is_allowed(ia, p(0, 7)));
+        assert!(!model.is_allowed(ia, p(u16::MAX, u16::MAX)));
     }
 
     #[test]

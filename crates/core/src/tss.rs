@@ -56,6 +56,28 @@ impl StateKey {
         }
     }
 
+    /// Build a state from an *already sorted and deduplicated* abort slice.
+    ///
+    /// This is the online tracker's constructor: the commit-side scratch
+    /// buffer is canonicalized in place, looked up in the model by
+    /// reference, and only then materialized into an owned key for the
+    /// recorded Tseq — one boxed-slice copy, no intermediate `Vec`, and no
+    /// allocation at all for the common solo (no aborts) state.
+    pub fn from_sorted(aborts: &[Pair], commit: Pair) -> Self {
+        debug_assert!(
+            aborts.windows(2).all(|w| w[0] < w[1]),
+            "aborts must be sorted and deduplicated"
+        );
+        StateKey {
+            aborts: if aborts.is_empty() {
+                Box::default()
+            } else {
+                aborts.into()
+            },
+            commit,
+        }
+    }
+
     /// The committing `<txn,thread>` pair.
     #[inline]
     pub fn commit(&self) -> Pair {
@@ -81,6 +103,37 @@ impl StateKey {
     pub fn pairs(&self) -> impl Iterator<Item = Pair> + '_ {
         self.aborts.iter().copied().chain(std::iter::once(self.commit))
     }
+
+    /// The precomputable 64-bit hash of this state (see [`hash_parts`]).
+    #[inline]
+    pub fn hash64(&self) -> u64 {
+        hash_parts(&self.aborts, self.commit)
+    }
+
+    /// Whether this state equals the one described by a sorted abort slice
+    /// and a committing pair — equality without constructing a `StateKey`.
+    #[inline]
+    pub fn matches_parts(&self, aborts: &[Pair], commit: Pair) -> bool {
+        self.commit == commit && *self.aborts == *aborts
+    }
+}
+
+/// The 64-bit state hash shared by model build and the commit hot path:
+/// FNV-1a over the packed pairs of the state (sorted aborts, then the
+/// committing pair under a distinguishing complement so `{<a1>, <b2>}` and
+/// `{<b2>, <a1>}`-style swaps cannot collide structurally).
+///
+/// `aborts` must be sorted and deduplicated — the canonical form
+/// [`StateKey`] maintains — so equal states always produce equal hashes.
+#[inline]
+pub fn hash_parts(aborts: &[Pair], commit: Pair) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    for p in aborts {
+        h = (h ^ p.packed() as u64).wrapping_mul(PRIME);
+    }
+    (h ^ !(commit.packed() as u64)).wrapping_mul(PRIME)
 }
 
 impl fmt::Display for StateKey {
@@ -168,6 +221,38 @@ mod tests {
         assert_eq!(tseq.len(), 2);
         assert_eq!(tseq[0], StateKey::new(vec![p(0, 1), p(0, 2)], p(0, 0)));
         assert_eq!(tseq[1], StateKey::solo(p(1, 1)));
+    }
+
+    #[test]
+    fn from_sorted_matches_new() {
+        let aborts = {
+            let mut v = vec![p(1, 2), p(0, 1), p(3, 0)];
+            v.sort_unstable();
+            v
+        };
+        let a = StateKey::from_sorted(&aborts, p(4, 4));
+        let b = StateKey::new(vec![p(3, 0), p(0, 1), p(1, 2)], p(4, 4));
+        assert_eq!(a, b);
+        assert_eq!(StateKey::from_sorted(&[], p(2, 2)), StateKey::solo(p(2, 2)));
+    }
+
+    #[test]
+    fn hash_and_matches_agree_with_equality() {
+        let a = StateKey::new(vec![p(0, 1), p(1, 2)], p(2, 3));
+        let b = StateKey::new(vec![p(1, 2), p(0, 1)], p(2, 3));
+        assert_eq!(a.hash64(), b.hash64(), "canonicalized states hash equal");
+        assert_eq!(a.hash64(), hash_parts(a.aborts(), a.commit()));
+        assert!(a.matches_parts(b.aborts(), b.commit()));
+        assert!(!a.matches_parts(&[], p(2, 3)));
+        assert!(!a.matches_parts(a.aborts(), p(2, 4)));
+        // Swapping a pair between the abort set and the commit slot must
+        // change the hash (the structural-collision case hash_parts guards).
+        let swapped = StateKey::new(vec![p(2, 3), p(1, 2)], p(0, 1));
+        assert_ne!(a.hash64(), swapped.hash64());
+        assert_ne!(
+            StateKey::solo(p(0, 1)).hash64(),
+            StateKey::new(vec![p(0, 1)], p(0, 1)).hash64()
+        );
     }
 
     #[test]

@@ -3,7 +3,7 @@
 
 use crate::object::{ObjectInner, TObject};
 use crate::runtime::{DetectionMode, LibTm, Resolution};
-use gstm_core::{AbortCause, Pair, ThreadId};
+use gstm_core::{AbortCause, AddrSet, Pair, ThreadId};
 use std::any::Any;
 use std::sync::Arc;
 
@@ -108,6 +108,9 @@ pub struct LtTxn<'tm> {
     read_set: Vec<(Arc<dyn LtTarget>, u64)>,
     /// Objects where this attempt registered as a visible reader.
     registered: Vec<Arc<dyn LtTarget>>,
+    /// Keys of `registered`, for O(1) dedup on every read (a linear scan
+    /// here made reader registration quadratic in read-set size).
+    registered_keys: AddrSet,
     /// Buffered writes.
     write_set: Vec<Box<dyn LtWriteEntry>>,
     /// Writer locks acquired at encounter time (pessimistic-write modes).
@@ -133,6 +136,7 @@ impl<'tm> LtTxn<'tm> {
             me,
             read_set: Vec::new(),
             registered: Vec::new(),
+            registered_keys: AddrSet::new(),
             write_set: Vec::new(),
             held_write: Vec::new(),
         }
@@ -166,7 +170,7 @@ impl<'tm> LtTxn<'tm> {
     }
 
     fn register_reader(&mut self, inner: &Arc<dyn LtTarget>) {
-        if !self.registered.iter().any(|r| r.key() == inner.key()) {
+        if self.registered_keys.insert(inner.key()) {
             inner.add_reader(self.me.thread);
             self.registered.push(Arc::clone(inner));
         }

@@ -3,10 +3,10 @@
 
 use crate::runtime::{Detection, Stm};
 use crate::tvar::{TVar, TxTarget};
+use crate::vlock::VLock;
 use crossbeam::epoch::{self, Guard};
-use gstm_core::{AbortCause, Pair};
+use gstm_core::{AbortCause, AddrSet, Pair};
 use std::any::Any;
-use std::collections::HashSet;
 use std::sync::Arc;
 
 /// Control-flow signal that the current transaction attempt must roll
@@ -69,7 +69,9 @@ pub struct Txn<'stm> {
     me: Pair,
     rv: u64,
     read_set: Vec<Arc<dyn TxTarget>>,
-    read_keys: HashSet<usize>,
+    /// Locations already in `read_set`, keyed by allocation address —
+    /// consulted on every read, so it avoids a SipHash per probe.
+    read_keys: AddrSet,
     write_set: Vec<Box<dyn WriteEntry>>,
     /// Encounter-time locks held in eager detection mode, with the
     /// version each lock word carried before acquisition (needed to
@@ -99,7 +101,7 @@ impl<'stm> Txn<'stm> {
             me,
             rv,
             read_set: Vec::new(),
-            read_keys: HashSet::new(),
+            read_keys: AddrSet::new(),
             write_set: Vec::new(),
             eager_locks: Vec::new(),
             rng: rng_seed | 1,
@@ -201,11 +203,17 @@ impl<'stm> Txn<'stm> {
         Ok(value)
     }
 
-    /// Acquire `target`'s lock at encounter time (eager detection).
-    /// Deduplicates by *lock* identity, so stripe-mates (TL2 "PS" mode)
-    /// acquire their shared lock once.
-    fn eager_acquire(&mut self, target: Arc<dyn TxTarget>) -> TxResult<()> {
-        let lock_addr = target.vlock() as *const _ as usize;
+    /// Acquire a lock at encounter time (eager detection). Deduplicates by
+    /// *lock* identity, so stripe-mates (TL2 "PS" mode) acquire their
+    /// shared lock once. `retain` produces the owning handle kept until
+    /// release — invoked only on actual acquisition, so the already-held
+    /// (re-write and stripe-mate) path clones no `Arc`.
+    fn eager_acquire(
+        &mut self,
+        lock: &VLock,
+        retain: impl FnOnce() -> Arc<dyn TxTarget>,
+    ) -> TxResult<()> {
+        let lock_addr = lock as *const _ as usize;
         if self
             .eager_locks
             .iter()
@@ -213,12 +221,11 @@ impl<'stm> Txn<'stm> {
         {
             return Ok(());
         }
-        let lock = target.vlock();
         let mut last_owner = None;
         for _ in 0..self.stm.config.commit_spin {
             match lock.try_lock(self.me.thread) {
                 Ok(prev) => {
-                    self.eager_locks.push((target, prev));
+                    self.eager_locks.push((retain(), prev));
                     return Ok(());
                 }
                 Err(observed) => {
@@ -244,7 +251,9 @@ impl<'stm> Txn<'stm> {
         self.n_writes += 1;
         self.maybe_yield();
         if self.stm.config.detection == Detection::Eager {
-            self.eager_acquire(Arc::clone(&tvar.inner) as Arc<dyn TxTarget>)?;
+            self.eager_acquire(tvar.inner.vlock(), || {
+                Arc::clone(&tvar.inner) as Arc<dyn TxTarget>
+            })?;
         }
         if let Some(i) = self.write_index(tvar.key()) {
             let entry = self.write_set[i]
@@ -292,21 +301,26 @@ impl<'stm> Txn<'stm> {
         let eager = self.stm.config.detection == Detection::Eager;
 
         // Phase 2: acquire write locks (lazy mode only — eager writes
-        // already hold theirs).
-        let mut locked: Vec<(usize, u64)> = Vec::with_capacity(self.write_set.len());
-        let release_all = |write_set: &[Box<dyn WriteEntry>], locked: &[(usize, u64)]| {
-            for &(j, prev) in locked {
+        // already hold theirs). Each entry is `(write-set index, pre-lock
+        // version, lock address)`; carrying the lock address here both
+        // dedupes stripe-mates without a per-commit hash set and lets
+        // validation find own-lock versions with a plain scan.
+        let mut locked: Vec<(usize, u64, usize)> = Vec::with_capacity(self.write_set.len());
+        let release_all = |write_set: &[Box<dyn WriteEntry>], locked: &[(usize, u64, usize)]| {
+            for &(j, prev, _) in locked {
                 write_set[j].target().vlock().unlock(prev);
             }
         };
         if !eager {
             // Dedupe by lock identity: in striped ("PS") mode several
             // write-set entries can share one lock, which must be taken
-            // (and later released) exactly once.
-            let mut seen_locks = HashSet::new();
+            // (and later released) exactly once. The write set is sorted
+            // and small, so a linear scan over already-acquired locks
+            // beats hashing.
             for (i, entry) in self.write_set.iter().enumerate() {
                 let lock = entry.target().vlock();
-                if !seen_locks.insert(lock as *const _ as usize) {
+                let lock_addr = lock as *const _ as usize;
+                if locked.iter().any(|&(_, _, a)| a == lock_addr) {
                     continue;
                 }
                 let mut acquired = None;
@@ -325,7 +339,7 @@ impl<'stm> Txn<'stm> {
                     }
                 }
                 match acquired {
-                    Some(prev) => locked.push((i, prev)),
+                    Some(prev) => locked.push((i, prev, lock_addr)),
                     None => {
                         release_all(&self.write_set, &locked);
                         return Err(Abort {
@@ -343,13 +357,11 @@ impl<'stm> Txn<'stm> {
         // itself locked (at commit in lazy mode, at encounter in eager
         // mode) validates against its pre-lock version.
         if wv != self.rv + 1 {
-            let own_prev = |txn: &Self, locked: &[(usize, u64)], lock_addr: usize| -> Option<u64> {
+            let own_prev = |txn: &Self, locked: &[(usize, u64, usize)], lock_addr: usize| -> Option<u64> {
                 locked
                     .iter()
-                    .find(|&&(j, _)| {
-                        txn.write_set[j].target().vlock() as *const _ as usize == lock_addr
-                    })
-                    .map(|&(_, p)| p)
+                    .find(|&&(_, _, a)| a == lock_addr)
+                    .map(|&(_, p, _)| p)
                     .or_else(|| {
                         txn.eager_locks
                             .iter()
@@ -388,7 +400,7 @@ impl<'stm> Txn<'stm> {
         for entry in &self.write_set {
             entry.publish(&guard);
         }
-        for &(j, _) in &locked {
+        for &(j, _, _) in &locked {
             self.write_set[j].target().vlock().unlock(wv);
         }
         for (target, _) in self.eager_locks.drain(..) {
