@@ -10,6 +10,7 @@
 
 use criterion::Criterion;
 use gstm_core::guidance::{GuidanceHook, GuidedHook, NoopHook, RecorderHook};
+use gstm_core::telemetry::Telemetry;
 use gstm_core::{AbortCause, GuidanceConfig, GuidedModel, Pair, StateKey, ThreadId, Tsa, TxnId};
 use std::collections::{HashMap, HashSet};
 use std::hint::black_box;
@@ -94,6 +95,19 @@ fn bench_hooks(c: &mut Criterion) {
                     Arc::new(GuidedHook::new(
                         Arc::clone(&model),
                         GuidanceConfig::default(),
+                    ))
+                })
+            }),
+            // Enabled-mode telemetry: gate outcomes + abort causes feed
+            // the counter cells (counters_only leaves the trace ring off,
+            // the steady-state harness configuration).
+            ("guided_telemetry", {
+                let model = harness_model(threads);
+                Box::new(move || {
+                    Arc::new(GuidedHook::with_telemetry(
+                        Arc::clone(&model),
+                        GuidanceConfig::default(),
+                        Some(Arc::new(Telemetry::counters_only())),
                     ))
                 })
             }),

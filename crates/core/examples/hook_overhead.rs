@@ -12,9 +12,25 @@
 //! cargo run --release --example hook_overhead [threads...]
 //! ```
 //!
+//! The `guided+tel` row attaches a [`Telemetry`] collector and replays
+//! the runtime-side instrumentation (timestamps, counter records) inside
+//! the window, so it is the *enabled-mode* per-window cost; the plain
+//! `guided` row is the telemetry-disabled path the ≤2% budget applies to.
+//!
+//! CI regression mode:
+//!
+//! ```text
+//! cargo run --release --example hook_overhead -- --check [baseline-file]
+//! ```
+//!
+//! compares the guided/noop overhead *ratio* (machine-speed-normalized)
+//! against the recorded baseline and exits nonzero when the
+//! telemetry-disabled path regressed by more than 2%.
+//!
 //! Numbers in README.md § Performance come from this harness.
 
 use gstm_core::guidance::{GuidanceHook, GuidedHook, NoopHook, RecorderHook};
+use gstm_core::telemetry::Telemetry;
 use gstm_core::{AbortCause, GuidanceConfig, GuidedModel, Pair, StateKey, ThreadId, Tsa, TxnId};
 use std::collections::{HashMap, HashSet};
 use std::hint::black_box;
@@ -47,22 +63,47 @@ const ABORTS_PER_COMMIT: usize = 3;
 
 /// Drive `commits` windows against `hook` from `threads` workers and
 /// return the mean wall-clock nanoseconds per commit (full window: one
-/// gate + three aborts + one commit).
-fn drive(hook: Arc<dyn GuidanceHook>, threads: u16, commits_per_thread: usize) -> f64 {
+/// gate + three aborts + one commit). When `tel` is set, each window also
+/// replays the runtime-side telemetry instrumentation (gate/commit
+/// timestamps plus counter records), matching what the STM retry loops
+/// do in enabled mode.
+fn drive(
+    hook: Arc<dyn GuidanceHook>,
+    tel: Option<Arc<Telemetry>>,
+    threads: u16,
+    commits_per_thread: usize,
+) -> f64 {
     let barrier = Arc::new(Barrier::new(threads as usize + 1));
     let mut handles = Vec::new();
     for t in 0..threads {
         let hook = Arc::clone(&hook);
+        let tel = tel.clone();
         let barrier = Arc::clone(&barrier);
         handles.push(std::thread::spawn(move || {
             let me = Pair::new(TxnId(t % 4), ThreadId(t));
             barrier.wait();
             for _ in 0..commits_per_thread {
-                hook.gate(me);
-                for _ in 0..ABORTS_PER_COMMIT {
-                    hook.on_abort(me, AbortCause::Validation);
+                // Re-opaque the handle every window: stops LLVM
+                // devirtualizing NoopHook and deleting the loop outright.
+                let hook = black_box(&*hook);
+                if let Some(t) = &tel {
+                    let t0 = t.now_ns();
+                    hook.gate(me);
+                    t.record_gate_wait(me, t.now_ns().saturating_sub(t0));
+                    for _ in 0..ABORTS_PER_COMMIT {
+                        hook.on_abort(me, AbortCause::Validation);
+                        t.record_abort(me, AbortCause::Validation);
+                    }
+                    let c0 = t.now_ns();
+                    hook.on_commit(me);
+                    t.record_commit(me, t.now_ns().saturating_sub(c0));
+                } else {
+                    hook.gate(me);
+                    for _ in 0..ABORTS_PER_COMMIT {
+                        hook.on_abort(me, AbortCause::Validation);
+                    }
+                    hook.on_commit(me);
                 }
-                hook.on_commit(me);
             }
             barrier.wait();
         }));
@@ -191,19 +232,134 @@ fn component_micro() {
     );
 }
 
+const COMMITS: usize = 200_000;
+
+/// Best-of-`n` ns/window for a fresh hook per repetition.
+fn best_of(
+    n: usize,
+    threads: u16,
+    mk: &dyn Fn() -> (Arc<dyn GuidanceHook>, Option<Arc<Telemetry>>),
+) -> f64 {
+    (0..n)
+        .map(|_| {
+            let (hook, tel) = mk();
+            drive(hook, tel, threads, COMMITS)
+        })
+        .fold(f64::INFINITY, f64::min)
+}
+
+/// Median-of-`n` ns/window — the `--check` aggregator. An oversubscribed
+/// single-core host throws low *and* high outliers; the median tracks the
+/// typical window where a minimum chases lucky scheduling.
+fn median_of(
+    n: usize,
+    threads: u16,
+    mk: &dyn Fn() -> (Arc<dyn GuidanceHook>, Option<Arc<Telemetry>>),
+) -> f64 {
+    let mut samples: Vec<f64> = (0..n)
+        .map(|_| {
+            let (hook, tel) = mk();
+            drive(hook, tel, threads, COMMITS)
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    samples[n / 2]
+}
+
+/// `--check [baseline]`: recompute the telemetry-disabled guided/noop
+/// overhead ratios and fail (exit 1) when either thread count regressed
+/// more than 2% against the recorded baseline ratio. Comparing ratios
+/// rather than raw nanoseconds cancels machine speed, so the same
+/// baseline file works across hosts of one architecture generation.
+fn run_check(baseline_path: &str) -> ! {
+    let body = std::fs::read_to_string(baseline_path).unwrap_or_else(|e| {
+        eprintln!("hook_overhead --check: cannot read {baseline_path}: {e}");
+        std::process::exit(2);
+    });
+    let mut base: HashMap<String, f64> = HashMap::new();
+    for line in body.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut it = line.split_whitespace();
+        if let (Some(k), Some(v)) = (it.next(), it.next()) {
+            if let Ok(v) = v.parse() {
+                base.insert(k.to_string(), v);
+            }
+        }
+    }
+    let get = |k: &str| -> f64 {
+        *base.get(k).unwrap_or_else(|| {
+            eprintln!("hook_overhead --check: baseline {baseline_path} lacks key {k}");
+            std::process::exit(2);
+        })
+    };
+    // 2% by default (the budget this PR's disabled path is held to);
+    // HOOK_CHECK_TOLERANCE overrides for hosts with known jitter.
+    let tolerance: f64 = std::env::var("HOOK_CHECK_TOLERANCE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1.02);
+    const MAX_ROUNDS: usize = 6;
+    // Both thread counts normalize by the *single-thread* noop window:
+    // it is the one number on an oversubscribed host that tracks pure
+    // machine speed (the 8-thread noop is dominated by barrier wakeups
+    // and swings far more than the 2% this gate polices).
+    let base_noop = get("noop_1t");
+    let mut failed = false;
+    for threads in [1u16, 8] {
+        let model = harness_model(threads);
+        let base_ratio = get(&format!("guided_{threads}t")) / base_noop;
+        let limit = base_ratio * tolerance;
+        // Rounds measure an independent noop/guided pair each; any round
+        // at or under the limit passes. A host-load burst inflates some
+        // rounds and a quiet one clears them, while a genuine hot-path
+        // regression inflates every round.
+        let (mut ratio, mut noop, mut guided) = (f64::INFINITY, 0.0, 0.0);
+        for _ in 0..MAX_ROUNDS {
+            let n = median_of(3, 1, &|| (Arc::new(NoopHook), None));
+            let g = median_of(3, threads, &|| {
+                (
+                    Arc::new(GuidedHook::new(Arc::clone(&model), GuidanceConfig::default())),
+                    None,
+                )
+            });
+            if g / n < ratio {
+                (ratio, noop, guided) = (g / n, n, g);
+            }
+            if ratio <= limit {
+                break;
+            }
+        }
+        let verdict = if ratio <= limit {
+            "PASS"
+        } else {
+            failed = true;
+            "FAIL"
+        };
+        println!(
+            "{verdict} {threads}t: guided/noop1t ratio {ratio:.2} vs baseline {base_ratio:.2} \
+             (limit {limit:.2}; noop1t {noop:.1} ns, guided {guided:.1} ns)",
+        );
+    }
+    std::process::exit(if failed { 1 } else { 0 });
+}
+
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("--check") {
+        let default = "crates/bench/baselines/hook_overhead_pr1.txt".to_string();
+        run_check(args.get(1).unwrap_or(&default));
+    }
     let thread_counts: Vec<u16> = {
-        let args: Vec<u16> = std::env::args()
-            .skip(1)
-            .filter_map(|a| a.parse().ok())
-            .collect();
-        if args.is_empty() {
+        let parsed: Vec<u16> = args.iter().filter_map(|a| a.parse().ok()).collect();
+        if parsed.is_empty() {
             vec![1, 8]
         } else {
-            args
+            parsed
         }
     };
-    const COMMITS: usize = 200_000;
     println!(
         "hook_overhead: ns/commit-window (gate + {ABORTS_PER_COMMIT} aborts + commit), \
          {COMMITS} commits/thread"
@@ -212,19 +368,39 @@ fn main() {
     for &threads in &thread_counts {
         // Warmup + measure; take the best of 3 to damp scheduler noise.
         let mut rows: Vec<(&str, f64)> = Vec::new();
-        let best = |mk: &dyn Fn() -> Arc<dyn GuidanceHook>| -> f64 {
-            (0..3)
-                .map(|_| drive(mk(), threads, COMMITS))
-                .fold(f64::INFINITY, f64::min)
+        let best = |mk: &dyn Fn() -> (Arc<dyn GuidanceHook>, Option<Arc<Telemetry>>)| -> f64 {
+            best_of(3, threads, mk)
         };
-        let legacy = best(&|| Arc::new(LegacyRecorder::default()));
-        rows.push(("noop", best(&|| Arc::new(NoopHook))));
+        let legacy = best(&|| (Arc::new(LegacyRecorder::default()), None));
+        rows.push(("noop", best(&|| (Arc::new(NoopHook), None))));
         rows.push(("legacy", legacy));
-        rows.push(("sharded", best(&|| Arc::new(RecorderHook::new()))));
+        rows.push(("sharded", best(&|| (Arc::new(RecorderHook::new()), None))));
         let model = harness_model(threads);
         rows.push((
             "guided",
-            best(&|| Arc::new(GuidedHook::new(Arc::clone(&model), GuidanceConfig::default()))),
+            best(&|| {
+                (
+                    Arc::new(GuidedHook::new(Arc::clone(&model), GuidanceConfig::default())),
+                    None,
+                )
+            }),
+        ));
+        // Enabled mode: counters + histograms + runtime-side timestamps
+        // (counters_only keeps the trace ring out of the picture, matching
+        // the steady-state harness configuration).
+        rows.push((
+            "guided+tel",
+            best(&|| {
+                let tel = Arc::new(Telemetry::counters_only());
+                (
+                    Arc::new(GuidedHook::with_telemetry(
+                        Arc::clone(&model),
+                        GuidanceConfig::default(),
+                        Some(Arc::clone(&tel)),
+                    )),
+                    Some(tel),
+                )
+            }),
         ));
         for (name, ns) in rows {
             println!("{name:<10} {threads:>8} {ns:>12.1} {:>9.2}x", legacy / ns);

@@ -43,6 +43,7 @@ use crate::config::GuidanceConfig;
 use crate::events::AbortCause;
 use crate::ids::Pair;
 use crate::sync::Mutex;
+use crate::telemetry::{GateOutcome, Telemetry, TraceKind};
 use crate::tsa::{GuidedModel, StateId};
 use crate::tss::StateKey;
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
@@ -235,11 +236,25 @@ pub struct GuidedHook {
     waited: AtomicU64,
     released: AtomicU64,
     unknown_states: AtomicU64,
+    /// Optional telemetry sink: gate outcomes feed the per-thread
+    /// counters, commits feed TSA state-transition trace events. `None`
+    /// keeps the hot path at one extra predictable branch per call.
+    telemetry: Option<Arc<Telemetry>>,
 }
 
 impl GuidedHook {
     /// Create a guided hook over a trained model.
     pub fn new(model: Arc<GuidedModel>, config: GuidanceConfig) -> Self {
+        Self::with_telemetry(model, config, None)
+    }
+
+    /// Create a guided hook that additionally reports gate outcomes and
+    /// TSA state transitions to `telemetry`.
+    pub fn with_telemetry(
+        model: Arc<GuidedModel>,
+        config: GuidanceConfig,
+        telemetry: Option<Arc<Telemetry>>,
+    ) -> Self {
         GuidedHook {
             model,
             config,
@@ -249,6 +264,7 @@ impl GuidedHook {
             waited: AtomicU64::new(0),
             released: AtomicU64::new(0),
             unknown_states: AtomicU64::new(0),
+            telemetry,
         }
     }
 
@@ -285,17 +301,33 @@ impl GuidedHook {
     }
 }
 
+impl GuidedHook {
+    /// Count a gate resolution in the local counters and, when attached,
+    /// the telemetry cells.
+    #[inline]
+    fn count_outcome(&self, who: Pair, outcome: GateOutcome) {
+        let counter = match outcome {
+            GateOutcome::Passed => &self.passed,
+            GateOutcome::Waited => &self.waited,
+            GateOutcome::Released => &self.released,
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+        if let Some(t) = &self.telemetry {
+            t.record_gate_outcome(who, outcome);
+        }
+    }
+}
+
 impl GuidanceHook for GuidedHook {
     fn gate(&self, who: Pair) {
         let mut waited = false;
         for _retry in 0..self.config.k_retries {
             let cur = self.current.load(Ordering::Acquire);
             if cur == UNKNOWN || self.model.is_allowed(StateId(cur), who) {
-                if waited {
-                    self.waited.fetch_add(1, Ordering::Relaxed);
-                } else {
-                    self.passed.fetch_add(1, Ordering::Relaxed);
-                }
+                self.count_outcome(
+                    who,
+                    if waited { GateOutcome::Waited } else { GateOutcome::Passed },
+                );
                 return;
             }
             // Wait (bounded) for a concurrent commit to change the current
@@ -311,13 +343,12 @@ impl GuidanceHook for GuidedHook {
         // ended on a state change whose new state allows us — and otherwise
         // release to guarantee progress.
         if self.allowed_now(who) {
-            if waited {
-                self.waited.fetch_add(1, Ordering::Relaxed);
-            } else {
-                self.passed.fetch_add(1, Ordering::Relaxed);
-            }
+            self.count_outcome(
+                who,
+                if waited { GateOutcome::Waited } else { GateOutcome::Passed },
+            );
         } else {
-            self.released.fetch_add(1, Ordering::Relaxed);
+            self.count_outcome(who, GateOutcome::Released);
         }
     }
 
@@ -329,12 +360,23 @@ impl GuidanceHook for GuidedHook {
         let id = self
             .tracker
             .commit_with(who, |aborts, commit| self.model.id_of_parts(aborts, commit));
-        match id {
-            Some(id) => self.current.store(id.0, Ordering::Release),
+        let next = match id {
+            Some(id) => id.0,
             None => {
                 self.unknown_states.fetch_add(1, Ordering::Relaxed);
-                self.current.store(UNKNOWN, Ordering::Release);
+                UNKNOWN
             }
+        };
+        // Only the tracer needs the previous state; the telemetry-off
+        // path keeps the plain release store (an xchg here costs a locked
+        // RMW on a line every committer writes).
+        if let Some(t) = &self.telemetry {
+            let prev = self.current.swap(next, Ordering::AcqRel);
+            if prev != next {
+                t.trace(who, TraceKind::StateTransition { from: prev, to: next });
+            }
+        } else {
+            self.current.store(next, Ordering::Release);
         }
     }
 }

@@ -49,6 +49,7 @@ pub mod metrics;
 pub mod model_io;
 pub mod stats;
 pub mod sync;
+pub mod telemetry;
 pub mod tsa;
 pub mod tseq;
 pub mod tss;
@@ -63,6 +64,7 @@ pub mod prelude {
     pub use crate::ids::{Pair, ThreadId, TxnId};
     pub use crate::metrics::AbortHistogram;
     pub use crate::stats::ThreadStats;
+    pub use crate::telemetry::{Telemetry, TelemetrySnapshot, TraceEvent, TraceKind};
     pub use crate::tsa::{GuidedModel, StateId, Tsa};
     pub use crate::tseq::{parse_causal, EventLogHook};
     pub use crate::tss::StateKey;

@@ -1,0 +1,1265 @@
+//! Runtime telemetry: lock-free counters, log-bucketed latency
+//! histograms, and a bounded per-thread transaction tracer.
+//!
+//! The paper's offline pipeline measures variance from full run logs; this
+//! module gives a *live* view of the same execution: how many attempts
+//! commit or abort (and why), how long commits and gate waits take, and —
+//! via the tracer — the exact interleaving of attempts and TSA state
+//! transitions, exportable to JSONL and to chrome://tracing JSON so a
+//! run's state-residency timeline opens in Perfetto.
+//!
+//! ## Overhead discipline
+//!
+//! The STM runtimes hold an `Option<Arc<Telemetry>>`; when it is `None`
+//! (the default) every instrumentation point in the hot path is a single
+//! predictable branch and **no timestamp is read**. When enabled:
+//!
+//! * counters live in [`TELEMETRY_SHARDS`] cache-padded per-thread cells
+//!   (relaxed atomic adds on the caller's own line — no contention, no
+//!   false sharing);
+//! * histograms are HDR-style power-of-2 buckets: one `ilog2` plus one
+//!   relaxed add;
+//! * timestamps come from the TSC on x86_64 (calibrated once at
+//!   construction), not from `Instant`, so a sample is a couple of
+//!   instructions ([`Clock`]);
+//! * the tracer writes into a bounded per-thread ring buffer (oldest
+//!   events overwritten, never unbounded growth) under an uncontended
+//!   per-thread mutex, and can be sized to zero to keep counters only.
+use crate::events::AbortCause;
+use crate::ids::Pair;
+use crate::sync::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Number of cache-padded counter/tracer cells. Thread ids map to cells
+/// by masking (as in the guidance tracker's shards): up to 64 threads get
+/// private cells, beyond that threads alias and merely share one.
+pub const TELEMETRY_SHARDS: usize = 64;
+
+/// Histogram buckets: bucket 0 holds exact zeros; bucket *i* ≥ 1 holds
+/// values in `[2^(i-1), 2^i)`; bucket 64 holds `[2^63, u64::MAX]`.
+pub const NUM_BUCKETS: usize = 65;
+
+/// Per-thread tracer ring capacity used by [`Telemetry::new`].
+pub const DEFAULT_TRACE_CAPACITY: usize = 1 << 14;
+
+/// Sentinel state id meaning "not a modeled state" in
+/// [`TraceKind::StateTransition`] (mirrors the guidance gate's notion of
+/// an unknown current state).
+pub const UNKNOWN_STATE: u32 = u32::MAX;
+
+/// Stable label and index for each [`AbortCause`] variant, in the order
+/// used by [`TelemetrySnapshot::aborts`].
+pub const ABORT_CAUSE_NAMES: [&str; 6] = [
+    "read_locked",
+    "read_version",
+    "commit_lock_busy",
+    "validation",
+    "aborted_by_writer",
+    "explicit",
+];
+
+/// Index of `cause` into [`ABORT_CAUSE_NAMES`] /
+/// [`TelemetrySnapshot::aborts`].
+pub fn cause_index(cause: AbortCause) -> usize {
+    match cause {
+        AbortCause::ReadLocked { .. } => 0,
+        AbortCause::ReadVersion => 1,
+        AbortCause::CommitLockBusy { .. } => 2,
+        AbortCause::Validation => 3,
+        AbortCause::AbortedByWriter { .. } => 4,
+        AbortCause::Explicit => 5,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Clock
+// ---------------------------------------------------------------------------
+
+/// Nanosecond timestamps without `Instant` on the hot path.
+///
+/// On x86_64 the constructor calibrates the TSC against `Instant` once
+/// (a short spin), after which [`Clock::now_ns`] is an `rdtsc` plus a
+/// fixed-point multiply. Elsewhere — or if calibration fails — it falls
+/// back to `Instant::now()` against a construction-time epoch.
+pub struct Clock {
+    epoch: Instant,
+    #[cfg(target_arch = "x86_64")]
+    base_tsc: u64,
+    /// ns-per-tick in 24.24-ish fixed point (`ns << SHIFT / ticks`);
+    /// 0 means "use the `Instant` fallback".
+    #[cfg(target_arch = "x86_64")]
+    mult: u64,
+}
+
+#[cfg(target_arch = "x86_64")]
+const CLOCK_SHIFT: u32 = 24;
+
+impl Clock {
+    /// Construct and (on x86_64) calibrate the clock.
+    pub fn new() -> Self {
+        let epoch = Instant::now();
+        #[cfg(target_arch = "x86_64")]
+        {
+            let t0 = Instant::now();
+            let c0 = unsafe { std::arch::x86_64::_rdtsc() };
+            // Spin ~300µs: long enough for sub-0.1% calibration error,
+            // short enough that constructing Telemetry stays cheap.
+            while t0.elapsed().as_micros() < 300 {
+                std::hint::spin_loop();
+            }
+            let c1 = unsafe { std::arch::x86_64::_rdtsc() };
+            let ns = t0.elapsed().as_nanos() as u64;
+            let ticks = c1.wrapping_sub(c0);
+            let mult = if ticks == 0 {
+                0 // non-monotonic / unusable TSC: fall back to Instant
+            } else {
+                ((ns as u128) << CLOCK_SHIFT) as u64 / ticks
+            };
+            return Clock {
+                epoch,
+                base_tsc: c0,
+                mult,
+            };
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        Clock { epoch }
+    }
+
+    /// Nanoseconds since this clock was constructed.
+    #[inline]
+    pub fn now_ns(&self) -> u64 {
+        #[cfg(target_arch = "x86_64")]
+        if self.mult != 0 {
+            let ticks = unsafe { std::arch::x86_64::_rdtsc() }.wrapping_sub(self.base_tsc);
+            return ((ticks as u128 * self.mult as u128) >> CLOCK_SHIFT) as u64;
+        }
+        self.epoch.elapsed().as_nanos() as u64
+    }
+}
+
+impl Default for Clock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Histograms
+// ---------------------------------------------------------------------------
+
+/// A lock-free power-of-2 latency histogram (HDR-style): 65 buckets, a
+/// relaxed add per sample, `count`/`sum`/`max` tracked alongside.
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; NUM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Bucket index of `v`: 0 for v == 0, else `ilog2(v) + 1`, so bucket
+    /// *i* ≥ 1 covers `[2^(i-1), 2^i)` and `u64::MAX` saturates into the
+    /// last bucket (index 64) without overflow.
+    #[inline]
+    pub fn bucket_index(v: u64) -> usize {
+        if v == 0 {
+            0
+        } else {
+            v.ilog2() as usize + 1
+        }
+    }
+
+    /// Inclusive value range `[lo, hi]` of bucket `i`.
+    pub fn bucket_range(i: usize) -> (u64, u64) {
+        assert!(i < NUM_BUCKETS, "bucket index out of range");
+        if i == 0 {
+            (0, 0)
+        } else if i == NUM_BUCKETS - 1 {
+            (1u64 << (i - 1), u64::MAX)
+        } else {
+            (1u64 << (i - 1), (1u64 << i) - 1)
+        }
+    }
+
+    /// Record one sample.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.buckets[Self::bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        // Wrapping on astronomically large totals is acceptable for a
+        // diagnostic sum; the buckets stay exact.
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of the histogram.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect(),
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Plain-data copy of a [`LatencyHistogram`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket sample counts ([`NUM_BUCKETS`] entries).
+    pub buckets: Vec<u64>,
+    /// Total samples.
+    pub count: u64,
+    /// Sum of all samples (wraps at `u64::MAX`).
+    pub sum: u64,
+    /// Largest sample seen.
+    pub max: u64,
+}
+
+impl HistogramSnapshot {
+    /// Mean sample value (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Upper bound of the bucket where the cumulative count first reaches
+    /// `q` (0 < q ≤ 1) of the samples; 0 when empty. A coarse quantile —
+    /// exact only up to bucket resolution.
+    pub fn quantile_upper_bound(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64;
+        let mut cum = 0u64;
+        for (i, &b) in self.buckets.iter().enumerate() {
+            cum += b;
+            if cum >= target {
+                return LatencyHistogram::bucket_range(i).1;
+            }
+        }
+        LatencyHistogram::bucket_range(NUM_BUCKETS - 1).1
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Counters
+// ---------------------------------------------------------------------------
+
+/// One cache-padded counter cell. All adds are relaxed: each thread
+/// writes (almost always) only its own cell, and the snapshot only needs
+/// eventually-consistent totals.
+#[derive(Default)]
+#[repr(align(128))]
+struct CounterCell {
+    commits: AtomicU64,
+    aborts: [AtomicU64; 6],
+    gate_passed: AtomicU64,
+    gate_waited: AtomicU64,
+    gate_released: AtomicU64,
+}
+
+/// How a gate call resolved (mirrors [`crate::guidance::GateStats`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GateOutcome {
+    /// Passed immediately (allowed or unknown state).
+    Passed,
+    /// Waited at least one retry before passing.
+    Waited,
+    /// Released by the k-retry progress escape.
+    Released,
+}
+
+// ---------------------------------------------------------------------------
+// Tracer
+// ---------------------------------------------------------------------------
+
+/// What a trace event records.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TraceKind {
+    /// A transaction attempt began (gate passed).
+    Begin,
+    /// The guidance gate held the thread for `wait_ns` before this
+    /// attempt.
+    GateWait {
+        /// Nanoseconds spent inside the gate.
+        wait_ns: u64,
+    },
+    /// An attempt rolled back.
+    Abort {
+        /// Why it rolled back.
+        cause: AbortCause,
+    },
+    /// An attempt committed.
+    Commit {
+        /// Nanoseconds spent inside the STM commit protocol.
+        commit_ns: u64,
+        /// Transactional writes the attempt performed.
+        writes: u32,
+    },
+    /// The TSA current state changed (recorded by the guided hook on
+    /// commit). [`UNKNOWN_STATE`] means "outside the model".
+    StateTransition {
+        /// State id before the commit.
+        from: u32,
+        /// State id after the commit.
+        to: u32,
+    },
+}
+
+/// One tracer entry: globally sequenced, timestamped, attributed to a
+/// `<txn,thread>` pair.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Globally unique, monotonically assigned sequence number.
+    pub seq: u64,
+    /// Nanoseconds since the owning [`Telemetry`]'s construction.
+    pub ts_ns: u64,
+    /// The attempt this event concerns.
+    pub pair: Pair,
+    /// Payload.
+    pub kind: TraceKind,
+}
+
+/// Bounded ring of trace events; `next` is the overwrite cursor once the
+/// ring is full.
+#[derive(Default)]
+struct TraceRing {
+    buf: Vec<TraceEvent>,
+    next: usize,
+}
+
+/// A per-thread tracer shard, padded like the counter cells so tracing
+/// threads never false-share.
+#[derive(Default)]
+#[repr(align(128))]
+struct TraceShard {
+    ring: Mutex<TraceRing>,
+}
+
+// ---------------------------------------------------------------------------
+// Telemetry
+// ---------------------------------------------------------------------------
+
+/// The telemetry subsystem: counters + histograms + tracer + clock.
+///
+/// Constructed once per instrumented run and shared (`Arc`) between the
+/// STM runtime, the guidance hook, and whoever reads the snapshot.
+pub struct Telemetry {
+    cells: Box<[CounterCell]>,
+    commit_ns: LatencyHistogram,
+    backoff_ns: LatencyHistogram,
+    gate_wait_ns: LatencyHistogram,
+    clock: Clock,
+    trace_cap: usize,
+    trace_seq: AtomicU64,
+    trace: Box<[TraceShard]>,
+    trace_dropped: AtomicU64,
+}
+
+impl Telemetry {
+    /// Telemetry with the default per-thread trace capacity
+    /// ([`DEFAULT_TRACE_CAPACITY`] events per cell).
+    pub fn new() -> Self {
+        Self::with_trace_capacity(DEFAULT_TRACE_CAPACITY)
+    }
+
+    /// Telemetry with `cap` trace events per thread cell (oldest events
+    /// are overwritten beyond that). `cap == 0` disables tracing: only
+    /// counters and histograms are kept.
+    pub fn with_trace_capacity(cap: usize) -> Self {
+        Telemetry {
+            cells: (0..TELEMETRY_SHARDS).map(|_| CounterCell::default()).collect(),
+            commit_ns: LatencyHistogram::new(),
+            backoff_ns: LatencyHistogram::new(),
+            gate_wait_ns: LatencyHistogram::new(),
+            clock: Clock::new(),
+            trace_cap: cap,
+            trace_seq: AtomicU64::new(0),
+            trace: (0..TELEMETRY_SHARDS).map(|_| TraceShard::default()).collect(),
+            trace_dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// Counters and histograms only — no event tracing.
+    pub fn counters_only() -> Self {
+        Self::with_trace_capacity(0)
+    }
+
+    /// Whether the tracer is active.
+    #[inline]
+    pub fn trace_enabled(&self) -> bool {
+        self.trace_cap != 0
+    }
+
+    /// Nanoseconds since construction (TSC-based on x86_64).
+    #[inline]
+    pub fn now_ns(&self) -> u64 {
+        self.clock.now_ns()
+    }
+
+    #[inline]
+    fn cell(&self, who: Pair) -> &CounterCell {
+        &self.cells[who.thread.index() & (TELEMETRY_SHARDS - 1)]
+    }
+
+    /// Record a committed attempt and its commit-protocol latency.
+    #[inline]
+    pub fn record_commit(&self, who: Pair, commit_ns: u64) {
+        self.cell(who).commits.fetch_add(1, Ordering::Relaxed);
+        self.commit_ns.record(commit_ns);
+    }
+
+    /// Record an aborted attempt.
+    #[inline]
+    pub fn record_abort(&self, who: Pair, cause: AbortCause) {
+        self.cell(who).aborts[cause_index(cause)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record the abort-to-retry backoff latency preceding an attempt.
+    #[inline]
+    pub fn record_backoff(&self, _who: Pair, ns: u64) {
+        self.backoff_ns.record(ns);
+    }
+
+    /// Record the time an attempt spent inside the guidance gate.
+    #[inline]
+    pub fn record_gate_wait(&self, _who: Pair, ns: u64) {
+        self.gate_wait_ns.record(ns);
+    }
+
+    /// Record how a gate call resolved (invoked by the guided hook).
+    #[inline]
+    pub fn record_gate_outcome(&self, who: Pair, outcome: GateOutcome) {
+        let cell = self.cell(who);
+        let counter = match outcome {
+            GateOutcome::Passed => &cell.gate_passed,
+            GateOutcome::Waited => &cell.gate_waited,
+            GateOutcome::Released => &cell.gate_released,
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Append a trace event to the calling thread's ring (no-op when
+    /// tracing is disabled). Timestamp and sequence number are assigned
+    /// here.
+    pub fn trace(&self, who: Pair, kind: TraceKind) {
+        if self.trace_cap == 0 {
+            return;
+        }
+        let ev = TraceEvent {
+            seq: self.trace_seq.fetch_add(1, Ordering::Relaxed),
+            ts_ns: self.now_ns(),
+            pair: who,
+            kind,
+        };
+        let shard = &self.trace[who.thread.index() & (TELEMETRY_SHARDS - 1)];
+        let mut ring = shard.ring.lock();
+        if ring.buf.len() < self.trace_cap {
+            ring.buf.push(ev);
+        } else {
+            let i = ring.next;
+            ring.buf[i] = ev;
+            ring.next = (i + 1) % self.trace_cap;
+            self.trace_dropped.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// All retained trace events, ordered by sequence number. Each
+    /// shard's ring is copied under its own (uncontended) lock; sorting
+    /// happens outside every lock.
+    pub fn trace_events(&self) -> Vec<TraceEvent> {
+        let mut out = Vec::new();
+        for shard in self.trace.iter() {
+            let ring = shard.ring.lock();
+            out.extend_from_slice(&ring.buf);
+        }
+        out.sort_unstable_by_key(|e| e.seq);
+        out
+    }
+
+    /// Trace events overwritten because a ring was full.
+    pub fn trace_dropped(&self) -> u64 {
+        self.trace_dropped.load(Ordering::Relaxed)
+    }
+
+    /// Aggregate the per-thread cells and histograms into a snapshot.
+    pub fn snapshot(&self) -> TelemetrySnapshot {
+        let mut snap = TelemetrySnapshot {
+            commit_ns: self.commit_ns.snapshot(),
+            backoff_ns: self.backoff_ns.snapshot(),
+            gate_wait_ns: self.gate_wait_ns.snapshot(),
+            trace_dropped: self.trace_dropped(),
+            ..Default::default()
+        };
+        for (i, cell) in self.cells.iter().enumerate() {
+            let commits = cell.commits.load(Ordering::Relaxed);
+            let mut aborts = [0u64; 6];
+            for (a, c) in aborts.iter_mut().zip(&cell.aborts) {
+                *a = c.load(Ordering::Relaxed);
+            }
+            let passed = cell.gate_passed.load(Ordering::Relaxed);
+            let waited = cell.gate_waited.load(Ordering::Relaxed);
+            let released = cell.gate_released.load(Ordering::Relaxed);
+            let aborts_total: u64 = aborts.iter().sum();
+            snap.commits += commits;
+            for (t, a) in snap.aborts.iter_mut().zip(&aborts) {
+                *t += a;
+            }
+            snap.gate_passed += passed;
+            snap.gate_waited += waited;
+            snap.gate_released += released;
+            if commits + aborts_total + passed + waited + released != 0 {
+                snap.per_thread.push(ThreadCounters {
+                    cell: i,
+                    commits,
+                    aborts,
+                    gate_passed: passed,
+                    gate_waited: waited,
+                    gate_released: released,
+                });
+            }
+        }
+        snap
+    }
+
+    /// Prometheus text exposition of the current snapshot.
+    pub fn render_prometheus(&self) -> String {
+        self.snapshot().render_prometheus()
+    }
+
+    /// JSONL export of the retained trace (one event per line).
+    pub fn export_jsonl(&self) -> String {
+        export_jsonl(&self.trace_events())
+    }
+
+    /// chrome://tracing JSON export of the retained trace.
+    pub fn export_chrome_trace(&self) -> String {
+        export_chrome_trace(&self.trace_events())
+    }
+}
+
+impl Default for Telemetry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Counters of one (nonempty) per-thread cell, as captured by
+/// [`Telemetry::snapshot`]. `cell` is the cell index — equal to the
+/// thread id for the first [`TELEMETRY_SHARDS`] threads.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ThreadCounters {
+    /// Cell index (thread id modulo [`TELEMETRY_SHARDS`]).
+    pub cell: usize,
+    /// Committed attempts.
+    pub commits: u64,
+    /// Aborted attempts by cause (indexed per [`ABORT_CAUSE_NAMES`]).
+    pub aborts: [u64; 6],
+    /// Gate calls that passed immediately.
+    pub gate_passed: u64,
+    /// Gate calls that waited before passing.
+    pub gate_waited: u64,
+    /// Gate calls released by the progress escape.
+    pub gate_released: u64,
+}
+
+impl ThreadCounters {
+    /// Total aborted attempts in this cell.
+    pub fn aborts_total(&self) -> u64 {
+        self.aborts.iter().sum()
+    }
+
+    /// Total gate calls in this cell.
+    pub fn gate_total(&self) -> u64 {
+        self.gate_passed + self.gate_waited + self.gate_released
+    }
+}
+
+/// A point-in-time aggregate of everything the telemetry recorded.
+#[derive(Clone, Debug, Default)]
+pub struct TelemetrySnapshot {
+    /// Committed attempts across all threads.
+    pub commits: u64,
+    /// Aborted attempts by cause (indexed per [`ABORT_CAUSE_NAMES`]).
+    pub aborts: [u64; 6],
+    /// Gate calls that passed immediately.
+    pub gate_passed: u64,
+    /// Gate calls that waited before passing.
+    pub gate_waited: u64,
+    /// Gate calls released by the progress escape.
+    pub gate_released: u64,
+    /// Commit-protocol latency histogram (ns).
+    pub commit_ns: HistogramSnapshot,
+    /// Abort-to-retry backoff histogram (ns).
+    pub backoff_ns: HistogramSnapshot,
+    /// Gate wait-time histogram (ns).
+    pub gate_wait_ns: HistogramSnapshot,
+    /// Nonempty per-thread cells.
+    pub per_thread: Vec<ThreadCounters>,
+    /// Trace events lost to ring overwrites.
+    pub trace_dropped: u64,
+}
+
+impl TelemetrySnapshot {
+    /// Total aborted attempts.
+    pub fn aborts_total(&self) -> u64 {
+        self.aborts.iter().sum()
+    }
+
+    /// Explicit user retries (the `explicit` abort cause).
+    pub fn explicit_retries(&self) -> u64 {
+        self.aborts[5]
+    }
+
+    /// Total gate calls (`passed + waited + released`).
+    pub fn gate_total(&self) -> u64 {
+        self.gate_passed + self.gate_waited + self.gate_released
+    }
+
+    /// Render the snapshot in the Prometheus text exposition format.
+    pub fn render_prometheus(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "# TYPE gstm_commits_total counter");
+        let _ = writeln!(out, "gstm_commits_total {}", self.commits);
+        let _ = writeln!(out, "# TYPE gstm_aborts_total counter");
+        for (name, v) in ABORT_CAUSE_NAMES.iter().zip(&self.aborts) {
+            let _ = writeln!(out, "gstm_aborts_total{{cause=\"{name}\"}} {v}");
+        }
+        let _ = writeln!(out, "# TYPE gstm_gate_outcomes_total counter");
+        for (name, v) in [
+            ("passed", self.gate_passed),
+            ("waited", self.gate_waited),
+            ("released", self.gate_released),
+        ] {
+            let _ = writeln!(out, "gstm_gate_outcomes_total{{outcome=\"{name}\"}} {v}");
+        }
+        let _ = writeln!(out, "# TYPE gstm_trace_dropped_total counter");
+        let _ = writeln!(out, "gstm_trace_dropped_total {}", self.trace_dropped);
+        let _ = writeln!(out, "# TYPE gstm_thread_commits_total counter");
+        for t in &self.per_thread {
+            let _ = writeln!(out, "gstm_thread_commits_total{{thread=\"{}\"}} {}", t.cell, t.commits);
+        }
+        let _ = writeln!(out, "# TYPE gstm_thread_aborts_total counter");
+        for t in &self.per_thread {
+            let _ = writeln!(
+                out,
+                "gstm_thread_aborts_total{{thread=\"{}\"}} {}",
+                t.cell,
+                t.aborts_total()
+            );
+        }
+        prom_histogram(&mut out, "gstm_commit_duration_ns", &self.commit_ns);
+        prom_histogram(&mut out, "gstm_abort_backoff_ns", &self.backoff_ns);
+        prom_histogram(&mut out, "gstm_gate_wait_ns", &self.gate_wait_ns);
+        out
+    }
+}
+
+/// Emit one histogram in Prometheus text format (cumulative `le` buckets
+/// up to the highest populated one, then `+Inf`, `_sum`, `_count`).
+fn prom_histogram(out: &mut String, name: &str, h: &HistogramSnapshot) {
+    use std::fmt::Write as _;
+    let _ = writeln!(out, "# TYPE {name} histogram");
+    let last = h
+        .buckets
+        .iter()
+        .rposition(|&b| b != 0)
+        .map(|i| (i + 1).min(NUM_BUCKETS - 1))
+        .unwrap_or(0);
+    let mut cum = 0u64;
+    for (i, &b) in h.buckets.iter().enumerate().take(last + 1) {
+        cum += b;
+        let _ = writeln!(
+            out,
+            "{name}_bucket{{le=\"{}\"}} {cum}",
+            LatencyHistogram::bucket_range(i).1
+        );
+    }
+    let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", h.count);
+    let _ = writeln!(out, "{name}_sum {}", h.sum);
+    let _ = writeln!(out, "{name}_count {}", h.count);
+}
+
+// ---------------------------------------------------------------------------
+// JSONL export / import
+// ---------------------------------------------------------------------------
+
+fn cause_name(cause: AbortCause) -> &'static str {
+    ABORT_CAUSE_NAMES[cause_index(cause)]
+}
+
+/// Serialize trace events as JSONL: one self-contained JSON object per
+/// line, in input order.
+pub fn export_jsonl(events: &[TraceEvent]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    for ev in events {
+        let _ = write!(
+            out,
+            "{{\"seq\":{},\"ts_ns\":{},\"txn\":{},\"thread\":{}",
+            ev.seq, ev.ts_ns, ev.pair.txn.0, ev.pair.thread.0
+        );
+        match ev.kind {
+            TraceKind::Begin => {
+                let _ = write!(out, ",\"kind\":\"begin\"");
+            }
+            TraceKind::GateWait { wait_ns } => {
+                let _ = write!(out, ",\"kind\":\"gate_wait\",\"wait_ns\":{wait_ns}");
+            }
+            TraceKind::Abort { cause } => {
+                let _ = write!(out, ",\"kind\":\"abort\",\"cause\":\"{}\"", cause_name(cause));
+                if let Some(t) = cause.conflicting_thread() {
+                    let _ = write!(out, ",\"conflict\":{}", t.0);
+                }
+            }
+            TraceKind::Commit { commit_ns, writes } => {
+                let _ = write!(
+                    out,
+                    ",\"kind\":\"commit\",\"commit_ns\":{commit_ns},\"writes\":{writes}"
+                );
+            }
+            TraceKind::StateTransition { from, to } => {
+                let _ = write!(out, ",\"kind\":\"state_transition\",\"from\":{from},\"to\":{to}");
+            }
+        }
+        out.push_str("}\n");
+    }
+    out
+}
+
+/// Extract the raw value text following `"key":` in a single-line, flat
+/// JSON object (the shape [`export_jsonl`] emits).
+fn json_field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\":");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    let end = rest
+        .char_indices()
+        .find(|&(i, c)| (c == ',' || c == '}') && !in_string(rest, i))
+        .map(|(i, _)| i)
+        .unwrap_or(rest.len());
+    Some(rest[..end].trim())
+}
+
+/// Whether byte offset `i` of `s` falls inside a double-quoted string.
+fn in_string(s: &str, i: usize) -> bool {
+    s[..i].bytes().filter(|&b| b == b'"').count() % 2 == 1
+}
+
+fn json_u64(line: &str, key: &str) -> Option<u64> {
+    json_field(line, key)?.parse().ok()
+}
+
+fn json_str<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    json_field(line, key)?.strip_prefix('"')?.strip_suffix('"')
+}
+
+/// Parse JSONL produced by [`export_jsonl`] back into events, preserving
+/// order. Returns a description of the first malformed line on error.
+pub fn parse_jsonl(s: &str) -> Result<Vec<TraceEvent>, String> {
+    use crate::ids::{ThreadId, TxnId};
+    let mut out = Vec::new();
+    for (n, line) in s.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let err = |what: &str| format!("line {}: {what}: {line}", n + 1);
+        let seq = json_u64(line, "seq").ok_or_else(|| err("missing seq"))?;
+        let ts_ns = json_u64(line, "ts_ns").ok_or_else(|| err("missing ts_ns"))?;
+        let txn = json_u64(line, "txn").ok_or_else(|| err("missing txn"))? as u16;
+        let thread = json_u64(line, "thread").ok_or_else(|| err("missing thread"))? as u16;
+        let kind_str = json_str(line, "kind").ok_or_else(|| err("missing kind"))?;
+        let conflict = json_u64(line, "conflict").map(|t| ThreadId(t as u16));
+        let kind = match kind_str {
+            "begin" => TraceKind::Begin,
+            "gate_wait" => TraceKind::GateWait {
+                wait_ns: json_u64(line, "wait_ns").ok_or_else(|| err("missing wait_ns"))?,
+            },
+            "abort" => {
+                let cause = match json_str(line, "cause").ok_or_else(|| err("missing cause"))? {
+                    "read_locked" => AbortCause::ReadLocked { owner: conflict },
+                    "read_version" => AbortCause::ReadVersion,
+                    "commit_lock_busy" => AbortCause::CommitLockBusy { owner: conflict },
+                    "validation" => AbortCause::Validation,
+                    "aborted_by_writer" => AbortCause::AbortedByWriter { writer: conflict },
+                    "explicit" => AbortCause::Explicit,
+                    _ => return Err(err("unknown cause")),
+                };
+                TraceKind::Abort { cause }
+            }
+            "commit" => TraceKind::Commit {
+                commit_ns: json_u64(line, "commit_ns").ok_or_else(|| err("missing commit_ns"))?,
+                writes: json_u64(line, "writes").ok_or_else(|| err("missing writes"))? as u32,
+            },
+            "state_transition" => TraceKind::StateTransition {
+                from: json_u64(line, "from").ok_or_else(|| err("missing from"))? as u32,
+                to: json_u64(line, "to").ok_or_else(|| err("missing to"))? as u32,
+            },
+            _ => return Err(err("unknown kind")),
+        };
+        out.push(TraceEvent {
+            seq,
+            ts_ns,
+            pair: Pair::new(TxnId(txn), ThreadId(thread)),
+            kind,
+        });
+    }
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------------
+// chrome://tracing export
+// ---------------------------------------------------------------------------
+
+/// Synthetic `tid` carrying the TSA state-residency timeline in the
+/// chrome trace (distinct from any real thread id, which are u16).
+pub const TSA_TRACK_TID: u32 = 0x1_0000;
+
+fn fmt_us(ns: u64) -> String {
+    // chrome trace `ts`/`dur` are microseconds; keep ns resolution with
+    // three decimals.
+    format!("{}.{:03}", ns / 1_000, ns % 1_000)
+}
+
+fn state_name(id: u32) -> String {
+    if id == UNKNOWN_STATE {
+        "unknown".to_string()
+    } else {
+        format!("S{id}")
+    }
+}
+
+/// Serialize trace events as a chrome://tracing `trace_event` JSON
+/// document (openable in Perfetto / chrome://tracing).
+///
+/// Mapping: commits and gate waits become duration (`"X"`) slices ending
+/// at their record timestamp; begins and aborts become instants (`"i"`);
+/// [`TraceKind::StateTransition`] events additionally synthesize a
+/// state-residency timeline of `"X"` slices on the dedicated
+/// [`TSA_TRACK_TID`] track — each slice spans from one transition to the
+/// next and is named after the state the system resided in.
+pub fn export_chrome_trace(events: &[TraceEvent]) -> String {
+    use std::fmt::Write as _;
+    let mut entries: Vec<String> = Vec::new();
+    entries.push(format!(
+        "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":{TSA_TRACK_TID},\
+         \"args\":{{\"name\":\"TSA state\"}}}}"
+    ));
+    let mut transitions: Vec<&TraceEvent> = Vec::new();
+    let mut max_ts = 0u64;
+    for ev in events {
+        max_ts = max_ts.max(ev.ts_ns);
+        let tid = ev.pair.thread.0;
+        let txn = ev.pair.txn.0;
+        let mut e = String::new();
+        match ev.kind {
+            TraceKind::Begin => {
+                let _ = write!(
+                    e,
+                    "{{\"name\":\"begin:t{txn}\",\"cat\":\"tx\",\"ph\":\"i\",\"ts\":{},\
+                     \"pid\":0,\"tid\":{tid},\"s\":\"t\",\"args\":{{\"seq\":{}}}}}",
+                    fmt_us(ev.ts_ns),
+                    ev.seq
+                );
+            }
+            TraceKind::GateWait { wait_ns } => {
+                let _ = write!(
+                    e,
+                    "{{\"name\":\"gate\",\"cat\":\"gate\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\
+                     \"pid\":0,\"tid\":{tid},\"args\":{{\"seq\":{}}}}}",
+                    fmt_us(ev.ts_ns.saturating_sub(wait_ns)),
+                    fmt_us(wait_ns),
+                    ev.seq
+                );
+            }
+            TraceKind::Abort { cause } => {
+                let _ = write!(
+                    e,
+                    "{{\"name\":\"abort:{}\",\"cat\":\"abort\",\"ph\":\"i\",\"ts\":{},\
+                     \"pid\":0,\"tid\":{tid},\"s\":\"t\",\"args\":{{\"seq\":{}}}}}",
+                    cause_name(cause),
+                    fmt_us(ev.ts_ns),
+                    ev.seq
+                );
+            }
+            TraceKind::Commit { commit_ns, writes } => {
+                let _ = write!(
+                    e,
+                    "{{\"name\":\"commit:t{txn}\",\"cat\":\"tx\",\"ph\":\"X\",\"ts\":{},\
+                     \"dur\":{},\"pid\":0,\"tid\":{tid},\
+                     \"args\":{{\"seq\":{},\"writes\":{writes}}}}}",
+                    fmt_us(ev.ts_ns.saturating_sub(commit_ns)),
+                    fmt_us(commit_ns),
+                    ev.seq
+                );
+            }
+            TraceKind::StateTransition { from, to } => {
+                transitions.push(ev);
+                let _ = write!(
+                    e,
+                    "{{\"name\":\"{}\",\"cat\":\"tsa\",\"ph\":\"i\",\"ts\":{},\
+                     \"pid\":0,\"tid\":{tid},\"s\":\"p\",\
+                     \"args\":{{\"seq\":{},\"from\":\"{}\"}}}}",
+                    state_name(to),
+                    fmt_us(ev.ts_ns),
+                    ev.seq,
+                    state_name(from)
+                );
+            }
+        }
+        entries.push(e);
+    }
+    // Residency slices: state `to` holds from its transition until the
+    // next one (or the end of the trace).
+    transitions.sort_by_key(|e| e.ts_ns);
+    for (i, tr) in transitions.iter().enumerate() {
+        let (from, to) = match tr.kind {
+            TraceKind::StateTransition { from, to } => (from, to),
+            _ => unreachable!("transitions holds only state transitions"),
+        };
+        let end = transitions
+            .get(i + 1)
+            .map(|n| n.ts_ns)
+            .unwrap_or(max_ts)
+            .max(tr.ts_ns + 1);
+        entries.push(format!(
+            "{{\"name\":\"{}\",\"cat\":\"tsa\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\
+             \"pid\":0,\"tid\":{TSA_TRACK_TID},\"args\":{{\"from\":\"{}\"}}}}",
+            state_name(to),
+            fmt_us(tr.ts_ns),
+            fmt_us(end - tr.ts_ns),
+            state_name(from)
+        ));
+    }
+    let mut out = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n");
+    out.push_str(&entries.join(",\n"));
+    out.push_str("\n]}\n");
+    out
+}
+
+/// Count the objects in a chrome trace's `traceEvents` array (a
+/// structural sanity check used by tests and the harness validator).
+pub fn chrome_trace_event_count(json: &str) -> Option<usize> {
+    let start = json.find("\"traceEvents\":[")? + "\"traceEvents\":[".len();
+    let body = &json[start..];
+    let mut depth = 0usize;
+    let mut count = 0usize;
+    let mut in_str = false;
+    let mut prev_escape = false;
+    for c in body.chars() {
+        if in_str {
+            if prev_escape {
+                prev_escape = false;
+            } else if c == '\\' {
+                prev_escape = true;
+            } else if c == '"' {
+                in_str = false;
+            }
+            continue;
+        }
+        match c {
+            '"' => in_str = true,
+            '{' => {
+                if depth == 0 {
+                    count += 1;
+                }
+                depth += 1;
+            }
+            '}' => {
+                if depth == 0 {
+                    return None; // unbalanced
+                }
+                depth -= 1;
+            }
+            ']' => {
+                if depth == 0 {
+                    return Some(count);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{ThreadId, TxnId};
+
+    fn p(t: u16, th: u16) -> Pair {
+        Pair::new(TxnId(t), ThreadId(th))
+    }
+
+    #[test]
+    fn bucket_index_edges() {
+        assert_eq!(LatencyHistogram::bucket_index(0), 0);
+        assert_eq!(LatencyHistogram::bucket_index(1), 1);
+        // Exact power-of-2 boundaries start a new bucket; their
+        // predecessors close the previous one.
+        for k in 1..=62u32 {
+            let v = 1u64 << k;
+            assert_eq!(LatencyHistogram::bucket_index(v), k as usize + 1, "2^{k}");
+            assert_eq!(LatencyHistogram::bucket_index(v - 1), k as usize, "2^{k}-1");
+        }
+        assert_eq!(LatencyHistogram::bucket_index(1u64 << 63), 64);
+        assert_eq!(LatencyHistogram::bucket_index(u64::MAX), 64, "saturates");
+    }
+
+    #[test]
+    fn bucket_ranges_partition_u64() {
+        assert_eq!(LatencyHistogram::bucket_range(0), (0, 0));
+        for i in 1..NUM_BUCKETS {
+            let (lo, hi) = LatencyHistogram::bucket_range(i);
+            let (_, prev_hi) = LatencyHistogram::bucket_range(i - 1);
+            assert_eq!(lo, prev_hi + 1, "bucket {i} starts after bucket {}", i - 1);
+            assert_eq!(LatencyHistogram::bucket_index(lo), i);
+            assert_eq!(LatencyHistogram::bucket_index(hi), i);
+        }
+        assert_eq!(LatencyHistogram::bucket_range(NUM_BUCKETS - 1).1, u64::MAX);
+    }
+
+    #[test]
+    fn histogram_records_and_snapshots() {
+        let h = LatencyHistogram::new();
+        for v in [0, 1, 2, 3, 1000, u64::MAX] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 6);
+        assert_eq!(s.max, u64::MAX);
+        assert_eq!(s.buckets[0], 1); // 0
+        assert_eq!(s.buckets[1], 1); // 1
+        assert_eq!(s.buckets[2], 2); // 2, 3
+        assert_eq!(s.buckets[10], 1); // 1000 in [512, 1023]
+        assert_eq!(s.buckets[64], 1); // u64::MAX
+        assert!(s.mean() > 0.0);
+        assert_eq!(s.quantile_upper_bound(0.5), 3);
+    }
+
+    #[test]
+    fn counters_aggregate_across_cells() {
+        let tel = Telemetry::counters_only();
+        tel.record_commit(p(0, 0), 10);
+        tel.record_commit(p(0, 1), 20);
+        tel.record_abort(p(0, 1), AbortCause::Validation);
+        tel.record_abort(p(0, 1), AbortCause::Explicit);
+        tel.record_gate_outcome(p(0, 0), GateOutcome::Passed);
+        tel.record_gate_outcome(p(0, 1), GateOutcome::Waited);
+        tel.record_gate_outcome(p(0, 1), GateOutcome::Released);
+        let s = tel.snapshot();
+        assert_eq!(s.commits, 2);
+        assert_eq!(s.aborts_total(), 2);
+        assert_eq!(s.aborts[cause_index(AbortCause::Validation)], 1);
+        assert_eq!(s.explicit_retries(), 1);
+        assert_eq!((s.gate_passed, s.gate_waited, s.gate_released), (1, 1, 1));
+        assert_eq!(s.gate_total(), 3);
+        assert_eq!(s.commit_ns.count, 2);
+        assert_eq!(s.per_thread.len(), 2);
+        assert_eq!(s.per_thread[1].aborts_total(), 2);
+        assert_eq!(s.per_thread[1].gate_total(), 2);
+    }
+
+    #[test]
+    fn aliased_threads_share_a_cell() {
+        let tel = Telemetry::counters_only();
+        tel.record_commit(p(0, 1), 5);
+        tel.record_commit(p(0, 1 + TELEMETRY_SHARDS as u16), 5);
+        let s = tel.snapshot();
+        assert_eq!(s.commits, 2);
+        assert_eq!(s.per_thread.len(), 1, "aliases share cell 1");
+        assert_eq!(s.per_thread[0].commits, 2);
+    }
+
+    #[test]
+    fn clock_is_monotonic_nondecreasing() {
+        let c = Clock::new();
+        let mut prev = 0u64;
+        for _ in 0..10_000 {
+            let now = c.now_ns();
+            assert!(now >= prev);
+            prev = now;
+        }
+        assert!(prev > 0, "time advanced");
+    }
+
+    #[test]
+    fn trace_ring_bounds_memory_and_keeps_newest() {
+        let tel = Telemetry::with_trace_capacity(4);
+        for i in 0..10u64 {
+            tel.trace(p(0, 0), TraceKind::GateWait { wait_ns: i });
+        }
+        let events = tel.trace_events();
+        assert_eq!(events.len(), 4, "ring capped");
+        assert_eq!(tel.trace_dropped(), 6);
+        // The newest four survive, in sequence order.
+        let seqs: Vec<u64> = events.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn tracing_disabled_records_nothing() {
+        let tel = Telemetry::counters_only();
+        assert!(!tel.trace_enabled());
+        tel.trace(p(0, 0), TraceKind::Begin);
+        assert!(tel.trace_events().is_empty());
+        assert_eq!(tel.trace_dropped(), 0);
+    }
+
+    #[test]
+    fn trace_events_merge_shards_in_sequence_order() {
+        let tel = std::sync::Arc::new(Telemetry::new());
+        let mut handles = Vec::new();
+        for th in 0..4u16 {
+            let tel = std::sync::Arc::clone(&tel);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..50u64 {
+                    tel.trace(p((i % 3) as u16, th), TraceKind::Begin);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let events = tel.trace_events();
+        assert_eq!(events.len(), 200);
+        assert!(events.windows(2).all(|w| w[0].seq < w[1].seq));
+    }
+
+    fn sample_events() -> Vec<TraceEvent> {
+        vec![
+            TraceEvent { seq: 0, ts_ns: 100, pair: p(1, 2), kind: TraceKind::Begin },
+            TraceEvent {
+                seq: 1,
+                ts_ns: 220,
+                pair: p(1, 2),
+                kind: TraceKind::GateWait { wait_ns: 120 },
+            },
+            TraceEvent {
+                seq: 2,
+                ts_ns: 300,
+                pair: p(1, 2),
+                kind: TraceKind::Abort { cause: AbortCause::ReadLocked { owner: Some(ThreadId(7)) } },
+            },
+            TraceEvent {
+                seq: 3,
+                ts_ns: 340,
+                pair: p(0, 3),
+                kind: TraceKind::Abort { cause: AbortCause::CommitLockBusy { owner: None } },
+            },
+            TraceEvent {
+                seq: 4,
+                ts_ns: 400,
+                pair: p(1, 2),
+                kind: TraceKind::Commit { commit_ns: 55, writes: 3 },
+            },
+            TraceEvent {
+                seq: 5,
+                ts_ns: 401,
+                pair: p(1, 2),
+                kind: TraceKind::StateTransition { from: UNKNOWN_STATE, to: 4 },
+            },
+            TraceEvent {
+                seq: 6,
+                ts_ns: 500,
+                pair: p(0, 3),
+                kind: TraceKind::StateTransition { from: 4, to: 9 },
+            },
+        ]
+    }
+
+    #[test]
+    fn jsonl_round_trips_every_kind() {
+        let events = sample_events();
+        let jsonl = export_jsonl(&events);
+        assert_eq!(jsonl.lines().count(), events.len());
+        let parsed = parse_jsonl(&jsonl).expect("parses");
+        assert_eq!(parsed, events, "count, ordering, and payloads survive");
+    }
+
+    #[test]
+    fn jsonl_rejects_malformed_lines() {
+        assert!(parse_jsonl("{\"seq\":0}").is_err());
+        assert!(parse_jsonl("{\"seq\":0,\"ts_ns\":1,\"txn\":0,\"thread\":0,\"kind\":\"nope\"}").is_err());
+        assert!(parse_jsonl("").unwrap().is_empty());
+    }
+
+    #[test]
+    fn chrome_trace_is_structurally_valid() {
+        let events = sample_events();
+        let json = export_chrome_trace(&events);
+        // metadata + one entry per event + one residency slice per
+        // transition.
+        let expected = 1 + events.len() + 2;
+        assert_eq!(chrome_trace_event_count(&json), Some(expected));
+        assert!(json.contains("\"traceEvents\""));
+        assert!(json.contains("TSA state"));
+        assert!(json.contains("\"name\":\"S4\""));
+        assert!(json.contains("\"name\":\"unknown\"") || json.contains("\"from\":\"unknown\""));
+        // Balanced braces overall.
+        let opens = json.matches('{').count();
+        let closes = json.matches('}').count();
+        assert_eq!(opens, closes);
+    }
+
+    #[test]
+    fn chrome_trace_of_empty_input_is_valid() {
+        let json = export_chrome_trace(&[]);
+        assert_eq!(chrome_trace_event_count(&json), Some(1), "metadata only");
+    }
+
+    #[test]
+    fn snapshot_prometheus_exposition_contains_totals() {
+        let tel = Telemetry::counters_only();
+        tel.record_commit(p(0, 0), 128);
+        tel.record_abort(p(0, 0), AbortCause::Validation);
+        tel.record_gate_wait(p(0, 0), 64);
+        tel.record_backoff(p(0, 0), 32);
+        let prom = tel.render_prometheus();
+        assert!(prom.contains("gstm_commits_total 1"));
+        assert!(prom.contains("gstm_aborts_total{cause=\"validation\"} 1"));
+        assert!(prom.contains("gstm_commit_duration_ns_count 1"));
+        assert!(prom.contains("gstm_commit_duration_ns_bucket{le=\"+Inf\"} 1"));
+        assert!(prom.contains("gstm_gate_wait_ns_sum 64"));
+        assert!(prom.contains("gstm_abort_backoff_ns_count 1"));
+        assert!(prom.contains("gstm_thread_commits_total{thread=\"0\"} 1"));
+    }
+
+    #[test]
+    fn prometheus_histogram_buckets_are_cumulative() {
+        let h = LatencyHistogram::new();
+        h.record(1);
+        h.record(2);
+        h.record(3);
+        let mut out = String::new();
+        prom_histogram(&mut out, "x", &h.snapshot());
+        assert!(out.contains("x_bucket{le=\"1\"} 1"));
+        assert!(out.contains("x_bucket{le=\"3\"} 3"));
+        assert!(out.contains("x_bucket{le=\"+Inf\"} 3"));
+        assert!(out.contains("x_count 3"));
+        assert!(out.contains("x_sum 6"));
+    }
+}

@@ -98,6 +98,14 @@ impl ModeMeasurement {
             .map(AbortHistogram::total_aborts)
             .sum()
     }
+
+    /// Total commits across threads and runs.
+    pub fn total_commits(&self) -> u64 {
+        self.per_thread_hists
+            .iter()
+            .map(AbortHistogram::total_commits)
+            .sum()
+    }
 }
 
 /// Everything the pipeline produced for one benchmark at one thread count.
@@ -170,13 +178,16 @@ fn stm_config(cfg: &ExperimentConfig) -> StmConfig {
 }
 
 /// Run `runs` measured executions on STMs reporting to `hook_for_run`,
-/// collecting timings, histograms, and recorded state sequences.
+/// collecting timings, histograms, and recorded state sequences. When
+/// `telemetry` is set, every run's STM reports into it (counters,
+/// latency histograms, trace ring accumulate across the runs).
 fn measure<H: GuidanceHook + 'static>(
     bench: &dyn Benchmark,
     cfg: &ExperimentConfig,
     runs: usize,
     size: InputSize,
     hook: Arc<H>,
+    telemetry: Option<&Arc<Telemetry>>,
     take_run: impl Fn(&H) -> Vec<StateKey>,
 ) -> (ModeMeasurement, Vec<Vec<StateKey>>) {
     let mut m = ModeMeasurement {
@@ -185,7 +196,7 @@ fn measure<H: GuidanceHook + 'static>(
     };
     let mut recorded = Vec::new();
     for run in 0..runs {
-        let stm = Stm::with_hook(hook.clone(), stm_config(cfg));
+        let stm = Stm::with_telemetry(hook.clone(), stm_config(cfg), telemetry.cloned());
         let run_cfg = RunConfig {
             threads: cfg.threads,
             size,
@@ -215,6 +226,7 @@ pub fn train_model(bench: &dyn Benchmark, cfg: &ExperimentConfig) -> GuidedModel
         cfg.profile_runs,
         cfg.train_size,
         recorder,
+        None,
         |h| h.take_run(),
     );
     GuidedModel::build(Tsa::from_runs(&train_runs), &cfg.guidance)
@@ -222,6 +234,19 @@ pub fn train_model(bench: &dyn Benchmark, cfg: &ExperimentConfig) -> GuidedModel
 
 /// Run the full pipeline for one benchmark at one thread count.
 pub fn run_experiment(bench: &dyn Benchmark, cfg: &ExperimentConfig) -> BenchExperiment {
+    run_experiment_instrumented(bench, cfg, None)
+}
+
+/// [`run_experiment`] with an optional telemetry collector attached to the
+/// *guided* measurement phase (phase 4). Scoping telemetry to that phase
+/// makes the snapshot directly checkable: its commit/abort totals must
+/// equal what the harness's own per-thread statistics count for the
+/// guided runs.
+pub fn run_experiment_instrumented(
+    bench: &dyn Benchmark,
+    cfg: &ExperimentConfig,
+    telemetry: Option<Arc<Telemetry>>,
+) -> BenchExperiment {
     // ---- Phase 1: profile (the artifact's `mcmc_data` option) ----
     let recorder = Arc::new(RecorderHook::new());
     let (_, train_runs) = measure(
@@ -230,6 +255,7 @@ pub fn run_experiment(bench: &dyn Benchmark, cfg: &ExperimentConfig) -> BenchExp
         cfg.profile_runs,
         cfg.train_size,
         recorder,
+        None,
         |h| h.take_run(),
     );
 
@@ -251,17 +277,23 @@ pub fn run_experiment(bench: &dyn Benchmark, cfg: &ExperimentConfig) -> BenchExp
         cfg.measure_runs,
         cfg.test_size,
         default_rec,
+        None,
         |h| h.take_run(),
     );
 
     // ---- Phase 4: guided measurement (`model` + `ND_mcmc`) ----
-    let guided_hook = Arc::new(GuidedHook::new(model, cfg.guidance));
+    let guided_hook = Arc::new(GuidedHook::with_telemetry(
+        model,
+        cfg.guidance,
+        telemetry.clone(),
+    ));
     let (guided_m, _) = measure(
         bench,
         cfg,
         cfg.measure_runs,
         cfg.test_size,
         guided_hook.clone(),
+        telemetry.as_ref(),
         |h| h.take_run(),
     );
 
@@ -403,6 +435,25 @@ mod tests {
         assert!(agg.metric_pct.mean >= 0.0 && agg.metric_pct.mean <= 100.0);
         // Display renders mean ± sd.
         assert!(agg.slowdown.to_string().contains('±'));
+    }
+
+    #[test]
+    fn telemetry_totals_match_harness_counts() {
+        // The acceptance check behind `--telemetry`: the snapshot's
+        // commit/abort totals must equal what the harness's own
+        // per-thread statistics count for the guided phase.
+        let bench = by_name("kmeans").unwrap();
+        let tel = Arc::new(Telemetry::new());
+        let e = run_experiment_instrumented(&*bench, &tiny_cfg(2), Some(tel.clone()));
+        let snap = tel.snapshot();
+        assert_eq!(snap.commits, e.guided_m.total_commits());
+        assert_eq!(snap.aborts_total(), e.guided_m.total_aborts());
+        assert!(snap.commit_ns.count == snap.commits);
+        // Gate outcomes recorded by the hook partition the gate calls:
+        // one gate call per attempt = commits + aborts.
+        assert_eq!(snap.gate_total(), snap.commits + snap.aborts_total());
+        let prom = snap.render_prometheus();
+        assert!(prom.contains("gstm_commits_total"));
     }
 
     #[test]

@@ -23,16 +23,23 @@
 //!   --seed X            input seed
 //!   --out DIR           also write CSVs to DIR    (default: results)
 //!   --no-csv            don't write CSVs
+//!   --telemetry[=DIR]   write runtime telemetry (Prometheus snapshot,
+//!                       JSONL + chrome://tracing trace) for the guided
+//!                       phase of each STAMP experiment (default DIR: the
+//!                       --out directory)
 //! ```
 
-use gstm_core::GuidanceConfig;
-use gstm_harness::experiment::{run_experiment, BenchExperiment, ExperimentConfig};
+use gstm_core::{GuidanceConfig, Telemetry};
+use gstm_harness::experiment::{
+    run_experiment, run_experiment_instrumented, BenchExperiment, ExperimentConfig,
+};
 use gstm_harness::game::{run_game_experiment, GameExperiment, GameExperimentConfig};
-use gstm_harness::report::Table;
+use gstm_harness::report::{self, Table};
 use gstm_harness::{figures, tables};
 use gstm_stamp::{all_benchmarks, InputSize};
 use std::collections::HashMap;
 use std::path::PathBuf;
+use std::sync::Arc;
 
 /// Default input preset per benchmark, chosen so one run is long enough
 /// for abort-driven timing effects to rise above host scheduling noise on
@@ -59,6 +66,9 @@ struct Options {
     seed: u64,
     repeat: usize,
     out: Option<PathBuf>,
+    /// `None` = telemetry off; `Some(None)` = on, write next to the CSVs;
+    /// `Some(Some(dir))` = on, write into `dir`.
+    telemetry: Option<Option<PathBuf>>,
 }
 
 fn parse_size(s: &str) -> InputSize {
@@ -89,6 +99,7 @@ fn parse_args() -> Options {
         seed: 0x5eed_cafe,
         repeat: 3,
         out: Some(PathBuf::from("results")),
+        telemetry: None,
     };
     let next = |args: &mut dyn Iterator<Item = String>, flag: &str| -> String {
         args.next().unwrap_or_else(|| {
@@ -135,6 +146,10 @@ fn parse_args() -> Options {
             }
             "--out" => opts.out = Some(PathBuf::from(next(&mut args, "--out"))),
             "--no-csv" => opts.out = None,
+            "--telemetry" => opts.telemetry = Some(None),
+            s if s.starts_with("--telemetry=") => {
+                opts.telemetry = Some(Some(PathBuf::from(&s["--telemetry=".len()..])));
+            }
             "help" | "--help" | "-h" => {
                 print_help();
                 std::process::exit(0);
@@ -162,7 +177,7 @@ fn print_help() {
          \x20         fig8 fig9 fig10 fig11 fig12 stamp synquake summary repeated inspect all\n\n\
          options: --threads A,B --runs N --profile-runs N --bench a,b\n\
          \x20        --size s --train-size s --players N --frames N\n\
-         \x20        --tfactor F --seed X --out DIR --no-csv"
+         \x20        --tfactor F --seed X --out DIR --no-csv --telemetry[=DIR]"
     );
 }
 
@@ -207,7 +222,42 @@ impl Campaign {
                     seed: self.opts.seed,
                 };
                 eprintln!("[gstm-repro] running {} @ {threads} threads ...", bench.name());
-                exps.push(run_experiment(&*bench, &cfg));
+                let exp = if let Some(tel_dir) = &self.opts.telemetry {
+                    let dir = tel_dir
+                        .clone()
+                        .or_else(|| self.opts.out.clone())
+                        .unwrap_or_else(|| PathBuf::from("results"));
+                    let tel = Arc::new(Telemetry::new());
+                    let e = run_experiment_instrumented(&*bench, &cfg, Some(tel.clone()));
+                    let snap = tel.snapshot();
+                    // The snapshot must agree with the harness's own
+                    // guided-phase accounting; a divergence means an
+                    // instrumentation hole, so say so loudly.
+                    let (hc, ha) = (e.guided_m.total_commits(), e.guided_m.total_aborts());
+                    if snap.commits != hc || snap.aborts_total() != ha {
+                        eprintln!(
+                            "[gstm-repro] WARNING: telemetry totals diverge from harness \
+                             counts (commits {}/{hc}, aborts {}/{ha})",
+                            snap.commits,
+                            snap.aborts_total(),
+                        );
+                    }
+                    let stem = format!("{}_{}t_telemetry", bench.name(), threads);
+                    match report::save_telemetry(&dir, &stem, &tel) {
+                        Ok(paths) => {
+                            for p in paths {
+                                eprintln!("[gstm-repro] wrote {}", p.display());
+                            }
+                        }
+                        Err(err) => {
+                            eprintln!("[gstm-repro] failed to write telemetry {stem}: {err}")
+                        }
+                    }
+                    e
+                } else {
+                    run_experiment(&*bench, &cfg)
+                };
+                exps.push(exp);
             }
             self.stamp.insert(threads, exps);
         }

@@ -1,5 +1,8 @@
-//! Rendering helpers: fixed-width ASCII tables and CSV emission.
+//! Rendering helpers: fixed-width ASCII tables, CSV emission, and
+//! telemetry artifact files (Prometheus exposition, JSONL trace, chrome
+//! trace).
 
+use gstm_core::Telemetry;
 use std::fmt::Write as _;
 use std::path::Path;
 
@@ -92,6 +95,31 @@ impl Table {
         std::fs::create_dir_all(dir)?;
         std::fs::write(dir.join(format!("{name}.csv")), self.to_csv())
     }
+}
+
+/// Write one experiment's telemetry artifacts into `dir` (creating it):
+/// `{stem}.prom` (Prometheus text exposition), `{stem}.jsonl` (one trace
+/// event per line), and `{stem}.trace.json` (chrome://tracing / Perfetto
+/// format). Returns the paths written.
+pub fn save_telemetry(
+    dir: &Path,
+    stem: &str,
+    tel: &Telemetry,
+) -> std::io::Result<Vec<std::path::PathBuf>> {
+    std::fs::create_dir_all(dir)?;
+    let prom = dir.join(format!("{stem}.prom"));
+    std::fs::write(&prom, tel.snapshot().render_prometheus())?;
+    let mut written = vec![prom];
+    if tel.trace_enabled() {
+        let events = tel.trace_events();
+        let jsonl = dir.join(format!("{stem}.jsonl"));
+        std::fs::write(&jsonl, gstm_core::telemetry::export_jsonl(&events))?;
+        written.push(jsonl);
+        let chrome = dir.join(format!("{stem}.trace.json"));
+        std::fs::write(&chrome, gstm_core::telemetry::export_chrome_trace(&events))?;
+        written.push(chrome);
+    }
+    Ok(written)
 }
 
 /// Format a float with 1 decimal.

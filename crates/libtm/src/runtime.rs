@@ -3,6 +3,7 @@
 
 use crate::txn::{LtResult, LtTxn};
 use crate::MAX_THREADS;
+use gstm_core::telemetry::{Telemetry, TraceKind};
 use gstm_core::{GuidanceHook, NoopHook, Pair, ThreadId, TxnId};
 use gstm_core::ThreadStats;
 use std::cell::Cell;
@@ -66,6 +67,9 @@ pub struct LibTm {
     next_thread: AtomicU16,
     total_commits: AtomicU64,
     total_aborts: AtomicU64,
+    /// Optional runtime telemetry; `None` keeps the hot path to a single
+    /// branch per instrumentation site.
+    pub(crate) telemetry: Option<Arc<Telemetry>>,
 }
 
 thread_local! {
@@ -81,6 +85,16 @@ impl LibTm {
 
     /// An instance reporting to a guidance hook.
     pub fn with_hook(hook: Arc<dyn GuidanceHook>, config: LibTmConfig) -> Arc<Self> {
+        Self::with_telemetry(hook, config, None)
+    }
+
+    /// An instance reporting to a guidance hook and, optionally, a
+    /// [`Telemetry`] collector (counters, latency histograms, tracing).
+    pub fn with_telemetry(
+        hook: Arc<dyn GuidanceHook>,
+        config: LibTmConfig,
+        telemetry: Option<Arc<Telemetry>>,
+    ) -> Arc<Self> {
         Arc::new(LibTm {
             config,
             hook,
@@ -88,7 +102,13 @@ impl LibTm {
             next_thread: AtomicU16::new(0),
             total_commits: AtomicU64::new(0),
             total_aborts: AtomicU64::new(0),
+            telemetry,
         })
+    }
+
+    /// The attached telemetry collector, if any.
+    pub fn telemetry(&self) -> Option<&Arc<Telemetry>> {
+        self.telemetry.as_ref()
     }
 
     /// Register the calling thread with the next sequential id.
@@ -220,8 +240,30 @@ impl LtThreadCtx {
     ) -> R {
         let me = Pair::new(txid, self.thread);
         let mut retries: u32 = 0;
+        // One Arc clone per transaction (free when telemetry is off);
+        // keeps the instrumentation borrows disjoint from `&mut self`.
+        let tel = self.tm.telemetry.clone();
+        // Timestamp taken when an attempt aborts; the gap to the next
+        // attempt's start is the abort-to-retry backoff histogram sample.
+        let mut backoff_from: Option<u64> = None;
         loop {
-            self.tm.hook.gate(me);
+            if let Some(t) = &tel {
+                let t0 = t.now_ns();
+                if let Some(prev) = backoff_from.take() {
+                    t.record_backoff(me, t0.saturating_sub(prev));
+                }
+                self.tm.hook.gate(me);
+                let wait_ns = t.now_ns().saturating_sub(t0);
+                t.record_gate_wait(me, wait_ns);
+                t.trace(me, TraceKind::Begin);
+                // Trace a gate slice only when the wait is visible at
+                // trace resolution (ungated passes are tens of ns).
+                if wait_ns >= 1_000 {
+                    t.trace(me, TraceKind::GateWait { wait_ns });
+                }
+            } else {
+                self.tm.hook.gate(me);
+            }
             // Per-transaction interleave injection (see gstm-tl2's
             // equivalent): sub-timeslice transactions would otherwise
             // commit in long same-thread bursts on an oversubscribed host.
@@ -230,18 +272,42 @@ impl LtThreadCtx {
             let _ = self.tm.take_doom(self.thread);
             let mut tx = LtTxn::new(&self.tm, me);
             let body = f(&mut tx);
-            let outcome = body.and_then(|r| tx.commit().map(|()| r));
+            let mut commit_ns = 0u64;
+            let mut writes = 0u32;
+            let outcome = match body {
+                Err(a) => Err(a),
+                Ok(r) => {
+                    if let Some(t) = &tel {
+                        writes = tx.write_set_size() as u32;
+                        let c0 = t.now_ns();
+                        let res = tx.commit();
+                        commit_ns = t.now_ns().saturating_sub(c0);
+                        res.map(|()| r)
+                    } else {
+                        tx.commit().map(|()| r)
+                    }
+                }
+            };
             match outcome {
                 Ok(r) => {
                     self.tm.hook.on_commit(me);
                     self.tm.total_commits.fetch_add(1, Ordering::Relaxed);
                     self.stats.record_commit(retries);
+                    if let Some(t) = &tel {
+                        t.record_commit(me, commit_ns);
+                        t.trace(me, TraceKind::Commit { commit_ns, writes });
+                    }
                     return r;
                 }
                 Err(abort) => {
                     self.tm.hook.on_abort(me, abort.cause);
                     self.tm.total_aborts.fetch_add(1, Ordering::Relaxed);
                     self.stats.record_abort(abort.cause);
+                    if let Some(t) = &tel {
+                        t.record_abort(me, abort.cause);
+                        t.trace(me, TraceKind::Abort { cause: abort.cause });
+                        backoff_from = Some(t.now_ns());
+                    }
                     retries = retries.saturating_add(1);
                     std::thread::yield_now();
                 }

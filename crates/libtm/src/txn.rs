@@ -147,6 +147,17 @@ impl<'tm> LtTxn<'tm> {
         self.me
     }
 
+    /// Number of distinct objects buffered in the write set (telemetry
+    /// reports this per committed attempt).
+    pub fn write_set_size(&self) -> usize {
+        self.write_set.len()
+    }
+
+    /// Number of distinct objects tracked in the read set.
+    pub fn read_set_size(&self) -> usize {
+        self.read_set.len()
+    }
+
     /// Explicitly abort and retry.
     pub fn retry(&self) -> LtAbort {
         LtAbort {

@@ -2,8 +2,9 @@
 //! `atomically` retry loop that wires transactions to the guidance hook.
 
 use crate::clock;
-use gstm_core::ThreadStats;
 use crate::txn::{Txn, TxResult};
+use gstm_core::telemetry::{Telemetry, TraceKind};
+use gstm_core::ThreadStats;
 use gstm_core::{GuidanceHook, NoopHook, Pair, ThreadId, TxnId};
 use std::sync::atomic::{AtomicU16, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -71,6 +72,10 @@ impl StmConfig {
 pub struct Stm {
     pub(crate) hook: Arc<dyn GuidanceHook>,
     pub(crate) config: StmConfig,
+    /// Optional runtime telemetry. `None` (the default) keeps every
+    /// instrumentation point in `atomically` to a single predictable
+    /// branch — no timestamps are read and no counters are touched.
+    pub(crate) telemetry: Option<Arc<Telemetry>>,
     next_thread: AtomicU16,
     total_commits: AtomicU64,
     total_aborts: AtomicU64,
@@ -86,9 +91,20 @@ impl Stm {
     /// [`gstm_core::RecorderHook`] for profiling or a
     /// [`gstm_core::GuidedHook`] for model-driven execution.
     pub fn with_hook(hook: Arc<dyn GuidanceHook>, config: StmConfig) -> Arc<Self> {
+        Self::with_telemetry(hook, config, None)
+    }
+
+    /// An instance that additionally records commits, aborts, and
+    /// latencies into `telemetry`.
+    pub fn with_telemetry(
+        hook: Arc<dyn GuidanceHook>,
+        config: StmConfig,
+        telemetry: Option<Arc<Telemetry>>,
+    ) -> Arc<Self> {
         Arc::new(Stm {
             hook,
             config,
+            telemetry,
             next_thread: AtomicU16::new(0),
             total_commits: AtomicU64::new(0),
             total_aborts: AtomicU64::new(0),
@@ -118,6 +134,11 @@ impl Stm {
     /// The guidance hook installed at construction.
     pub fn hook(&self) -> &Arc<dyn GuidanceHook> {
         &self.hook
+    }
+
+    /// The telemetry sink installed at construction, if any.
+    pub fn telemetry(&self) -> Option<&Arc<Telemetry>> {
+        self.telemetry.as_ref()
     }
 
     /// This instance's configuration.
@@ -195,8 +216,31 @@ impl ThreadCtx {
     ) -> R {
         let me = Pair::new(txid, self.thread);
         let mut retries: u32 = 0;
+        // One Arc clone per transaction (free when telemetry is off);
+        // keeps the instrumentation borrows disjoint from `&mut self`.
+        let tel = self.stm.telemetry.clone();
+        // Timestamp taken when an attempt aborts; the gap to the next
+        // attempt's start is the abort-to-retry backoff histogram sample.
+        let mut backoff_from: Option<u64> = None;
         loop {
-            self.stm.hook.gate(me);
+            if let Some(t) = &tel {
+                let t0 = t.now_ns();
+                if let Some(prev) = backoff_from.take() {
+                    t.record_backoff(me, t0.saturating_sub(prev));
+                }
+                self.stm.hook.gate(me);
+                let wait_ns = t.now_ns().saturating_sub(t0);
+                t.record_gate_wait(me, wait_ns);
+                t.trace(me, TraceKind::Begin);
+                // A per-attempt gate slice only when the wait is visible
+                // at trace resolution (guided waits are µs-scale; an
+                // ungated pass is tens of ns and would drown the trace).
+                if wait_ns >= 1_000 {
+                    t.trace(me, TraceKind::GateWait { wait_ns });
+                }
+            } else {
+                self.stm.hook.gate(me);
+            }
             let seed = self.next_seed();
             // Interleave injection, per-transaction component: on real
             // hardware every thread is always running, so between two of
@@ -210,18 +254,42 @@ impl ThreadCtx {
             }
             let mut tx = Txn::new(&self.stm, me, clock::global().now(), seed);
             let body = f(&mut tx);
-            let outcome = body.and_then(|r| tx.commit().map(|()| r));
+            let mut commit_ns = 0u64;
+            let mut writes = 0u32;
+            let outcome = match body {
+                Err(a) => Err(a),
+                Ok(r) => {
+                    if let Some(t) = &tel {
+                        writes = tx.write_set_size() as u32;
+                        let c0 = t.now_ns();
+                        let res = tx.commit();
+                        commit_ns = t.now_ns().saturating_sub(c0);
+                        res.map(|()| r)
+                    } else {
+                        tx.commit().map(|()| r)
+                    }
+                }
+            };
             match outcome {
                 Ok(r) => {
                     self.stm.hook.on_commit(me);
                     self.stm.total_commits.fetch_add(1, Ordering::Relaxed);
                     self.stats.record_commit(retries);
+                    if let Some(t) = &tel {
+                        t.record_commit(me, commit_ns);
+                        t.trace(me, TraceKind::Commit { commit_ns, writes });
+                    }
                     return r;
                 }
                 Err(abort) => {
                     self.stm.hook.on_abort(me, abort.cause);
                     self.stm.total_aborts.fetch_add(1, Ordering::Relaxed);
                     self.stats.record_abort(abort.cause);
+                    if let Some(t) = &tel {
+                        t.record_abort(me, abort.cause);
+                        t.trace(me, TraceKind::Abort { cause: abort.cause });
+                        backoff_from = Some(t.now_ns());
+                    }
                     retries = retries.saturating_add(1);
                     if self.stm.config.abort_backoff {
                         std::thread::yield_now();

@@ -130,6 +130,19 @@ impl<'stm> Txn<'stm> {
         self.n_writes
     }
 
+    /// Number of distinct locations buffered in the write set (what the
+    /// commit protocol will lock and write back; telemetry reports this
+    /// per committed attempt).
+    pub fn write_set_size(&self) -> usize {
+        self.write_set.len()
+    }
+
+    /// Number of distinct locations tracked in the read set (what
+    /// commit-time validation will re-check).
+    pub fn read_set_size(&self) -> usize {
+        self.read_set.len()
+    }
+
     /// Explicitly abort and retry the transaction (e.g. a queue consumer
     /// finding the queue empty).
     pub fn retry(&self) -> Abort {
