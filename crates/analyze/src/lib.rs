@@ -1,0 +1,1020 @@
+//! # gstm-analyze — cross-run variance analysis over telemetry artifacts
+//!
+//! The harness (`gstm-repro --telemetry=DIR`) exports one artifact set per
+//! guided repetition (`<bench>_<threads>t_run<r>_telemetry.{prom,jsonl,trace.json}`)
+//! plus two CSVs with its own accounting (`<bench>_<threads>t_runs.csv`,
+//! `<bench>_<threads>t_guided_summary.csv`). This crate re-derives the
+//! paper's variance metrics *from the exported telemetry alone* —
+//! reconstructing each run's Tseq from the JSONL trace with the same
+//! windowed attribution the profiler uses ([`gstm_core::tss::parse_tseq`]) —
+//! and cross-checks them against the harness numbers:
+//!
+//! * per-thread execution-time standard deviation (recomputed from
+//!   `runs.csv`, checked against `guided_summary.csv` at float tolerance),
+//! * non-determinism (distinct TSS across reconstructed Tseqs, exact),
+//! * the abort-tail metric Σj² per thread (exact),
+//! * per-thread/gate-outcome partitions of the global counters (exact),
+//! * commit-latency quantiles per run (exact nearest-rank over raw
+//!   `commit_ns` samples) and their spread across runs.
+//!
+//! The result is a [`CampaignReport`]: a list of named pass/fail
+//! [`Check`]s, the recomputed metrics, and the model-drift summary read
+//! from the final run's Prometheus exposition. [`render_verdict_json`]
+//! and [`render_markdown`] serialize it for CI (`verdict.json`) and for
+//! humans.
+//!
+//! Counters are trusted unconditionally; trace-derived quantities (Tseq,
+//! histograms) are only cross-checked exactly when the run's
+//! `gstm_trace_dropped_total` is zero — a saturated ring makes the trace
+//! a *sample*, and the affected checks degrade to "skipped" rather than
+//! reporting false mismatches.
+
+use gstm_core::events::TxEvent;
+use gstm_core::metrics::{self, AbortHistogram};
+use gstm_core::telemetry::{parse_jsonl, TraceEvent, TraceKind};
+use gstm_core::tss::{parse_tseq, StateKey};
+use std::fmt::Write as _;
+use std::path::Path;
+
+// ---------------------------------------------------------------------------
+// Prometheus text exposition parsing
+// ---------------------------------------------------------------------------
+
+/// One sample from a Prometheus text exposition.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PromSample {
+    /// Metric family name.
+    pub name: String,
+    /// Label pairs, in exposition order.
+    pub labels: Vec<(String, String)>,
+    /// Sample value.
+    pub value: f64,
+}
+
+/// A parsed `.prom` file.
+#[derive(Clone, Debug, Default)]
+pub struct PromSnapshot {
+    samples: Vec<PromSample>,
+}
+
+impl PromSnapshot {
+    /// Parse the text exposition format emitted by
+    /// `TelemetrySnapshot::render_prometheus` (and any conforming subset
+    /// of the Prometheus format: `name{k="v",...} value` lines, `#`
+    /// comments).
+    pub fn parse(text: &str) -> Result<PromSnapshot, String> {
+        let mut samples = Vec::new();
+        for (n, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let err = |what: &str| format!("prom line {}: {what}: {raw}", n + 1);
+            let (series, value) = line
+                .rsplit_once(' ')
+                .ok_or_else(|| err("missing value"))?;
+            let value: f64 = value.parse().map_err(|_| err("bad value"))?;
+            let (name, labels) = match series.split_once('{') {
+                None => (series.to_string(), Vec::new()),
+                Some((name, rest)) => {
+                    let body = rest
+                        .strip_suffix('}')
+                        .ok_or_else(|| err("unterminated labels"))?;
+                    let mut labels = Vec::new();
+                    for pair in body.split(',').filter(|p| !p.is_empty()) {
+                        let (k, v) = pair.split_once('=').ok_or_else(|| err("bad label"))?;
+                        let v = v
+                            .strip_prefix('"')
+                            .and_then(|v| v.strip_suffix('"'))
+                            .ok_or_else(|| err("unquoted label value"))?;
+                        labels.push((k.to_string(), v.to_string()));
+                    }
+                    (name.to_string(), labels)
+                }
+            };
+            samples.push(PromSample { name, labels, value });
+        }
+        Ok(PromSnapshot { samples })
+    }
+
+    /// First sample of `name` carrying every label in `labels`.
+    pub fn get(&self, name: &str, labels: &[(&str, &str)]) -> Option<f64> {
+        self.samples
+            .iter()
+            .find(|s| {
+                s.name == name
+                    && labels
+                        .iter()
+                        .all(|(k, v)| s.labels.iter().any(|(sk, sv)| sk == k && sv == v))
+            })
+            .map(|s| s.value)
+    }
+
+    /// Sum of every sample of `name` carrying every label in `labels`.
+    pub fn sum(&self, name: &str, labels: &[(&str, &str)]) -> f64 {
+        self.samples
+            .iter()
+            .filter(|s| {
+                s.name == name
+                    && labels
+                        .iter()
+                        .all(|(k, v)| s.labels.iter().any(|(sk, sv)| sk == k && sv == v))
+            })
+            .map(|s| s.value)
+            .sum()
+    }
+
+    /// All samples of `name`.
+    pub fn family(&self, name: &str) -> impl Iterator<Item = &PromSample> + '_ {
+        let name = name.to_string();
+        self.samples.iter().filter(move |s| s.name == name)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Harness CSV parsing
+// ---------------------------------------------------------------------------
+
+/// One row of `<stem>_runs.csv`: what the harness measured for one
+/// thread in one guided repetition.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CsvRunRow {
+    /// Repetition index.
+    pub run: usize,
+    /// Thread index.
+    pub thread: usize,
+    /// Execution time of that thread, seconds.
+    pub secs: f64,
+    /// Commits that thread performed.
+    pub commits: u64,
+    /// Aborts that thread suffered.
+    pub aborts: u64,
+}
+
+/// Parse `<stem>_runs.csv` (`run,thread,secs,commits,aborts`).
+pub fn parse_runs_csv(text: &str) -> Result<Vec<CsvRunRow>, String> {
+    let mut rows = Vec::new();
+    for (n, line) in text.lines().enumerate().skip(1) {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let err = |what: &str| format!("runs.csv line {}: {what}: {line}", n + 1);
+        let f: Vec<&str> = line.split(',').collect();
+        if f.len() != 5 {
+            return Err(err("expected 5 fields"));
+        }
+        rows.push(CsvRunRow {
+            run: f[0].parse().map_err(|_| err("bad run"))?,
+            thread: f[1].parse().map_err(|_| err("bad thread"))?,
+            secs: f[2].parse().map_err(|_| err("bad secs"))?,
+            commits: f[3].parse().map_err(|_| err("bad commits"))?,
+            aborts: f[4].parse().map_err(|_| err("bad aborts"))?,
+        });
+    }
+    if rows.is_empty() {
+        return Err("runs.csv has no data rows".into());
+    }
+    Ok(rows)
+}
+
+/// The harness's own cross-run metrics from `<stem>_guided_summary.csv`.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct HarnessSummary {
+    /// Per-thread execution-time standard deviation, seconds.
+    pub std_dev_secs: Vec<f64>,
+    /// Per-thread abort-tail metric Σj².
+    pub tail_metric: Vec<u64>,
+    /// Distinct TSS across the guided repetitions.
+    pub non_determinism: u64,
+    /// Total guided commits across repetitions.
+    pub commits: u64,
+    /// Total guided aborts across repetitions.
+    pub aborts: u64,
+}
+
+/// Parse `<stem>_guided_summary.csv` (`metric,thread,value`).
+pub fn parse_summary_csv(text: &str) -> Result<HarnessSummary, String> {
+    let mut s = HarnessSummary::default();
+    for (n, line) in text.lines().enumerate().skip(1) {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let err = |what: &str| format!("summary.csv line {}: {what}: {line}", n + 1);
+        let f: Vec<&str> = line.split(',').collect();
+        if f.len() != 3 {
+            return Err(err("expected 3 fields"));
+        }
+        match f[0] {
+            "std_dev_secs" => {
+                let t: usize = f[1].parse().map_err(|_| err("bad thread"))?;
+                if s.std_dev_secs.len() != t {
+                    return Err(err("std_dev_secs rows out of order"));
+                }
+                s.std_dev_secs.push(f[2].parse().map_err(|_| err("bad value"))?);
+            }
+            "tail_metric" => {
+                let t: usize = f[1].parse().map_err(|_| err("bad thread"))?;
+                if s.tail_metric.len() != t {
+                    return Err(err("tail_metric rows out of order"));
+                }
+                s.tail_metric.push(f[2].parse().map_err(|_| err("bad value"))?);
+            }
+            "non_determinism" => s.non_determinism = f[2].parse().map_err(|_| err("bad value"))?,
+            "commits" => s.commits = f[2].parse().map_err(|_| err("bad value"))?,
+            "aborts" => s.aborts = f[2].parse().map_err(|_| err("bad value"))?,
+            other => return Err(err(&format!("unknown metric {other}"))),
+        }
+    }
+    if s.std_dev_secs.is_empty() {
+        return Err("summary.csv has no std_dev_secs rows".into());
+    }
+    Ok(s)
+}
+
+// ---------------------------------------------------------------------------
+// Per-run reconstruction from the JSONL trace
+// ---------------------------------------------------------------------------
+
+/// Rebuild the run's transaction sequence from its trace: map the
+/// commit/abort events (already globally sequenced) onto the event-log
+/// shape and apply the profiler's windowed attribution — aborts group
+/// with the *next* commit, trailing aborts are dropped.
+pub fn tseq_from_events(events: &[TraceEvent]) -> Vec<StateKey> {
+    let log: Vec<TxEvent> = events
+        .iter()
+        .filter_map(|ev| match ev.kind {
+            TraceKind::Abort { cause } => Some(TxEvent::Abort(ev.pair, cause)),
+            TraceKind::Commit { .. } => Some(TxEvent::Commit(ev.pair, 0)),
+            _ => None,
+        })
+        .collect();
+    parse_tseq(&log)
+}
+
+/// Rebuild per-thread abort histograms: each thread's aborts since its
+/// previous commit are that commit's retry count, mirroring the
+/// harness's `ThreadStats::record_commit` bookkeeping.
+pub fn per_thread_hists(events: &[TraceEvent], threads: usize) -> Vec<AbortHistogram> {
+    let mut hists = vec![AbortHistogram::new(); threads];
+    let mut pending = vec![0u32; threads];
+    for ev in events {
+        let t = ev.pair.thread.0 as usize;
+        if t >= threads {
+            continue;
+        }
+        match ev.kind {
+            TraceKind::Abort { .. } => pending[t] += 1,
+            TraceKind::Commit { .. } => {
+                hists[t].record(pending[t]);
+                pending[t] = 0;
+            }
+            _ => {}
+        }
+    }
+    hists
+}
+
+/// Exact nearest-rank quantile over a sorted sample (`q` in `[0,1]`).
+pub fn quantile(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = (q * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// Everything re-derived from one repetition's artifacts.
+#[derive(Clone, Debug)]
+pub struct RunAnalysis {
+    /// Repetition index.
+    pub run: usize,
+    /// Trace events, in global sequence order.
+    pub events: usize,
+    /// Reconstructed transaction sequence.
+    pub tseq: Vec<StateKey>,
+    /// Reconstructed per-thread abort histograms.
+    pub hists: Vec<AbortHistogram>,
+    /// Raw commit latencies, sorted ascending, nanoseconds.
+    pub commit_ns: Vec<u64>,
+    /// `gstm_trace_dropped_total` — nonzero means the trace is a sample
+    /// and exact trace-derived cross-checks are skipped.
+    pub dropped: u64,
+    /// The run's parsed counter exposition.
+    pub prom: PromSnapshot,
+}
+
+impl RunAnalysis {
+    /// Analyze one repetition's JSONL + prom artifact pair.
+    pub fn from_artifacts(
+        run: usize,
+        jsonl: &str,
+        prom_text: &str,
+        threads: usize,
+    ) -> Result<RunAnalysis, String> {
+        let events = parse_jsonl(jsonl).map_err(|e| format!("run {run}: {e}"))?;
+        let prom = PromSnapshot::parse(prom_text).map_err(|e| format!("run {run}: {e}"))?;
+        let mut commit_ns: Vec<u64> = events
+            .iter()
+            .filter_map(|ev| match ev.kind {
+                TraceKind::Commit { commit_ns, .. } => Some(commit_ns),
+                _ => None,
+            })
+            .collect();
+        commit_ns.sort_unstable();
+        Ok(RunAnalysis {
+            run,
+            events: events.len(),
+            tseq: tseq_from_events(&events),
+            hists: per_thread_hists(&events, threads),
+            commit_ns,
+            dropped: prom.get("gstm_trace_dropped_total", &[]).unwrap_or(0.0) as u64,
+            prom,
+        })
+    }
+
+    /// Commits reconstructed from the trace.
+    pub fn trace_commits(&self) -> u64 {
+        self.hists.iter().map(|h| h.total_commits()).sum()
+    }
+
+    /// Aborts reconstructed from the trace (attributed ones — trailing
+    /// aborts with no following commit on their thread are not counted,
+    /// same as the harness histograms).
+    pub fn trace_aborts(&self) -> u64 {
+        self.hists.iter().map(|h| h.total_aborts()).sum()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Campaign analysis
+// ---------------------------------------------------------------------------
+
+/// Pass/fail thresholds. Cross-*check* tolerances are always applied;
+/// the `Option` fields add policy gates on the recomputed metrics.
+#[derive(Clone, Copy, Debug)]
+pub struct Thresholds {
+    /// Absolute tolerance for float cross-checks (the harness writes
+    /// seconds at 9 decimals, so recomputation differs by < 1e-8).
+    pub float_tol: f64,
+    /// Fail if any thread's time coefficient of variation (std-dev /
+    /// mean, percent) exceeds this.
+    pub max_cv_pct: Option<f64>,
+    /// Fail if cross-run non-determinism (distinct TSS) exceeds this.
+    pub max_non_determinism: Option<u64>,
+    /// Fail if the campaign abort ratio (aborts / (commits+aborts),
+    /// percent) exceeds this.
+    pub max_abort_ratio_pct: Option<f64>,
+    /// Fail if the model's off-model transition share exceeds this.
+    pub max_off_model_pct: Option<f64>,
+    /// Fail if the drift verdict reached Stale (code 3).
+    pub fail_on_stale: bool,
+}
+
+impl Default for Thresholds {
+    fn default() -> Self {
+        Thresholds {
+            float_tol: 1e-6,
+            max_cv_pct: None,
+            max_non_determinism: None,
+            max_abort_ratio_pct: None,
+            max_off_model_pct: None,
+            fail_on_stale: false,
+        }
+    }
+}
+
+/// One named cross-check or policy gate.
+#[derive(Clone, Debug)]
+pub struct Check {
+    /// Stable identifier (snake_case), keyed on by CI.
+    pub name: String,
+    /// Whether it held.
+    pub pass: bool,
+    /// Human-readable evidence.
+    pub detail: String,
+}
+
+/// Model-drift facts lifted from the final run's exposition (the drift
+/// tracker is shared across repetitions, so the last run carries the
+/// whole campaign).
+#[derive(Clone, Debug, Default)]
+pub struct DriftFacts {
+    /// Staleness code: 0 insufficient, 1 fresh, 2 drifting, 3 stale.
+    pub staleness: u64,
+    /// Share of transitions leaving the modeled edge set, percent.
+    pub off_model_pct: f64,
+    /// Transition-weighted mean per-state KL divergence, nats.
+    pub kl_mean_nats: f64,
+    /// Worst per-state KL divergence, nats.
+    pub kl_max_nats: f64,
+    /// Guidance metric of the profiled model, percent.
+    pub profiled_metric_pct: f64,
+    /// Guidance metric recomputed from observed transitions, if enough
+    /// were seen.
+    pub observed_metric_pct: Option<f64>,
+}
+
+/// Human-readable staleness label for a `gstm_model_staleness` code.
+pub fn staleness_label(code: u64) -> &'static str {
+    match code {
+        0 => "insufficient",
+        1 => "fresh",
+        2 => "drifting",
+        _ => "stale",
+    }
+}
+
+/// The analyzer's full output for one campaign.
+#[derive(Clone, Debug)]
+pub struct CampaignReport {
+    /// Artifact stem, `<bench>_<threads>t`.
+    pub stem: String,
+    /// Repetitions analyzed.
+    pub runs: usize,
+    /// Threads per repetition.
+    pub threads: usize,
+    /// All cross-checks and policy gates, in evaluation order.
+    pub checks: Vec<Check>,
+    /// Per-thread execution-time std-dev recomputed from `runs.csv`.
+    pub std_dev_secs: Vec<f64>,
+    /// Per-thread mean execution time from `runs.csv`.
+    pub mean_secs: Vec<f64>,
+    /// Per-thread abort tail Σj² from the merged reconstructed
+    /// histograms.
+    pub tail_metric: Vec<u64>,
+    /// Distinct TSS across the reconstructed Tseqs.
+    pub non_determinism: usize,
+    /// Campaign commit total (from `runs.csv`).
+    pub commits: u64,
+    /// Campaign abort total (from `runs.csv`).
+    pub aborts: u64,
+    /// Per-run commit-latency median, nanoseconds.
+    pub commit_p50_ns: Vec<u64>,
+    /// Per-run commit-latency 99th percentile, nanoseconds.
+    pub commit_p99_ns: Vec<u64>,
+    /// Model-drift facts, when the exposition carried them.
+    pub drift: Option<DriftFacts>,
+}
+
+impl CampaignReport {
+    /// Whether every check passed.
+    pub fn pass(&self) -> bool {
+        self.checks.iter().all(|c| c.pass)
+    }
+}
+
+fn approx(a: f64, b: f64, tol: f64) -> bool {
+    (a - b).abs() <= tol
+}
+
+/// Run every cross-check and policy gate over the re-derived runs, the
+/// harness's raw per-run CSV, and its summary CSV.
+pub fn analyze_campaign(
+    stem: &str,
+    runs: &[RunAnalysis],
+    csv: &[CsvRunRow],
+    summary: &HarnessSummary,
+    th: &Thresholds,
+) -> CampaignReport {
+    let threads = csv.iter().map(|r| r.thread + 1).max().unwrap_or(0);
+    let n_runs = csv.iter().map(|r| r.run + 1).max().unwrap_or(0);
+    let mut checks = Vec::new();
+    let mut check = |name: &str, pass: bool, detail: String| {
+        checks.push(Check { name: name.into(), pass, detail });
+    };
+
+    // -- artifact inventory -------------------------------------------------
+    let dropped_total: u64 = runs.iter().map(|r| r.dropped).sum();
+    check(
+        "artifacts",
+        runs.len() == n_runs && !runs.is_empty(),
+        format!(
+            "{} telemetry artifact pair(s) for {} csv repetition(s); {} trace event(s) dropped",
+            runs.len(),
+            n_runs,
+            dropped_total
+        ),
+    );
+    let trace_exact = dropped_total == 0 && runs.len() == n_runs;
+
+    // -- trace totals vs the run's own counters -----------------------------
+    {
+        let mut bad = Vec::new();
+        for r in runs {
+            if r.dropped > 0 {
+                continue;
+            }
+            let pc = r.prom.get("gstm_commits_total", &[]).unwrap_or(-1.0) as i64;
+            let pa = r.prom.sum("gstm_aborts_total", &[]) as i64;
+            // Trailing unattributed aborts make trace_aborts a lower
+            // bound; commits must match exactly.
+            if pc != r.trace_commits() as i64 || pa < r.trace_aborts() as i64 {
+                bad.push(format!(
+                    "run {}: trace {}c/{}a vs prom {}c/{}a",
+                    r.run,
+                    r.trace_commits(),
+                    r.trace_aborts(),
+                    pc,
+                    pa
+                ));
+            }
+        }
+        check(
+            "trace_vs_prom_totals",
+            bad.is_empty(),
+            if bad.is_empty() {
+                "per-run trace-reconstructed commit/abort totals match the counters".into()
+            } else {
+                bad.join("; ")
+            },
+        );
+    }
+
+    // -- trace per-thread counts vs the harness's runs.csv ------------------
+    {
+        let mut bad = Vec::new();
+        for row in csv {
+            let Some(r) = runs.iter().find(|r| r.run == row.run) else { continue };
+            if r.dropped > 0 {
+                continue;
+            }
+            let (c, a) = r
+                .hists
+                .get(row.thread)
+                .map(|h| (h.total_commits(), h.total_aborts()))
+                .unwrap_or((0, 0));
+            if c != row.commits || a != row.aborts {
+                bad.push(format!(
+                    "run {} thread {}: trace {c}c/{a}a vs csv {}c/{}a",
+                    row.run, row.thread, row.commits, row.aborts
+                ));
+            }
+        }
+        check(
+            "trace_vs_csv_counts",
+            bad.is_empty(),
+            if bad.is_empty() {
+                "per-run per-thread commit/abort counts match the harness csv exactly".into()
+            } else {
+                bad.join("; ")
+            },
+        );
+    }
+
+    // -- per-thread series partition the global counters --------------------
+    {
+        let mut bad = Vec::new();
+        for r in runs {
+            let gc = r.prom.get("gstm_commits_total", &[]).unwrap_or(-1.0);
+            let tc = r.prom.sum("gstm_thread_commits_total", &[]);
+            if gc != tc {
+                bad.push(format!("run {}: thread commits {tc} != total {gc}", r.run));
+            }
+            let ga = r.prom.sum("gstm_aborts_total", &[]);
+            let ta = r.prom.sum("gstm_thread_aborts_total", &[]);
+            if ga != ta {
+                bad.push(format!("run {}: thread aborts {ta} != total {ga}", r.run));
+            }
+            for outcome in ["passed", "waited", "released"] {
+                let g = r.prom.get("gstm_gate_outcomes_total", &[("outcome", outcome)]);
+                let t = r
+                    .prom
+                    .sum("gstm_thread_gate_outcomes_total", &[("outcome", outcome)]);
+                if g.unwrap_or(-1.0) != t {
+                    bad.push(format!(
+                        "run {}: thread gate {outcome} {t} != total {:?}",
+                        r.run, g
+                    ));
+                }
+            }
+        }
+        check(
+            "thread_partition",
+            bad.is_empty(),
+            if bad.is_empty() {
+                "per-thread commit/abort/gate-outcome series sum to the global counters".into()
+            } else {
+                bad.join("; ")
+            },
+        );
+    }
+
+    // -- per-thread execution-time variance ---------------------------------
+    let mut mean_secs = vec![0.0; threads];
+    let mut std_dev_secs = vec![0.0; threads];
+    {
+        let mut bad = Vec::new();
+        for t in 0..threads {
+            let secs: Vec<f64> = csv.iter().filter(|r| r.thread == t).map(|r| r.secs).collect();
+            mean_secs[t] = metrics::mean(&secs);
+            std_dev_secs[t] = metrics::std_dev(&secs);
+            match summary.std_dev_secs.get(t) {
+                Some(&h) if approx(std_dev_secs[t], h, th.float_tol) => {}
+                other => bad.push(format!(
+                    "thread {t}: recomputed {} vs harness {:?}",
+                    std_dev_secs[t], other
+                )),
+            }
+        }
+        check(
+            "variance_match",
+            bad.is_empty() && summary.std_dev_secs.len() == threads,
+            if bad.is_empty() {
+                format!(
+                    "per-thread std-dev recomputed from runs.csv matches harness within {}",
+                    th.float_tol
+                )
+            } else {
+                bad.join("; ")
+            },
+        );
+    }
+
+    // -- abort tail ---------------------------------------------------------
+    let mut tails = vec![0u64; threads];
+    {
+        let mut merged = vec![AbortHistogram::new(); threads];
+        for r in runs {
+            for (m, h) in merged.iter_mut().zip(&r.hists) {
+                m.merge(h);
+            }
+        }
+        for (t, m) in merged.iter().enumerate() {
+            tails[t] = m.tail_metric();
+        }
+        if trace_exact {
+            let pass = tails[..] == summary.tail_metric[..];
+            check(
+                "abort_tail_match",
+                pass,
+                if pass {
+                    format!("per-thread abort tail Σj² {:?} matches harness exactly", tails)
+                } else {
+                    format!("reconstructed {:?} vs harness {:?}", tails, summary.tail_metric)
+                },
+            );
+        } else {
+            check(
+                "abort_tail_match",
+                true,
+                "skipped: trace incomplete (dropped events or missing runs)".into(),
+            );
+        }
+    }
+
+    // -- non-determinism ----------------------------------------------------
+    let tseqs: Vec<&[StateKey]> = runs.iter().map(|r| r.tseq.as_slice()).collect();
+    let nd = metrics::non_determinism(&tseqs);
+    if trace_exact {
+        let pass = nd as u64 == summary.non_determinism;
+        check(
+            "non_determinism_match",
+            pass,
+            format!(
+                "distinct TSS across reconstructed Tseqs = {nd}, harness = {}",
+                summary.non_determinism
+            ),
+        );
+    } else {
+        check(
+            "non_determinism_match",
+            true,
+            "skipped: trace incomplete (dropped events or missing runs)".into(),
+        );
+    }
+
+    // -- campaign totals ----------------------------------------------------
+    let commits: u64 = csv.iter().map(|r| r.commits).sum();
+    let aborts: u64 = csv.iter().map(|r| r.aborts).sum();
+    check(
+        "totals_match",
+        commits == summary.commits && aborts == summary.aborts,
+        format!(
+            "runs.csv totals {commits}c/{aborts}a vs summary {}c/{}a",
+            summary.commits, summary.aborts
+        ),
+    );
+
+    // -- policy gates -------------------------------------------------------
+    if let Some(max_cv) = th.max_cv_pct {
+        let worst = (0..threads)
+            .map(|t| {
+                if mean_secs[t] > 0.0 {
+                    100.0 * std_dev_secs[t] / mean_secs[t]
+                } else {
+                    0.0
+                }
+            })
+            .fold(0.0f64, f64::max);
+        check(
+            "cv_threshold",
+            worst <= max_cv,
+            format!("worst per-thread time CV {worst:.2}% vs limit {max_cv}%"),
+        );
+    }
+    if let Some(max_nd) = th.max_non_determinism {
+        check(
+            "non_determinism_threshold",
+            summary.non_determinism <= max_nd,
+            format!("non-determinism {} vs limit {max_nd}", summary.non_determinism),
+        );
+    }
+    if let Some(max_ar) = th.max_abort_ratio_pct {
+        let ratio = if commits + aborts > 0 {
+            100.0 * aborts as f64 / (commits + aborts) as f64
+        } else {
+            0.0
+        };
+        check(
+            "abort_ratio_threshold",
+            ratio <= max_ar,
+            format!("abort ratio {ratio:.2}% vs limit {max_ar}%"),
+        );
+    }
+
+    // -- model drift (from the final run's exposition) ----------------------
+    let drift = runs.last().and_then(|r| {
+        let staleness = r.prom.get("gstm_model_staleness", &[])?;
+        Some(DriftFacts {
+            staleness: staleness as u64,
+            off_model_pct: r.prom.get("gstm_model_off_model_pct", &[]).unwrap_or(0.0),
+            kl_mean_nats: r
+                .prom
+                .get("gstm_model_kl_divergence_nats", &[("stat", "mean")])
+                .unwrap_or(0.0),
+            kl_max_nats: r
+                .prom
+                .get("gstm_model_kl_divergence_nats", &[("stat", "max")])
+                .unwrap_or(0.0),
+            profiled_metric_pct: r
+                .prom
+                .get("gstm_model_guidance_metric_pct", &[("source", "profiled")])
+                .unwrap_or(0.0),
+            observed_metric_pct: r
+                .prom
+                .get("gstm_model_guidance_metric_pct", &[("source", "observed")]),
+        })
+    });
+    if let Some(d) = &drift {
+        if th.fail_on_stale {
+            check(
+                "staleness",
+                d.staleness < 3,
+                format!("model verdict: {}", staleness_label(d.staleness)),
+            );
+        }
+        if let Some(max_off) = th.max_off_model_pct {
+            check(
+                "off_model_threshold",
+                d.off_model_pct <= max_off,
+                format!("off-model transitions {:.2}% vs limit {max_off}%", d.off_model_pct),
+            );
+        }
+    }
+
+    CampaignReport {
+        stem: stem.to_string(),
+        runs: runs.len(),
+        threads,
+        checks,
+        std_dev_secs,
+        mean_secs,
+        tail_metric: tails,
+        non_determinism: nd,
+        commits,
+        aborts,
+        commit_p50_ns: runs.iter().map(|r| quantile(&r.commit_ns, 0.50)).collect(),
+        commit_p99_ns: runs.iter().map(|r| quantile(&r.commit_ns, 0.99)).collect(),
+        drift,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Campaign loading
+// ---------------------------------------------------------------------------
+
+/// Load `<stem>_run<r>_telemetry.{jsonl,prom}` pairs (consecutive `r`
+/// from 0) plus the two harness CSVs from `dir`, and analyze them.
+pub fn analyze_dir(dir: &Path, stem: &str, th: &Thresholds) -> Result<CampaignReport, String> {
+    let read = |name: String| -> Result<String, String> {
+        std::fs::read_to_string(dir.join(&name)).map_err(|e| format!("{name}: {e}"))
+    };
+    let csv = parse_runs_csv(&read(format!("{stem}_runs.csv"))?)?;
+    let summary = parse_summary_csv(&read(format!("{stem}_guided_summary.csv"))?)?;
+    let threads = csv.iter().map(|r| r.thread + 1).max().unwrap_or(0);
+    let mut runs = Vec::new();
+    loop {
+        let r = runs.len();
+        let prom_name = format!("{stem}_run{r}_telemetry.prom");
+        if !dir.join(&prom_name).exists() {
+            break;
+        }
+        let jsonl = read(format!("{stem}_run{r}_telemetry.jsonl"))?;
+        runs.push(RunAnalysis::from_artifacts(r, &jsonl, &read(prom_name)?, threads)?);
+    }
+    if runs.is_empty() {
+        return Err(format!("no {stem}_run<r>_telemetry.prom artifacts in {}", dir.display()));
+    }
+    Ok(analyze_campaign(stem, &runs, &csv, &summary, th))
+}
+
+// ---------------------------------------------------------------------------
+// Rendering
+// ---------------------------------------------------------------------------
+
+fn esc_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn jf(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x}")
+    } else {
+        "null".into()
+    }
+}
+
+fn jf_vec(xs: &[f64]) -> String {
+    format!("[{}]", xs.iter().map(|&x| jf(x)).collect::<Vec<_>>().join(","))
+}
+
+fn ju_vec(xs: &[u64]) -> String {
+    format!("[{}]", xs.iter().map(u64::to_string).collect::<Vec<_>>().join(","))
+}
+
+/// Serialize the report as the machine-readable `verdict.json`.
+pub fn render_verdict_json(r: &CampaignReport) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{{");
+    let _ = writeln!(out, "  \"stem\": \"{}\",", esc_json(&r.stem));
+    let _ = writeln!(out, "  \"runs\": {},", r.runs);
+    let _ = writeln!(out, "  \"threads\": {},", r.threads);
+    let _ = writeln!(out, "  \"pass\": {},", r.pass());
+    let _ = writeln!(out, "  \"checks\": [");
+    for (i, c) in r.checks.iter().enumerate() {
+        let comma = if i + 1 < r.checks.len() { "," } else { "" };
+        let _ = writeln!(
+            out,
+            "    {{\"name\": \"{}\", \"pass\": {}, \"detail\": \"{}\"}}{comma}",
+            esc_json(&c.name),
+            c.pass,
+            esc_json(&c.detail)
+        );
+    }
+    let _ = writeln!(out, "  ],");
+    let _ = writeln!(out, "  \"metrics\": {{");
+    let _ = writeln!(out, "    \"std_dev_secs\": {},", jf_vec(&r.std_dev_secs));
+    let _ = writeln!(out, "    \"mean_secs\": {},", jf_vec(&r.mean_secs));
+    let _ = writeln!(out, "    \"tail_metric\": {},", ju_vec(&r.tail_metric));
+    let _ = writeln!(out, "    \"non_determinism\": {},", r.non_determinism);
+    let _ = writeln!(out, "    \"commits\": {},", r.commits);
+    let _ = writeln!(out, "    \"aborts\": {},", r.aborts);
+    let _ = writeln!(out, "    \"commit_p50_ns\": {},", ju_vec(&r.commit_p50_ns));
+    let _ = write!(out, "    \"commit_p99_ns\": {}", ju_vec(&r.commit_p99_ns));
+    if let Some(d) = &r.drift {
+        let _ = writeln!(out, ",");
+        let _ = writeln!(out, "    \"model\": {{");
+        let _ = writeln!(
+            out,
+            "      \"staleness\": \"{}\",",
+            staleness_label(d.staleness)
+        );
+        let _ = writeln!(out, "      \"staleness_code\": {},", d.staleness);
+        let _ = writeln!(out, "      \"off_model_pct\": {},", jf(d.off_model_pct));
+        let _ = writeln!(out, "      \"kl_mean_nats\": {},", jf(d.kl_mean_nats));
+        let _ = writeln!(out, "      \"kl_max_nats\": {},", jf(d.kl_max_nats));
+        let _ = writeln!(
+            out,
+            "      \"profiled_metric_pct\": {},",
+            jf(d.profiled_metric_pct)
+        );
+        let _ = writeln!(
+            out,
+            "      \"observed_metric_pct\": {}",
+            d.observed_metric_pct.map(jf).unwrap_or_else(|| "null".into())
+        );
+        let _ = writeln!(out, "    }}");
+    } else {
+        let _ = writeln!(out);
+    }
+    let _ = writeln!(out, "  }}");
+    let _ = writeln!(out, "}}");
+    out
+}
+
+/// Render the human-readable markdown report.
+pub fn render_markdown(r: &CampaignReport) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# gstm-analyze: {}", r.stem);
+    let _ = writeln!(out);
+    let _ = writeln!(
+        out,
+        "**{}** — {} repetition(s), {} thread(s), {} commit(s), {} abort(s).",
+        if r.pass() { "PASS" } else { "FAIL" },
+        r.runs,
+        r.threads,
+        r.commits,
+        r.aborts
+    );
+    let _ = writeln!(out);
+    let _ = writeln!(out, "## Cross-run metrics");
+    let _ = writeln!(out);
+    let _ = writeln!(out, "| thread | mean s | std-dev s | abort tail Σj² |");
+    let _ = writeln!(out, "|-------:|-------:|----------:|---------------:|");
+    for t in 0..r.threads {
+        let _ = writeln!(
+            out,
+            "| {t} | {:.6} | {:.6} | {} |",
+            r.mean_secs.get(t).copied().unwrap_or(0.0),
+            r.std_dev_secs.get(t).copied().unwrap_or(0.0),
+            r.tail_metric.get(t).copied().unwrap_or(0)
+        );
+    }
+    let _ = writeln!(out);
+    let _ = writeln!(
+        out,
+        "Non-determinism (distinct TSS across reconstructed Tseqs): **{}**.",
+        r.non_determinism
+    );
+    let _ = writeln!(out);
+    let _ = writeln!(out, "## Commit latency per run");
+    let _ = writeln!(out);
+    let _ = writeln!(out, "| run | p50 ns | p99 ns |");
+    let _ = writeln!(out, "|----:|-------:|-------:|");
+    for i in 0..r.runs {
+        let _ = writeln!(
+            out,
+            "| {i} | {} | {} |",
+            r.commit_p50_ns.get(i).copied().unwrap_or(0),
+            r.commit_p99_ns.get(i).copied().unwrap_or(0)
+        );
+    }
+    if r.runs > 1 {
+        let spread = |xs: &[u64]| {
+            let (lo, hi) = (
+                xs.iter().min().copied().unwrap_or(0),
+                xs.iter().max().copied().unwrap_or(0),
+            );
+            format!("{lo}–{hi} ns")
+        };
+        let _ = writeln!(out);
+        let _ = writeln!(
+            out,
+            "Cross-run spread: p50 {}, p99 {}.",
+            spread(&r.commit_p50_ns),
+            spread(&r.commit_p99_ns)
+        );
+    }
+    if let Some(d) = &r.drift {
+        let _ = writeln!(out);
+        let _ = writeln!(out, "## Model drift");
+        let _ = writeln!(out);
+        let _ = writeln!(out, "- verdict: **{}**", staleness_label(d.staleness));
+        let _ = writeln!(out, "- off-model transitions: {:.2}%", d.off_model_pct);
+        let _ = writeln!(
+            out,
+            "- KL divergence (obs ‖ prof): mean {:.4} nats, max {:.4} nats",
+            d.kl_mean_nats, d.kl_max_nats
+        );
+        let _ = write!(
+            out,
+            "- guidance metric: profiled {:.1}%",
+            d.profiled_metric_pct
+        );
+        if let Some(obs) = d.observed_metric_pct {
+            let _ = writeln!(out, ", observed {obs:.1}%");
+        } else {
+            let _ = writeln!(out, ", observed n/a");
+        }
+    }
+    let _ = writeln!(out);
+    let _ = writeln!(out, "## Checks");
+    let _ = writeln!(out);
+    let _ = writeln!(out, "| check | result | detail |");
+    let _ = writeln!(out, "|-------|--------|--------|");
+    for c in &r.checks {
+        let _ = writeln!(
+            out,
+            "| {} | {} | {} |",
+            c.name,
+            if c.pass { "pass" } else { "FAIL" },
+            c.detail.replace('|', "\\|")
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests;

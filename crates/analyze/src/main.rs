@@ -1,0 +1,123 @@
+//! `gstm-analyze` — cross-run variance analyzer over telemetry artifacts.
+//!
+//! ```text
+//! gstm-analyze --dir telemetry-out --bench kmeans --threads 4 \
+//!     [--out DIR] [--tol 1e-6] [--max-cv-pct 40] [--max-nondet 100] \
+//!     [--max-abort-ratio-pct 60] [--max-off-model-pct 50] [--fail-on-stale]
+//! ```
+//!
+//! Reads `<bench>_<threads>t_run<r>_telemetry.{jsonl,prom}` for r = 0..,
+//! plus `<bench>_<threads>t_runs.csv` and `_guided_summary.csv`, from
+//! `--dir`. Writes `<stem>_verdict.json` and `<stem>_report.md` to
+//! `--out` (default: `--dir`) and prints the markdown report. Exit code
+//! 0 when every check passes, 1 on a failed check, 2 on usage or I/O
+//! errors.
+
+use gstm_analyze::{analyze_dir, render_markdown, render_verdict_json, Thresholds};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Cli {
+    dir: PathBuf,
+    out: Option<PathBuf>,
+    bench: String,
+    threads: u32,
+    thresholds: Thresholds,
+}
+
+const USAGE: &str = "usage: gstm-analyze --dir DIR --bench NAME --threads N [--out DIR] \
+[--tol F] [--max-cv-pct F] [--max-nondet N] [--max-abort-ratio-pct F] \
+[--max-off-model-pct F] [--fail-on-stale]";
+
+fn parse_cli(args: &[String]) -> Result<Cli, String> {
+    let mut dir = None;
+    let mut out = None;
+    let mut bench = None;
+    let mut threads = None;
+    let mut th = Thresholds::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut val = |what: &str| -> Result<&String, String> {
+            it.next().ok_or_else(|| format!("{arg} needs a {what}"))
+        };
+        match arg.as_str() {
+            "--dir" => dir = Some(PathBuf::from(val("path")?)),
+            "--out" => out = Some(PathBuf::from(val("path")?)),
+            "--bench" => bench = Some(val("name")?.clone()),
+            "--threads" => threads = Some(val("count")?.parse().map_err(|_| "bad --threads")?),
+            "--tol" => th.float_tol = val("float")?.parse().map_err(|_| "bad --tol")?,
+            "--max-cv-pct" => {
+                th.max_cv_pct = Some(val("float")?.parse().map_err(|_| "bad --max-cv-pct")?)
+            }
+            "--max-nondet" => {
+                th.max_non_determinism =
+                    Some(val("count")?.parse().map_err(|_| "bad --max-nondet")?)
+            }
+            "--max-abort-ratio-pct" => {
+                th.max_abort_ratio_pct =
+                    Some(val("float")?.parse().map_err(|_| "bad --max-abort-ratio-pct")?)
+            }
+            "--max-off-model-pct" => {
+                th.max_off_model_pct =
+                    Some(val("float")?.parse().map_err(|_| "bad --max-off-model-pct")?)
+            }
+            "--fail-on-stale" => th.fail_on_stale = true,
+            "--help" | "-h" => return Err(USAGE.into()),
+            other => return Err(format!("unknown argument {other}\n{USAGE}")),
+        }
+    }
+    Ok(Cli {
+        dir: dir.ok_or(format!("--dir is required\n{USAGE}"))?,
+        out,
+        bench: bench.ok_or(format!("--bench is required\n{USAGE}"))?,
+        threads: threads.ok_or(format!("--threads is required\n{USAGE}"))?,
+        thresholds: th,
+    })
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cli = match parse_cli(&args) {
+        Ok(cli) => cli,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+    let stem = format!("{}_{}t", cli.bench, cli.threads);
+    let report = match analyze_dir(&cli.dir, &stem, &cli.thresholds) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("gstm-analyze: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let out_dir = cli.out.unwrap_or_else(|| cli.dir.clone());
+    if let Err(e) = std::fs::create_dir_all(&out_dir) {
+        eprintln!("gstm-analyze: creating {}: {e}", out_dir.display());
+        return ExitCode::from(2);
+    }
+    let verdict_path = out_dir.join(format!("{stem}_verdict.json"));
+    let report_path = out_dir.join(format!("{stem}_report.md"));
+    let md = render_markdown(&report);
+    for (path, body) in [(&verdict_path, render_verdict_json(&report)), (&report_path, md.clone())]
+    {
+        if let Err(e) = std::fs::write(path, body) {
+            eprintln!("gstm-analyze: writing {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+    print!("{md}");
+    println!();
+    println!(
+        "verdict: {} ({} checks) -> {}",
+        if report.pass() { "PASS" } else { "FAIL" },
+        report.checks.len(),
+        verdict_path.display()
+    );
+    if report.pass() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}

@@ -1,0 +1,389 @@
+use super::*;
+use gstm_core::analyzer::analyze;
+use gstm_core::config::GuidanceConfig;
+use gstm_core::events::AbortCause;
+use gstm_core::ids::{Pair, ThreadId, TxnId};
+use gstm_core::telemetry::export_jsonl;
+use gstm_core::tsa::{GuidedModel, Tsa};
+
+fn pair(txn: u16, thread: u16) -> Pair {
+    Pair::new(TxnId(txn), ThreadId(thread))
+}
+
+fn ev(seq: u64, p: Pair, kind: TraceKind) -> TraceEvent {
+    TraceEvent { seq, ts_ns: seq * 10, pair: p, kind }
+}
+
+fn commit(ns: u64) -> TraceKind {
+    TraceKind::Commit { commit_ns: ns, writes: 1 }
+}
+
+fn abort() -> TraceKind {
+    TraceKind::Abort { cause: AbortCause::ReadVersion }
+}
+
+/// The scripted schedule used by the campaign fixtures: two threads,
+/// four commits, one abort on thread 1 before its first commit.
+fn scripted_run() -> Vec<TraceEvent> {
+    let (a0, b1) = (pair(0, 0), pair(1, 1));
+    vec![
+        ev(1, a0, TraceKind::Begin),
+        ev(2, a0, commit(100)),
+        ev(3, b1, abort()),
+        ev(4, b1, commit(200)),
+        ev(5, a0, commit(150)),
+        ev(6, b1, commit(250)),
+    ]
+}
+
+// ---------------------------------------------------------------------------
+// Prom / CSV parsing
+// ---------------------------------------------------------------------------
+
+#[test]
+fn prom_parse_labels_and_sums() {
+    let p = PromSnapshot::parse(
+        "# TYPE gstm_commits_total counter\n\
+         gstm_commits_total 42\n\
+         gstm_aborts_total{cause=\"read_version\"} 3\n\
+         gstm_aborts_total{cause=\"validation\"} 4\n\
+         gstm_thread_gate_outcomes_total{thread=\"0\",outcome=\"passed\"} 7\n",
+    )
+    .unwrap();
+    assert_eq!(p.get("gstm_commits_total", &[]), Some(42.0));
+    assert_eq!(p.get("gstm_aborts_total", &[("cause", "validation")]), Some(4.0));
+    assert_eq!(p.sum("gstm_aborts_total", &[]), 7.0);
+    assert_eq!(
+        p.get(
+            "gstm_thread_gate_outcomes_total",
+            &[("outcome", "passed"), ("thread", "0")]
+        ),
+        Some(7.0)
+    );
+    assert_eq!(p.get("gstm_missing", &[]), None);
+    assert!(PromSnapshot::parse("garbage-without-value").is_err());
+}
+
+#[test]
+fn runs_csv_parses_and_rejects_malformed() {
+    let rows = parse_runs_csv("run,thread,secs,commits,aborts\n0,0,1.25,10,2\n0,1,1.5,11,0\n")
+        .unwrap();
+    assert_eq!(rows.len(), 2);
+    assert_eq!(rows[1], CsvRunRow { run: 0, thread: 1, secs: 1.5, commits: 11, aborts: 0 });
+    assert!(parse_runs_csv("run,thread,secs,commits,aborts\n0,0,oops,1,1\n").is_err());
+    assert!(parse_runs_csv("run,thread,secs,commits,aborts\n").is_err());
+}
+
+#[test]
+fn summary_csv_parses_all_metrics() {
+    let s = parse_summary_csv(
+        "metric,thread,value\n\
+         std_dev_secs,0,0.005\n\
+         std_dev_secs,1,0.007\n\
+         tail_metric,0,12\n\
+         tail_metric,1,3\n\
+         non_determinism,,5\n\
+         commits,,100\n\
+         aborts,,9\n",
+    )
+    .unwrap();
+    assert_eq!(s.std_dev_secs, vec![0.005, 0.007]);
+    assert_eq!(s.tail_metric, vec![12, 3]);
+    assert_eq!((s.non_determinism, s.commits, s.aborts), (5, 100, 9));
+}
+
+// ---------------------------------------------------------------------------
+// Reconstruction
+// ---------------------------------------------------------------------------
+
+#[test]
+fn per_thread_hists_mirror_retry_accounting() {
+    let h = per_thread_hists(&scripted_run(), 2);
+    assert_eq!(h[0].total_commits(), 2);
+    assert_eq!(h[0].total_aborts(), 0);
+    assert_eq!(h[1].total_commits(), 2);
+    assert_eq!(h[1].total_aborts(), 1);
+    // Thread 1's abort belongs to its first commit (1 retry), not its
+    // second.
+    let buckets: Vec<(u32, u64)> = {
+        let mut b: Vec<_> = h[1].iter().collect();
+        b.sort();
+        b
+    };
+    assert_eq!(buckets, vec![(0, 1), (1, 1)]);
+}
+
+#[test]
+fn quantiles_use_nearest_rank() {
+    let xs = [100, 150, 200, 250];
+    assert_eq!(quantile(&xs, 0.50), 150);
+    assert_eq!(quantile(&xs, 0.99), 250);
+    assert_eq!(quantile(&xs, 0.0), 100);
+    assert_eq!(quantile(&[], 0.5), 0);
+    assert_eq!(quantile(&[7], 0.99), 7);
+}
+
+/// Satellite: JSONL → Tseq round-trip fidelity. The guidance metric
+/// computed from a model built over the reconstructed Tseq must equal
+/// the one from the in-memory Tseq bit-for-bit.
+#[test]
+fn jsonl_roundtrip_preserves_tseq_and_guidance_metric() {
+    let (a0, b1, c0) = (pair(0, 0), pair(1, 1), pair(2, 0));
+    // A longer schedule with interleaved aborts, multi-pair windows, and
+    // a trailing abort that the windowed attribution must drop.
+    let script: Vec<TraceEvent> = vec![
+        ev(1, a0, abort()),
+        ev(2, b1, commit(10)),
+        ev(3, a0, commit(20)),
+        ev(4, b1, abort()),
+        ev(5, c0, abort()),
+        ev(6, b1, commit(30)),
+        ev(7, c0, commit(40)),
+        ev(8, b1, commit(50)),
+        ev(9, a0, abort()),
+    ];
+
+    // In-memory path: the event-log shape the profiler consumes.
+    let log: Vec<TxEvent> = script
+        .iter()
+        .filter_map(|e| match e.kind {
+            TraceKind::Abort { cause } => Some(TxEvent::Abort(e.pair, cause)),
+            TraceKind::Commit { .. } => Some(TxEvent::Commit(e.pair, 0)),
+            _ => None,
+        })
+        .collect();
+    let in_memory = parse_tseq(&log);
+
+    // Exported path: JSONL text → parse → reconstruct.
+    let jsonl = export_jsonl(&script);
+    let parsed = gstm_core::telemetry::parse_jsonl(&jsonl).unwrap();
+    let reconstructed = tseq_from_events(&parsed);
+
+    assert_eq!(in_memory, reconstructed, "Tseq must survive the JSONL round trip");
+    assert_eq!(in_memory.len(), 5, "trailing abort dropped, one state per commit");
+
+    let cfg = GuidanceConfig::default();
+    let m_mem = GuidedModel::build(Tsa::from_runs(&[in_memory]), &cfg);
+    let m_rec = GuidedModel::build(Tsa::from_runs(&[reconstructed]), &cfg);
+    let (r_mem, r_rec) = (analyze(&m_mem), analyze(&m_rec));
+    assert_eq!(
+        r_mem.guidance_metric_pct.to_bits(),
+        r_rec.guidance_metric_pct.to_bits(),
+        "guidance metric must be identical: {} vs {}",
+        r_mem.guidance_metric_pct,
+        r_rec.guidance_metric_pct
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Campaign fixtures
+// ---------------------------------------------------------------------------
+
+fn fixture_prom(dropped: u64) -> String {
+    "gstm_commits_total 4\n\
+     gstm_aborts_total{cause=\"read_version\"} 1\n\
+     gstm_gate_outcomes_total{outcome=\"passed\"} 5\n\
+     gstm_gate_outcomes_total{outcome=\"waited\"} 0\n\
+     gstm_gate_outcomes_total{outcome=\"released\"} 0\n\
+     gstm_thread_commits_total{thread=\"0\"} 2\n\
+     gstm_thread_commits_total{thread=\"1\"} 2\n\
+     gstm_thread_aborts_total{thread=\"0\"} 0\n\
+     gstm_thread_aborts_total{thread=\"1\"} 1\n\
+     gstm_thread_gate_outcomes_total{thread=\"0\",outcome=\"passed\"} 2\n\
+     gstm_thread_gate_outcomes_total{thread=\"1\",outcome=\"passed\"} 3\n\
+     gstm_model_staleness 1\n\
+     gstm_model_off_model_pct 5\n\
+     gstm_model_kl_divergence_nats{stat=\"mean\"} 0.01\n\
+     gstm_model_kl_divergence_nats{stat=\"max\"} 0.02\n\
+     gstm_model_guidance_metric_pct{source=\"profiled\"} 30\n\
+     gstm_model_guidance_metric_pct{source=\"observed\"} 32\n"
+        .to_string()
+        + &format!("gstm_trace_dropped_total {dropped}\n")
+}
+
+/// Two identical scripted repetitions plus the CSVs the harness would
+/// have written for them.
+fn fixture_campaign() -> (Vec<RunAnalysis>, Vec<CsvRunRow>, HarnessSummary) {
+    let runs: Vec<RunAnalysis> = (0..2)
+        .map(|r| {
+            RunAnalysis::from_artifacts(
+                r,
+                &export_jsonl(&scripted_run()),
+                &fixture_prom(0),
+                2,
+            )
+            .unwrap()
+        })
+        .collect();
+    let secs = [[1.0, 2.0], [1.1, 2.2]]; // [run][thread]
+    let mut csv = Vec::new();
+    for (r, times) in secs.iter().enumerate() {
+        for (t, &s) in times.iter().enumerate() {
+            csv.push(CsvRunRow {
+                run: r,
+                thread: t,
+                secs: s,
+                commits: 2,
+                aborts: if t == 1 { 1 } else { 0 },
+            });
+        }
+    }
+    // Harness-side summary computed with the same primitives the harness
+    // uses, so exact checks must hold.
+    let mut merged = vec![AbortHistogram::new(), AbortHistogram::new()];
+    for r in &runs {
+        for (m, h) in merged.iter_mut().zip(&r.hists) {
+            m.merge(h);
+        }
+    }
+    let summary = HarnessSummary {
+        std_dev_secs: vec![
+            metrics::std_dev(&[1.0, 1.1]),
+            metrics::std_dev(&[2.0, 2.2]),
+        ],
+        tail_metric: merged.iter().map(|m| m.tail_metric()).collect(),
+        non_determinism: metrics::non_determinism(
+            &runs.iter().map(|r| r.tseq.as_slice()).collect::<Vec<_>>(),
+        ) as u64,
+        commits: 8,
+        aborts: 2,
+    };
+    (runs, csv, summary)
+}
+
+#[test]
+fn consistent_campaign_passes_every_check() {
+    let (runs, csv, summary) = fixture_campaign();
+    let th = Thresholds {
+        max_cv_pct: Some(50.0),
+        max_non_determinism: Some(10),
+        max_abort_ratio_pct: Some(50.0),
+        max_off_model_pct: Some(10.0),
+        fail_on_stale: true,
+        ..Thresholds::default()
+    };
+    let rep = analyze_campaign("kmeans_2t", &runs, &csv, &summary, &th);
+    let failed: Vec<_> = rep.checks.iter().filter(|c| !c.pass).collect();
+    assert!(failed.is_empty(), "failed checks: {failed:?}");
+    assert!(rep.pass());
+    assert_eq!(rep.threads, 2);
+    assert_eq!(rep.commits, 8);
+    assert_eq!(rep.aborts, 2);
+    assert_eq!(rep.commit_p50_ns, vec![150, 150]);
+    assert_eq!(rep.commit_p99_ns, vec![250, 250]);
+    let d = rep.drift.as_ref().expect("drift facts present");
+    assert_eq!(d.staleness, 1);
+    assert_eq!(d.observed_metric_pct, Some(32.0));
+}
+
+#[test]
+fn divergent_summary_fails_the_matching_check() {
+    let (runs, csv, mut summary) = fixture_campaign();
+    summary.non_determinism += 1;
+    summary.std_dev_secs[0] += 1.0;
+    let rep = analyze_campaign("kmeans_2t", &runs, &csv, &summary, &Thresholds::default());
+    assert!(!rep.pass());
+    let failing: Vec<&str> = rep
+        .checks
+        .iter()
+        .filter(|c| !c.pass)
+        .map(|c| c.name.as_str())
+        .collect();
+    assert_eq!(failing, vec!["variance_match", "non_determinism_match"]);
+}
+
+#[test]
+fn dropped_events_downgrade_trace_checks_to_skipped() {
+    let (mut runs, csv, summary) = fixture_campaign();
+    runs[0] = RunAnalysis::from_artifacts(
+        0,
+        &export_jsonl(&scripted_run()),
+        &fixture_prom(7),
+        2,
+    )
+    .unwrap();
+    let rep = analyze_campaign("kmeans_2t", &runs, &csv, &summary, &Thresholds::default());
+    for name in ["abort_tail_match", "non_determinism_match"] {
+        let c = rep.checks.iter().find(|c| c.name == name).unwrap();
+        assert!(c.pass, "{name} should be skipped, not failed");
+        assert!(c.detail.starts_with("skipped"), "{name}: {}", c.detail);
+    }
+}
+
+#[test]
+fn stale_model_fails_policy_gate_when_requested() {
+    let (mut runs, csv, summary) = fixture_campaign();
+    let prom = fixture_prom(0).replace("gstm_model_staleness 1", "gstm_model_staleness 3");
+    let last = runs.len() - 1;
+    runs[last] = RunAnalysis::from_artifacts(last, &export_jsonl(&scripted_run()), &prom, 2).unwrap();
+    let th = Thresholds { fail_on_stale: true, ..Thresholds::default() };
+    let rep = analyze_campaign("kmeans_2t", &runs, &csv, &summary, &th);
+    let c = rep.checks.iter().find(|c| c.name == "staleness").unwrap();
+    assert!(!c.pass);
+    assert!(c.detail.contains("stale"), "{}", c.detail);
+}
+
+// ---------------------------------------------------------------------------
+// Rendering + end-to-end over files
+// ---------------------------------------------------------------------------
+
+#[test]
+fn verdict_json_and_markdown_render() {
+    let (runs, csv, summary) = fixture_campaign();
+    let rep = analyze_campaign("kmeans_2t", &runs, &csv, &summary, &Thresholds::default());
+    let json = render_verdict_json(&rep);
+    assert!(json.contains("\"pass\": true"), "{json}");
+    assert!(json.contains("\"staleness\": \"fresh\""), "{json}");
+    assert!(json.contains("\"non_determinism\": 3"), "{json}");
+    // Balanced braces — cheap structural sanity without a JSON parser.
+    assert_eq!(
+        json.matches('{').count(),
+        json.matches('}').count(),
+        "unbalanced braces:\n{json}"
+    );
+    let md = render_markdown(&rep);
+    assert!(md.contains("# gstm-analyze: kmeans_2t"));
+    assert!(md.contains("**PASS**"), "{md}");
+    assert!(md.contains("| check | result | detail |"));
+}
+
+#[test]
+fn analyze_dir_discovers_run_stamped_artifacts() {
+    let dir = std::env::temp_dir().join("gstm_analyze_dir_test");
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    let (_, csv, summary) = fixture_campaign();
+    for r in 0..2 {
+        std::fs::write(
+            dir.join(format!("kmeans_2t_run{r}_telemetry.jsonl")),
+            export_jsonl(&scripted_run()),
+        )
+        .unwrap();
+        std::fs::write(dir.join(format!("kmeans_2t_run{r}_telemetry.prom")), fixture_prom(0))
+            .unwrap();
+    }
+    let mut runs_csv = String::from("run,thread,secs,commits,aborts\n");
+    for row in &csv {
+        runs_csv += &format!(
+            "{},{},{:.9},{},{}\n",
+            row.run, row.thread, row.secs, row.commits, row.aborts
+        );
+    }
+    std::fs::write(dir.join("kmeans_2t_runs.csv"), runs_csv).unwrap();
+    let mut sum_csv = String::from("metric,thread,value\n");
+    for (t, sd) in summary.std_dev_secs.iter().enumerate() {
+        sum_csv += &format!("std_dev_secs,{t},{sd:.9}\n");
+    }
+    for (t, tail) in summary.tail_metric.iter().enumerate() {
+        sum_csv += &format!("tail_metric,{t},{tail}\n");
+    }
+    sum_csv += &format!("non_determinism,,{}\n", summary.non_determinism);
+    sum_csv += &format!("commits,,{}\naborts,,{}\n", summary.commits, summary.aborts);
+    std::fs::write(dir.join("kmeans_2t_guided_summary.csv"), sum_csv).unwrap();
+
+    let rep = analyze_dir(&dir, "kmeans_2t", &Thresholds::default()).unwrap();
+    assert!(rep.pass(), "checks: {:?}", rep.checks);
+    assert_eq!(rep.runs, 2);
+    assert!(analyze_dir(&dir, "missing_8t", &Thresholds::default()).is_err());
+    std::fs::remove_dir_all(&dir).ok();
+}

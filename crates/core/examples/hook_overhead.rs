@@ -14,8 +14,10 @@
 //!
 //! The `guided+tel` row attaches a [`Telemetry`] collector and replays
 //! the runtime-side instrumentation (timestamps, counter records) inside
-//! the window, so it is the *enabled-mode* per-window cost; the plain
-//! `guided` row is the telemetry-disabled path the ≤2% budget applies to.
+//! the window, so it is the *enabled-mode* per-window cost; the
+//! `guided+drift` row attaches a [`DriftTracker`] instead (per-commit
+//! observed-transition recording, no telemetry); the plain `guided` row
+//! is the observability-disabled path the ≤2% budget applies to.
 //!
 //! CI regression mode:
 //!
@@ -29,6 +31,7 @@
 //!
 //! Numbers in README.md § Performance come from this harness.
 
+use gstm_core::drift::DriftTracker;
 use gstm_core::guidance::{GuidanceHook, GuidedHook, NoopHook, RecorderHook};
 use gstm_core::telemetry::Telemetry;
 use gstm_core::{AbortCause, GuidanceConfig, GuidedModel, Pair, StateKey, ThreadId, Tsa, TxnId};
@@ -364,7 +367,7 @@ fn main() {
         "hook_overhead: ns/commit-window (gate + {ABORTS_PER_COMMIT} aborts + commit), \
          {COMMITS} commits/thread"
     );
-    println!("{:<10} {:>8} {:>12} {:>10}", "hook", "threads", "ns/commit", "vs legacy");
+    println!("{:<12} {:>8} {:>12} {:>10}", "hook", "threads", "ns/commit", "vs legacy");
     for &threads in &thread_counts {
         // Warmup + measure; take the best of 3 to damp scheduler noise.
         let mut rows: Vec<(&str, f64)> = Vec::new();
@@ -381,6 +384,23 @@ fn main() {
             best(&|| {
                 (
                     Arc::new(GuidedHook::new(Arc::clone(&model), GuidanceConfig::default())),
+                    None,
+                )
+            }),
+        ));
+        // Drift-enabled mode: per-commit observed-transition recording
+        // (one state swap + binary search + relaxed add), no telemetry.
+        rows.push((
+            "guided+drift",
+            best(&|| {
+                let drift = Arc::new(DriftTracker::new(&model));
+                (
+                    Arc::new(GuidedHook::with_observability(
+                        Arc::clone(&model),
+                        GuidanceConfig::default(),
+                        None,
+                        Some(drift),
+                    )),
                     None,
                 )
             }),
@@ -403,7 +423,7 @@ fn main() {
             }),
         ));
         for (name, ns) in rows {
-            println!("{name:<10} {threads:>8} {ns:>12.1} {:>9.2}x", legacy / ns);
+            println!("{name:<12} {threads:>8} {ns:>12.1} {:>9.2}x", legacy / ns);
         }
     }
     component_micro();

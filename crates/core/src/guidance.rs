@@ -40,6 +40,7 @@
 //! stress test in `tests/tracker_equivalence.rs` pins this down).
 
 use crate::config::GuidanceConfig;
+use crate::drift::{DriftTracker, ModelDrift};
 use crate::events::AbortCause;
 use crate::ids::Pair;
 use crate::sync::Mutex;
@@ -225,6 +226,17 @@ pub struct GateStats {
     pub unknown_states: u64,
 }
 
+impl GateStats {
+    /// Accumulate another hook's counters into this one (used when a
+    /// measurement phase runs one hook per run and reports the total).
+    pub fn merge(&mut self, other: &GateStats) {
+        self.passed += other.passed;
+        self.waited += other.waited;
+        self.released += other.released;
+        self.unknown_states += other.unknown_states;
+    }
+}
+
 /// Model-driven gating hook (Section V of the paper).
 pub struct GuidedHook {
     model: Arc<GuidedModel>,
@@ -240,12 +252,16 @@ pub struct GuidedHook {
     /// counters, commits feed TSA state-transition trace events. `None`
     /// keeps the hot path at one extra predictable branch per call.
     telemetry: Option<Arc<Telemetry>>,
+    /// Optional model-drift accumulator fed every observed state
+    /// transition (including self-transitions, which the profiled TSA
+    /// also counts). `None` costs one predictable branch per commit.
+    drift: Option<Arc<DriftTracker>>,
 }
 
 impl GuidedHook {
     /// Create a guided hook over a trained model.
     pub fn new(model: Arc<GuidedModel>, config: GuidanceConfig) -> Self {
-        Self::with_telemetry(model, config, None)
+        Self::with_observability(model, config, None, None)
     }
 
     /// Create a guided hook that additionally reports gate outcomes and
@@ -254,6 +270,21 @@ impl GuidedHook {
         model: Arc<GuidedModel>,
         config: GuidanceConfig,
         telemetry: Option<Arc<Telemetry>>,
+    ) -> Self {
+        Self::with_observability(model, config, telemetry, None)
+    }
+
+    /// Create a guided hook with full observability: telemetry (gate
+    /// outcomes + trace events) and/or a model-drift tracker receiving
+    /// every observed transition. The tracker must be built over the
+    /// same model (state ids are shared); register the same `Arc` with
+    /// [`Telemetry::attach_drift`] to have snapshots carry the drift
+    /// report.
+    pub fn with_observability(
+        model: Arc<GuidedModel>,
+        config: GuidanceConfig,
+        telemetry: Option<Arc<Telemetry>>,
+        drift: Option<Arc<DriftTracker>>,
     ) -> Self {
         GuidedHook {
             model,
@@ -265,7 +296,18 @@ impl GuidedHook {
             released: AtomicU64::new(0),
             unknown_states: AtomicU64::new(0),
             telemetry,
+            drift,
         }
+    }
+
+    /// The attached drift tracker, if any.
+    pub fn drift_tracker(&self) -> Option<&Arc<DriftTracker>> {
+        self.drift.as_ref()
+    }
+
+    /// Snapshot the model-drift comparison, when a tracker is attached.
+    pub fn drift_report(&self) -> Option<ModelDrift> {
+        self.drift.as_ref().map(|d| d.report())
     }
 
     /// Drain the recorded state sequence (for non-determinism measurement
@@ -367,13 +409,18 @@ impl GuidanceHook for GuidedHook {
                 UNKNOWN
             }
         };
-        // Only the tracer needs the previous state; the telemetry-off
+        // Only observers need the previous state; the observability-off
         // path keeps the plain release store (an xchg here costs a locked
         // RMW on a line every committer writes).
-        if let Some(t) = &self.telemetry {
+        if self.telemetry.is_some() || self.drift.is_some() {
             let prev = self.current.swap(next, Ordering::AcqRel);
-            if prev != next {
-                t.trace(who, TraceKind::StateTransition { from: prev, to: next });
+            if let Some(d) = &self.drift {
+                d.record(prev, next);
+            }
+            if let Some(t) = &self.telemetry {
+                if prev != next {
+                    t.trace(who, TraceKind::StateTransition { from: prev, to: next });
+                }
             }
         } else {
             self.current.store(next, Ordering::Release);
@@ -543,6 +590,32 @@ mod tests {
         hook.on_commit(p(0, 0));
         let run = hook.take_run();
         assert_eq!(run, vec![StateKey::new(vec![p(0, 1), p(0, 2)], p(0, 0))]);
+    }
+
+    #[test]
+    fn guided_commits_feed_attached_drift_tracker() {
+        let model = two_state_model();
+        let drift = Arc::new(DriftTracker::new(&model));
+        let hook = GuidedHook::with_observability(
+            model,
+            GuidanceConfig::default(),
+            None,
+            Some(drift.clone()),
+        );
+        // First commit transitions from UNKNOWN; the next two walk the
+        // modeled A→B edge and then B's terminal (no outbound) state.
+        hook.on_commit(p(0, 0)); // UNKNOWN -> A
+        hook.on_commit(p(0, 1)); // A -> B (modeled edge)
+        hook.on_commit(p(9, 9)); // B -> UNKNOWN (unmodeled state)
+        let d = hook.drift_report().expect("tracker attached");
+        assert_eq!(d.from_unknown, 1);
+        assert_eq!(d.on_edge, 1);
+        assert_eq!(d.to_unknown, 1);
+        assert_eq!(d.transitions_total(), 3);
+        assert!(hook.drift_tracker().is_some());
+        // Without a tracker there is nothing to report.
+        let plain = GuidedHook::new(two_state_model(), GuidanceConfig::default());
+        assert!(plain.drift_report().is_none());
     }
 
     #[test]

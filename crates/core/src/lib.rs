@@ -41,6 +41,7 @@
 
 pub mod analyzer;
 pub mod config;
+pub mod drift;
 pub mod events;
 pub mod fastset;
 pub mod guidance;
@@ -58,6 +59,7 @@ pub mod tss;
 pub mod prelude {
     pub use crate::analyzer::{analyze, AnalyzerReport, ModelVerdict};
     pub use crate::config::{ExecMode, GuidanceConfig};
+    pub use crate::drift::{DriftConfig, DriftTracker, DriftVerdict, ModelDrift};
     pub use crate::events::AbortCause;
     pub use crate::fastset::AddrSet;
     pub use crate::guidance::{GateStats, GuidanceHook, GuidedHook, NoopHook, RecorderHook};

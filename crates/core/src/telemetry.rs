@@ -25,10 +25,12 @@
 //! * the tracer writes into a bounded per-thread ring buffer (oldest
 //!   events overwritten, never unbounded growth) under an uncontended
 //!   per-thread mutex, and can be sized to zero to keep counters only.
+use crate::drift::{DriftTracker, ModelDrift};
 use crate::events::AbortCause;
 use crate::ids::Pair;
 use crate::sync::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Number of cache-padded counter/tracer cells. Thread ids map to cells
@@ -375,6 +377,9 @@ pub struct Telemetry {
     trace_seq: AtomicU64,
     trace: Box<[TraceShard]>,
     trace_dropped: AtomicU64,
+    /// Registered model-drift tracker (cold: touched only at
+    /// registration and snapshot time, never on the hot path).
+    drift: Mutex<Option<Arc<DriftTracker>>>,
 }
 
 impl Telemetry {
@@ -398,7 +403,22 @@ impl Telemetry {
             trace_seq: AtomicU64::new(0),
             trace: (0..TELEMETRY_SHARDS).map(|_| TraceShard::default()).collect(),
             trace_dropped: AtomicU64::new(0),
+            drift: Mutex::new(None),
         }
+    }
+
+    /// Register a model-drift tracker so snapshots (and their Prometheus
+    /// exposition, via the `gstm_model_*` families) carry its
+    /// [`ModelDrift`] report. Pass the same `Arc` to
+    /// [`crate::guidance::GuidedHook::with_observability`] so the hook
+    /// feeds what the snapshot reads.
+    pub fn attach_drift(&self, tracker: Arc<DriftTracker>) {
+        *self.drift.lock() = Some(tracker);
+    }
+
+    /// The registered drift tracker, if any.
+    pub fn drift_tracker(&self) -> Option<Arc<DriftTracker>> {
+        self.drift.lock().clone()
     }
 
     /// Counters and histograms only — no event tracing.
@@ -510,6 +530,7 @@ impl Telemetry {
             backoff_ns: self.backoff_ns.snapshot(),
             gate_wait_ns: self.gate_wait_ns.snapshot(),
             trace_dropped: self.trace_dropped(),
+            model_drift: self.drift.lock().as_ref().map(|d| d.report()),
             ..Default::default()
         };
         for (i, cell) in self.cells.iter().enumerate() {
@@ -619,6 +640,8 @@ pub struct TelemetrySnapshot {
     pub per_thread: Vec<ThreadCounters>,
     /// Trace events lost to ring overwrites.
     pub trace_dropped: u64,
+    /// Model-drift report, when a [`DriftTracker`] is attached.
+    pub model_drift: Option<ModelDrift>,
 }
 
 impl TelemetrySnapshot {
@@ -669,6 +692,79 @@ impl TelemetrySnapshot {
                 t.cell,
                 t.aborts_total()
             );
+        }
+        // Per-thread cause/outcome breakdowns: the inputs for per-thread
+        // variance analysis, scrapeable rather than aggregate-only. Only
+        // populated series are emitted to keep the exposition compact.
+        let _ = writeln!(out, "# TYPE gstm_thread_abort_causes_total counter");
+        for t in &self.per_thread {
+            for (name, &v) in ABORT_CAUSE_NAMES.iter().zip(&t.aborts) {
+                if v != 0 {
+                    let _ = writeln!(
+                        out,
+                        "gstm_thread_abort_causes_total{{thread=\"{}\",cause=\"{name}\"}} {v}",
+                        t.cell
+                    );
+                }
+            }
+        }
+        let _ = writeln!(out, "# TYPE gstm_thread_gate_outcomes_total counter");
+        for t in &self.per_thread {
+            for (name, v) in [
+                ("passed", t.gate_passed),
+                ("waited", t.gate_waited),
+                ("released", t.gate_released),
+            ] {
+                if v != 0 {
+                    let _ = writeln!(
+                        out,
+                        "gstm_thread_gate_outcomes_total{{thread=\"{}\",outcome=\"{name}\"}} {v}",
+                        t.cell
+                    );
+                }
+            }
+        }
+        if let Some(d) = &self.model_drift {
+            let _ = writeln!(out, "# TYPE gstm_model_transitions_total counter");
+            for (edge, v) in [
+                ("modeled", d.on_edge),
+                ("unmodeled", d.off_edge),
+                ("to_unknown", d.to_unknown),
+                ("from_unknown", d.from_unknown),
+            ] {
+                let _ = writeln!(out, "gstm_model_transitions_total{{edge=\"{edge}\"}} {v}");
+            }
+            let _ = writeln!(out, "# TYPE gstm_model_off_model_pct gauge");
+            let _ = writeln!(out, "gstm_model_off_model_pct {}", d.off_model_pct);
+            let _ = writeln!(out, "# TYPE gstm_model_kl_divergence_nats gauge");
+            let _ = writeln!(
+                out,
+                "gstm_model_kl_divergence_nats{{stat=\"mean\"}} {}",
+                d.mean_kl_nats
+            );
+            let _ = writeln!(
+                out,
+                "gstm_model_kl_divergence_nats{{stat=\"max\"}} {}",
+                d.max_kl_nats
+            );
+            let _ = writeln!(out, "# TYPE gstm_model_guidance_metric_pct gauge");
+            let _ = writeln!(
+                out,
+                "gstm_model_guidance_metric_pct{{source=\"profiled\"}} {}",
+                d.profiled_metric_pct
+            );
+            if let Some(obs) = d.observed_metric_pct {
+                let _ = writeln!(
+                    out,
+                    "gstm_model_guidance_metric_pct{{source=\"observed\"}} {obs}"
+                );
+            }
+            let _ = writeln!(out, "# TYPE gstm_model_states gauge");
+            let _ = writeln!(out, "gstm_model_states{{kind=\"modeled\"}} {}", d.modeled_states);
+            let _ = writeln!(out, "gstm_model_states{{kind=\"observed\"}} {}", d.observed_states);
+            // 0 insufficient, 1 fresh, 2 drifting, 3 stale.
+            let _ = writeln!(out, "# TYPE gstm_model_staleness gauge");
+            let _ = writeln!(out, "gstm_model_staleness {}", d.verdict.code());
         }
         prom_histogram(&mut out, "gstm_commit_duration_ns", &self.commit_ns);
         prom_histogram(&mut out, "gstm_abort_backoff_ns", &self.backoff_ns);
@@ -1246,6 +1342,57 @@ mod tests {
         assert!(prom.contains("gstm_gate_wait_ns_sum 64"));
         assert!(prom.contains("gstm_abort_backoff_ns_count 1"));
         assert!(prom.contains("gstm_thread_commits_total{thread=\"0\"} 1"));
+    }
+
+    #[test]
+    fn prometheus_exposes_per_thread_breakdowns() {
+        let tel = Telemetry::counters_only();
+        tel.record_commit(p(0, 2), 10);
+        tel.record_abort(p(0, 2), AbortCause::Validation);
+        tel.record_abort(p(0, 5), AbortCause::Explicit);
+        tel.record_gate_outcome(p(0, 2), GateOutcome::Waited);
+        tel.record_gate_outcome(p(0, 5), GateOutcome::Passed);
+        let prom = tel.render_prometheus();
+        assert!(prom.contains("gstm_thread_abort_causes_total{thread=\"2\",cause=\"validation\"} 1"));
+        assert!(prom.contains("gstm_thread_abort_causes_total{thread=\"5\",cause=\"explicit\"} 1"));
+        assert!(prom.contains("gstm_thread_gate_outcomes_total{thread=\"2\",outcome=\"waited\"} 1"));
+        assert!(prom.contains("gstm_thread_gate_outcomes_total{thread=\"5\",outcome=\"passed\"} 1"));
+        // Zero series are suppressed.
+        assert!(!prom.contains("thread=\"2\",cause=\"explicit\""));
+        assert!(!prom.contains("thread=\"2\",outcome=\"released\""));
+    }
+
+    #[test]
+    fn attached_drift_tracker_flows_into_snapshot_and_prometheus() {
+        use crate::config::GuidanceConfig;
+        use crate::tsa::{GuidedModel, Tsa};
+        use crate::tss::StateKey;
+        let a = StateKey::solo(p(0, 0));
+        let b = StateKey::solo(p(0, 1));
+        let run: Vec<StateKey> = (0..60).map(|i| if i % 2 == 0 { a.clone() } else { b.clone() }).collect();
+        let model = GuidedModel::build(Tsa::from_runs(&[run]), &GuidanceConfig::default());
+        let tracker = Arc::new(DriftTracker::new(&model));
+        let tel = Telemetry::counters_only();
+        assert!(tel.snapshot().model_drift.is_none(), "no tracker yet");
+        assert!(tel.drift_tracker().is_none());
+        tel.attach_drift(tracker.clone());
+        for _ in 0..200 {
+            tracker.record(0, 1);
+            tracker.record(1, 0);
+        }
+        let snap = tel.snapshot();
+        let d = snap.model_drift.as_ref().expect("drift attached");
+        assert_eq!(d.on_edge, 400);
+        assert_eq!(d.verdict, crate::drift::DriftVerdict::Fresh, "{}", d.reason);
+        let prom = snap.render_prometheus();
+        assert!(prom.contains("gstm_model_transitions_total{edge=\"modeled\"} 400"));
+        assert!(prom.contains("gstm_model_off_model_pct 0"));
+        assert!(prom.contains("gstm_model_kl_divergence_nats{stat=\"mean\"} 0"));
+        assert!(prom.contains("gstm_model_guidance_metric_pct{source=\"profiled\"}"));
+        assert!(prom.contains("gstm_model_guidance_metric_pct{source=\"observed\"}"));
+        assert!(prom.contains("gstm_model_states{kind=\"modeled\"} 2"));
+        assert!(prom.contains("gstm_model_staleness 1"));
+        assert!(tel.drift_tracker().is_some());
     }
 
     #[test]

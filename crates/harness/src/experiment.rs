@@ -54,6 +54,9 @@ pub struct ModeMeasurement {
     pub per_thread_times: Vec<Vec<f64>>,
     /// Per-thread abort histograms, merged across runs.
     pub per_thread_hists: Vec<AbortHistogram>,
+    /// `[run][thread]` abort histograms before merging — the per-run
+    /// commit/abort accounting `gstm-analyze` cross-checks against.
+    pub per_run_hists: Vec<Vec<AbortHistogram>>,
     /// Wall-clock time of each run.
     pub wall_secs: Vec<f64>,
     /// Number of distinct thread transactional states observed across all
@@ -177,17 +180,18 @@ fn stm_config(cfg: &ExperimentConfig) -> StmConfig {
     }
 }
 
-/// Run `runs` measured executions on STMs reporting to `hook_for_run`,
-/// collecting timings, histograms, and recorded state sequences. When
-/// `telemetry` is set, every run's STM reports into it (counters,
-/// latency histograms, trace ring accumulate across the runs).
+/// Run `runs` measured executions, collecting timings, histograms, and
+/// recorded state sequences. `hook_for_run` supplies the guidance hook
+/// and `telemetry_for_run` the (optional) telemetry collector for each
+/// run — a constant closure shares one instance across runs; per-run
+/// instances give each run its own artifacts.
 fn measure<H: GuidanceHook + 'static>(
     bench: &dyn Benchmark,
     cfg: &ExperimentConfig,
     runs: usize,
     size: InputSize,
-    hook: Arc<H>,
-    telemetry: Option<&Arc<Telemetry>>,
+    hook_for_run: impl Fn(usize) -> Arc<H>,
+    telemetry_for_run: impl Fn(usize) -> Option<Arc<Telemetry>>,
     take_run: impl Fn(&H) -> Vec<StateKey>,
 ) -> (ModeMeasurement, Vec<Vec<StateKey>>) {
     let mut m = ModeMeasurement {
@@ -196,20 +200,23 @@ fn measure<H: GuidanceHook + 'static>(
     };
     let mut recorded = Vec::new();
     for run in 0..runs {
-        let stm = Stm::with_telemetry(hook.clone(), stm_config(cfg), telemetry.cloned());
+        let hook = hook_for_run(run);
+        let stm = Stm::with_telemetry(hook.clone(), stm_config(cfg), telemetry_for_run(run));
         let run_cfg = RunConfig {
             threads: cfg.threads,
             size,
             // Identical input every run: variation comes from scheduling.
             seed: cfg.seed,
         };
-        let _ = run;
         let result = bench.run(&stm, &run_cfg);
         m.per_thread_times.push(result.per_thread_secs.clone());
         m.wall_secs.push(result.wall_secs);
+        let mut run_hists = vec![AbortHistogram::new(); cfg.threads as usize];
         for (t, stats) in result.per_thread_stats.iter().enumerate() {
             m.per_thread_hists[t].merge(&stats.abort_hist);
+            run_hists[t].merge(&stats.abort_hist);
         }
+        m.per_run_hists.push(run_hists);
         recorded.push(take_run(&hook));
     }
     m.non_determinism = metrics::non_determinism(&recorded);
@@ -225,8 +232,8 @@ pub fn train_model(bench: &dyn Benchmark, cfg: &ExperimentConfig) -> GuidedModel
         cfg,
         cfg.profile_runs,
         cfg.train_size,
-        recorder,
-        None,
+        |_| recorder.clone(),
+        |_| None,
         |h| h.take_run(),
     );
     GuidedModel::build(Tsa::from_runs(&train_runs), &cfg.guidance)
@@ -241,11 +248,30 @@ pub fn run_experiment(bench: &dyn Benchmark, cfg: &ExperimentConfig) -> BenchExp
 /// *guided* measurement phase (phase 4). Scoping telemetry to that phase
 /// makes the snapshot directly checkable: its commit/abort totals must
 /// equal what the harness's own per-thread statistics count for the
-/// guided runs.
+/// guided runs. One collector accumulates across all guided runs; use
+/// [`run_experiment_observed`] for per-run collectors.
 pub fn run_experiment_instrumented(
     bench: &dyn Benchmark,
     cfg: &ExperimentConfig,
     telemetry: Option<Arc<Telemetry>>,
+) -> BenchExperiment {
+    run_experiment_observed(bench, cfg, |_| telemetry.clone())
+}
+
+/// [`run_experiment`] with a telemetry collector *per guided run*:
+/// `telemetry_for_run(r)` supplies the collector for guided run `r`
+/// (return a clone of one `Arc` to share it across runs, or distinct
+/// instances so every run exports its own artifacts — what `--telemetry`
+/// does, so repetition `r+1` no longer overwrites repetition `r`).
+///
+/// When any run is collected, a [`DriftTracker`] over the freshly
+/// trained model is created, fed by every guided run's hook, and
+/// attached to every collector, so each exported snapshot carries the
+/// cumulative [`gstm_core::drift::ModelDrift`] report up to that run.
+pub fn run_experiment_observed(
+    bench: &dyn Benchmark,
+    cfg: &ExperimentConfig,
+    telemetry_for_run: impl Fn(usize) -> Option<Arc<Telemetry>>,
 ) -> BenchExperiment {
     // ---- Phase 1: profile (the artifact's `mcmc_data` option) ----
     let recorder = Arc::new(RecorderHook::new());
@@ -254,8 +280,8 @@ pub fn run_experiment_instrumented(
         cfg,
         cfg.profile_runs,
         cfg.train_size,
-        recorder,
-        None,
+        |_| recorder.clone(),
+        |_| None,
         |h| h.take_run(),
     );
 
@@ -276,26 +302,49 @@ pub fn run_experiment_instrumented(
         cfg,
         cfg.measure_runs,
         cfg.test_size,
-        default_rec,
-        None,
+        |_| default_rec.clone(),
+        |_| None,
         |h| h.take_run(),
     );
 
     // ---- Phase 4: guided measurement (`model` + `ND_mcmc`) ----
-    let guided_hook = Arc::new(GuidedHook::with_telemetry(
-        model,
-        cfg.guidance,
-        telemetry.clone(),
-    ));
+    // One hook per run (a fresh hook resets no cross-run state the old
+    // shared hook kept: the tracker drains and the current state resets
+    // at every take_run), so each run can bind its own collector. Drift
+    // accumulates across runs in one shared tracker.
+    let tels: Vec<Option<Arc<Telemetry>>> =
+        (0..cfg.measure_runs).map(&telemetry_for_run).collect();
+    let drift = tels
+        .iter()
+        .any(Option::is_some)
+        .then(|| Arc::new(DriftTracker::new(&model)));
+    let guided_hooks: Vec<Arc<GuidedHook>> = tels
+        .iter()
+        .map(|tel| {
+            if let (Some(t), Some(d)) = (tel, &drift) {
+                t.attach_drift(d.clone());
+            }
+            Arc::new(GuidedHook::with_observability(
+                model.clone(),
+                cfg.guidance,
+                tel.clone(),
+                drift.clone(),
+            ))
+        })
+        .collect();
     let (guided_m, _) = measure(
         bench,
         cfg,
         cfg.measure_runs,
         cfg.test_size,
-        guided_hook.clone(),
-        telemetry.as_ref(),
+        |r| guided_hooks[r].clone(),
+        |r| tels[r].clone(),
         |h| h.take_run(),
     );
+    let mut gate = gstm_core::guidance::GateStats::default();
+    for hook in &guided_hooks {
+        gate.merge(&hook.stats());
+    }
 
     BenchExperiment {
         name: bench.name(),
@@ -305,7 +354,7 @@ pub fn run_experiment_instrumented(
         analyzer: analyzer_report,
         default_m,
         guided_m,
-        gate: guided_hook.stats(),
+        gate,
     }
 }
 
@@ -454,6 +503,40 @@ mod tests {
         assert_eq!(snap.gate_total(), snap.commits + snap.aborts_total());
         let prom = snap.render_prometheus();
         assert!(prom.contains("gstm_commits_total"));
+    }
+
+    #[test]
+    fn per_run_collectors_partition_guided_totals() {
+        // Per-run telemetry (what `--telemetry` writes as run-stamped
+        // artifacts): each run's snapshot must match the harness's own
+        // accounting for that run, the per-run histograms must sum to
+        // the merged ones, and every snapshot must carry a drift report.
+        let bench = by_name("kmeans").unwrap();
+        let cfg = tiny_cfg(2);
+        let tels: Vec<Arc<Telemetry>> =
+            (0..cfg.measure_runs).map(|_| Arc::new(Telemetry::new())).collect();
+        let e = run_experiment_observed(&*bench, &cfg, |r| tels.get(r).cloned());
+        assert_eq!(e.guided_m.per_run_hists.len(), cfg.measure_runs);
+        let (mut commits, mut aborts) = (0u64, 0u64);
+        for (r, tel) in tels.iter().enumerate() {
+            let snap = tel.snapshot();
+            let run_commits: u64 =
+                e.guided_m.per_run_hists[r].iter().map(|h| h.total_commits()).sum();
+            let run_aborts: u64 =
+                e.guided_m.per_run_hists[r].iter().map(|h| h.total_aborts()).sum();
+            assert_eq!(snap.commits, run_commits, "run {r} commits");
+            assert_eq!(snap.aborts_total(), run_aborts, "run {r} aborts");
+            assert_eq!(snap.gate_total(), snap.commits + snap.aborts_total());
+            assert!(snap.model_drift.is_some(), "drift attached to run {r}");
+            commits += snap.commits;
+            aborts += snap.aborts_total();
+        }
+        assert_eq!(commits, e.guided_m.total_commits());
+        assert_eq!(aborts, e.guided_m.total_aborts());
+        // The drift tracker is shared: the last run's report covers all
+        // guided transitions (one per commit).
+        let d = tels.last().unwrap().snapshot().model_drift.unwrap();
+        assert_eq!(d.transitions_total(), commits);
     }
 
     #[test]

@@ -216,6 +216,7 @@ mod tests {
             per_thread_hists: hist,
             wall_secs: vec![1.0],
             non_determinism: nd,
+            ..Default::default()
         }
     }
 

@@ -31,7 +31,7 @@
 
 use gstm_core::{GuidanceConfig, Telemetry};
 use gstm_harness::experiment::{
-    run_experiment, run_experiment_instrumented, BenchExperiment, ExperimentConfig,
+    run_experiment, run_experiment_observed, BenchExperiment, ExperimentConfig,
 };
 use gstm_harness::game::{run_game_experiment, GameExperiment, GameExperimentConfig};
 use gstm_harness::report::{self, Table};
@@ -227,31 +227,65 @@ impl Campaign {
                         .clone()
                         .or_else(|| self.opts.out.clone())
                         .unwrap_or_else(|| PathBuf::from("results"));
-                    let tel = Arc::new(Telemetry::new());
-                    let e = run_experiment_instrumented(&*bench, &cfg, Some(tel.clone()));
-                    let snap = tel.snapshot();
-                    // The snapshot must agree with the harness's own
-                    // guided-phase accounting; a divergence means an
+                    // One collector per guided run, so repetition r+1
+                    // does not overwrite repetition r's artifacts and
+                    // gstm-analyze sees every run. The ring must hold a
+                    // whole repetition: gstm-analyze's exact Tseq and
+                    // abort-tail cross-checks degrade to "skipped" the
+                    // moment one event is overwritten (default capacity
+                    // wraps on the reference workloads' ~50k
+                    // events/thread).
+                    const TRACE_CAP_PER_THREAD: usize = 1 << 17;
+                    let tels: Vec<Arc<Telemetry>> = (0..cfg.measure_runs)
+                        .map(|_| Arc::new(Telemetry::with_trace_capacity(TRACE_CAP_PER_THREAD)))
+                        .collect();
+                    let e = run_experiment_observed(&*bench, &cfg, |r| tels.get(r).cloned());
+                    // Each run's snapshot must agree with the harness's
+                    // own accounting for that run; a divergence means an
                     // instrumentation hole, so say so loudly.
-                    let (hc, ha) = (e.guided_m.total_commits(), e.guided_m.total_aborts());
-                    if snap.commits != hc || snap.aborts_total() != ha {
-                        eprintln!(
-                            "[gstm-repro] WARNING: telemetry totals diverge from harness \
-                             counts (commits {}/{hc}, aborts {}/{ha})",
-                            snap.commits,
-                            snap.aborts_total(),
-                        );
+                    for (r, tel) in tels.iter().enumerate() {
+                        let snap = tel.snapshot();
+                        let hists = &e.guided_m.per_run_hists[r];
+                        let hc: u64 = hists.iter().map(|h| h.total_commits()).sum();
+                        let ha: u64 = hists.iter().map(|h| h.total_aborts()).sum();
+                        if snap.commits != hc || snap.aborts_total() != ha {
+                            eprintln!(
+                                "[gstm-repro] WARNING: run {r} telemetry totals diverge \
+                                 from harness counts (commits {}/{hc}, aborts {}/{ha})",
+                                snap.commits,
+                                snap.aborts_total(),
+                            );
+                        }
+                        let stem =
+                            format!("{}_{}t_run{r}_telemetry", bench.name(), threads);
+                        match report::save_telemetry(&dir, &stem, tel) {
+                            Ok(paths) => {
+                                for p in paths {
+                                    eprintln!("[gstm-repro] wrote {}", p.display());
+                                }
+                            }
+                            Err(err) => eprintln!(
+                                "[gstm-repro] failed to write telemetry {stem}: {err}"
+                            ),
+                        }
                     }
-                    let stem = format!("{}_{}t_telemetry", bench.name(), threads);
-                    match report::save_telemetry(&dir, &stem, &tel) {
+                    match report::save_run_metrics(&dir, &e) {
                         Ok(paths) => {
                             for p in paths {
                                 eprintln!("[gstm-repro] wrote {}", p.display());
                             }
                         }
                         Err(err) => {
-                            eprintln!("[gstm-repro] failed to write telemetry {stem}: {err}")
+                            eprintln!("[gstm-repro] failed to write run metrics: {err}")
                         }
+                    }
+                    // The drift tracker is shared across runs, so the
+                    // last run's snapshot carries the full-campaign
+                    // model-drift report.
+                    if let Some(d) =
+                        tels.last().and_then(|t| t.snapshot().model_drift)
+                    {
+                        eprint!("[gstm-repro] {}", d.render());
                     }
                     e
                 } else {

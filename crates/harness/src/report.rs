@@ -2,6 +2,7 @@
 //! telemetry artifact files (Prometheus exposition, JSONL trace, chrome
 //! trace).
 
+use crate::experiment::BenchExperiment;
 use gstm_core::Telemetry;
 use std::fmt::Write as _;
 use std::path::Path;
@@ -120,6 +121,51 @@ pub fn save_telemetry(
         written.push(chrome);
     }
     Ok(written)
+}
+
+/// Write the guided phase's per-run accounting next to the telemetry
+/// artifacts (creating `dir`): `<bench>_<threads>t_runs.csv` with one
+/// row per guided run per thread (`run,thread,secs,commits,aborts`) and
+/// `<bench>_<threads>t_guided_summary.csv` with the harness-computed
+/// cross-run metrics (`metric,thread,value` — per-thread execution-time
+/// standard deviation and abort-tail metric, plus the scalar
+/// non-determinism and commit/abort totals). `gstm-analyze` recomputes
+/// the same quantities from the exported telemetry and cross-checks
+/// them against these files. Returns the paths written.
+pub fn save_run_metrics(
+    dir: &Path,
+    exp: &BenchExperiment,
+) -> std::io::Result<Vec<std::path::PathBuf>> {
+    std::fs::create_dir_all(dir)?;
+    let g = &exp.guided_m;
+    let mut runs = Table::new("runs", &["run", "thread", "secs", "commits", "aborts"]);
+    for (r, (times, hists)) in g.per_thread_times.iter().zip(&g.per_run_hists).enumerate() {
+        for (t, (secs, hist)) in times.iter().zip(hists).enumerate() {
+            runs.row(vec![
+                r.to_string(),
+                t.to_string(),
+                format!("{secs:.9}"),
+                hist.total_commits().to_string(),
+                hist.total_aborts().to_string(),
+            ]);
+        }
+    }
+    let mut summary = Table::new("guided_summary", &["metric", "thread", "value"]);
+    for (t, sd) in g.per_thread_std_dev().iter().enumerate() {
+        summary.row(vec!["std_dev_secs".into(), t.to_string(), format!("{sd:.9}")]);
+    }
+    for (t, tail) in g.per_thread_tails().iter().enumerate() {
+        summary.row(vec!["tail_metric".into(), t.to_string(), tail.to_string()]);
+    }
+    summary.row(vec!["non_determinism".into(), String::new(), g.non_determinism.to_string()]);
+    summary.row(vec!["commits".into(), String::new(), g.total_commits().to_string()]);
+    summary.row(vec!["aborts".into(), String::new(), g.total_aborts().to_string()]);
+    let stem = format!("{}_{}t", exp.name, exp.threads);
+    let runs_path = dir.join(format!("{stem}_runs.csv"));
+    std::fs::write(&runs_path, runs.to_csv())?;
+    let summary_path = dir.join(format!("{stem}_guided_summary.csv"));
+    std::fs::write(&summary_path, summary.to_csv())?;
+    Ok(vec![runs_path, summary_path])
 }
 
 /// Format a float with 1 decimal.
