@@ -15,7 +15,11 @@
 //! * the abort-tail metric Σj² per thread (exact),
 //! * per-thread/gate-outcome partitions of the global counters (exact),
 //! * commit-latency quantiles per run (exact nearest-rank over raw
-//!   `commit_ns` samples) and their spread across runs.
+//!   `commit_ns` samples) and their spread across runs,
+//! * per-epoch segmentation of adaptive runs: the trace is split at
+//!   [`TraceKind::ModelSwap`] events and the swap counter, epoch-id
+//!   ordering, and per-epoch commit partition are cross-checked
+//!   (`epoch_segmentation`).
 //!
 //! The result is a [`CampaignReport`]: a list of named pass/fail
 //! [`Check`]s, the recomputed metrics, and the model-drift summary read
@@ -274,6 +278,42 @@ pub fn per_thread_hists(events: &[TraceEvent], threads: usize) -> Vec<AbortHisto
     hists
 }
 
+/// One model epoch's slice of a run's trace, delimited by
+/// [`TraceKind::ModelSwap`] events. A run that never swapped has exactly
+/// one segment: epoch 0, the initially trained model.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EpochSegment {
+    /// Epoch id of the model live during this segment.
+    pub epoch: u32,
+    /// Drift-verdict code carried by the swap that installed this epoch
+    /// (`None` for the initial model, which was not installed by a swap).
+    pub swap_verdict: Option<u8>,
+    /// `StateTransition` events observed while this epoch was live.
+    pub transitions: u64,
+    /// `Commit` events observed while this epoch was live.
+    pub commits: u64,
+}
+
+/// Segment a run's globally-sequenced trace at its `ModelSwap` events,
+/// attributing every transition and commit to the model epoch that was
+/// live when it was traced.
+pub fn epoch_segments(events: &[TraceEvent]) -> Vec<EpochSegment> {
+    let mut segs = vec![EpochSegment::default()];
+    for ev in events {
+        match ev.kind {
+            TraceKind::ModelSwap { epoch, verdict } => segs.push(EpochSegment {
+                epoch,
+                swap_verdict: Some(verdict),
+                ..EpochSegment::default()
+            }),
+            TraceKind::StateTransition { .. } => segs.last_mut().unwrap().transitions += 1,
+            TraceKind::Commit { .. } => segs.last_mut().unwrap().commits += 1,
+            _ => {}
+        }
+    }
+    segs
+}
+
 /// Exact nearest-rank quantile over a sorted sample (`q` in `[0,1]`).
 pub fn quantile(sorted: &[u64], q: f64) -> u64 {
     if sorted.is_empty() {
@@ -299,6 +339,9 @@ pub struct RunAnalysis {
     /// `gstm_trace_dropped_total` — nonzero means the trace is a sample
     /// and exact trace-derived cross-checks are skipped.
     pub dropped: u64,
+    /// The run's trace split at its `ModelSwap` events — one segment per
+    /// model epoch that was live during the run (always at least one).
+    pub segments: Vec<EpochSegment>,
     /// The run's parsed counter exposition.
     pub prom: PromSnapshot,
 }
@@ -328,6 +371,7 @@ impl RunAnalysis {
             hists: per_thread_hists(&events, threads),
             commit_ns,
             dropped: prom.get("gstm_trace_dropped_total", &[]).unwrap_or(0.0) as u64,
+            segments: epoch_segments(&events),
             prom,
         })
     }
@@ -342,6 +386,12 @@ impl RunAnalysis {
     /// same as the harness histograms).
     pub fn trace_aborts(&self) -> u64 {
         self.hists.iter().map(|h| h.total_aborts()).sum()
+    }
+
+    /// Model hot-swaps reconstructed from the trace (one per epoch
+    /// boundary).
+    pub fn trace_swaps(&self) -> u64 {
+        self.segments.len() as u64 - 1
     }
 }
 
@@ -452,6 +502,14 @@ pub struct CampaignReport {
     pub commit_p50_ns: Vec<u64>,
     /// Per-run commit-latency 99th percentile, nanoseconds.
     pub commit_p99_ns: Vec<u64>,
+    /// Model hot-swaps across the campaign (adaptive runs; 0 otherwise).
+    /// Taken from `gstm_model_swaps_total` per run, falling back to the
+    /// trace-reconstructed count for artifacts predating the family.
+    pub model_swaps: u64,
+    /// Every run's epoch segmentation, flattened as `(run, segment)` in
+    /// run order. Fixed-model campaigns carry one epoch-0 segment per
+    /// run.
+    pub epochs: Vec<(usize, EpochSegment)>,
     /// Model-drift facts, when the exposition carried them.
     pub drift: Option<DriftFacts>,
 }
@@ -695,6 +753,82 @@ pub fn analyze_campaign(
         ),
     );
 
+    // -- per-epoch segmentation (adaptive runs) -----------------------------
+    // Each repetition binds its own telemetry and its own model manager,
+    // so a run's `gstm_model_swaps_total` must equal the `ModelSwap`
+    // events in that run's trace, its epoch ids must advance
+    // monotonically, and the per-epoch commit counts must partition the
+    // run's trace-reconstructed commit total.
+    let model_swaps: u64 = runs
+        .iter()
+        .map(|r| {
+            r.prom
+                .get("gstm_model_swaps_total", &[])
+                .map(|v| v as u64)
+                .unwrap_or_else(|| r.trace_swaps())
+        })
+        .sum();
+    let epochs: Vec<(usize, EpochSegment)> = runs
+        .iter()
+        .flat_map(|r| r.segments.iter().map(|s| (r.run, *s)))
+        .collect();
+    {
+        let mut bad = Vec::new();
+        for r in runs {
+            if r.dropped > 0 {
+                continue;
+            }
+            match r.prom.get("gstm_model_swaps_total", &[]) {
+                Some(prom_swaps) if prom_swaps as u64 != r.trace_swaps() => bad.push(format!(
+                    "run {}: {} swap event(s) in trace vs gstm_model_swaps_total {}",
+                    r.run,
+                    r.trace_swaps(),
+                    prom_swaps
+                )),
+                // Older artifacts predate the family entirely — tolerate
+                // its absence, but not alongside swap events.
+                None if r.trace_swaps() > 0 => bad.push(format!(
+                    "run {}: {} swap event(s) but no gstm_model_swaps_total family",
+                    r.run,
+                    r.trace_swaps()
+                )),
+                _ => {}
+            }
+            for w in r.segments.windows(2) {
+                if w[1].epoch <= w[0].epoch {
+                    bad.push(format!(
+                        "run {}: epoch id regressed {} -> {}",
+                        r.run, w[0].epoch, w[1].epoch
+                    ));
+                }
+            }
+            let seg_commits: u64 = r.segments.iter().map(|s| s.commits).sum();
+            if seg_commits != r.trace_commits() {
+                bad.push(format!(
+                    "run {}: per-epoch commits {} don't partition trace total {}",
+                    r.run,
+                    seg_commits,
+                    r.trace_commits()
+                ));
+            }
+        }
+        let exact_runs = runs.iter().filter(|r| r.dropped == 0).count();
+        check(
+            "epoch_segmentation",
+            bad.is_empty(),
+            if !bad.is_empty() {
+                bad.join("; ")
+            } else if exact_runs == 0 {
+                "skipped: trace incomplete (dropped events or missing runs)".into()
+            } else {
+                format!(
+                    "{model_swaps} model swap(s); swap counters, epoch ordering, and \
+                     per-epoch commit partition consistent across {exact_runs} exact run(s)"
+                )
+            },
+        );
+    }
+
     // -- policy gates -------------------------------------------------------
     if let Some(max_cv) = th.max_cv_pct {
         let worst = (0..threads)
@@ -785,6 +919,8 @@ pub fn analyze_campaign(
         aborts,
         commit_p50_ns: runs.iter().map(|r| quantile(&r.commit_ns, 0.50)).collect(),
         commit_p99_ns: runs.iter().map(|r| quantile(&r.commit_ns, 0.99)).collect(),
+        model_swaps,
+        epochs,
         drift,
     }
 }
@@ -882,7 +1018,25 @@ pub fn render_verdict_json(r: &CampaignReport) -> String {
     let _ = writeln!(out, "    \"commits\": {},", r.commits);
     let _ = writeln!(out, "    \"aborts\": {},", r.aborts);
     let _ = writeln!(out, "    \"commit_p50_ns\": {},", ju_vec(&r.commit_p50_ns));
-    let _ = write!(out, "    \"commit_p99_ns\": {}", ju_vec(&r.commit_p99_ns));
+    let _ = writeln!(out, "    \"commit_p99_ns\": {},", ju_vec(&r.commit_p99_ns));
+    let _ = write!(out, "    \"model_swaps\": {}", r.model_swaps);
+    if r.model_swaps > 0 {
+        let _ = writeln!(out, ",");
+        let _ = writeln!(out, "    \"epochs\": [");
+        for (i, (run, s)) in r.epochs.iter().enumerate() {
+            let comma = if i + 1 < r.epochs.len() { "," } else { "" };
+            let _ = writeln!(
+                out,
+                "      {{\"run\": {run}, \"epoch\": {}, \"swap_verdict\": {}, \
+                 \"transitions\": {}, \"commits\": {}}}{comma}",
+                s.epoch,
+                s.swap_verdict.map(|v| v.to_string()).unwrap_or_else(|| "null".into()),
+                s.transitions,
+                s.commits
+            );
+        }
+        let _ = write!(out, "    ]");
+    }
     if let Some(d) = &r.drift {
         let _ = writeln!(out, ",");
         let _ = writeln!(out, "    \"model\": {{");
@@ -976,6 +1130,29 @@ pub fn render_markdown(r: &CampaignReport) -> String {
             spread(&r.commit_p50_ns),
             spread(&r.commit_p99_ns)
         );
+    }
+    if r.model_swaps > 0 {
+        let _ = writeln!(out);
+        let _ = writeln!(
+            out,
+            "## Model epochs ({} hot-swap(s) across the campaign)",
+            r.model_swaps
+        );
+        let _ = writeln!(out);
+        let _ = writeln!(out, "| run | epoch | installed by | transitions | commits |");
+        let _ = writeln!(out, "|----:|------:|--------------|------------:|--------:|");
+        for (run, s) in &r.epochs {
+            let _ = writeln!(
+                out,
+                "| {run} | {} | {} | {} | {} |",
+                s.epoch,
+                s.swap_verdict
+                    .map(|v| format!("swap ({})", staleness_label(v as u64)))
+                    .unwrap_or_else(|| "initial model".into()),
+                s.transitions,
+                s.commits
+            );
+        }
     }
     if let Some(d) = &r.drift {
         let _ = writeln!(out);

@@ -36,6 +36,25 @@ fn scripted_run() -> Vec<TraceEvent> {
     ]
 }
 
+/// The same commit/abort schedule with a hot-swap to epoch 1 (verdict
+/// drifting) between the middle commits, plus the transition stream the
+/// adaptive hook would have traced.
+fn adaptive_run() -> Vec<TraceEvent> {
+    let (a0, b1, mgr) = (pair(0, 0), pair(1, 1), pair(0, 0));
+    let trans = |from, to| TraceKind::StateTransition { from, to };
+    vec![
+        ev(1, a0, commit(100)),
+        ev(2, a0, trans(u32::MAX, 0)),
+        ev(3, b1, abort()),
+        ev(4, b1, commit(200)),
+        ev(5, b1, trans(0, 1)),
+        ev(6, mgr, TraceKind::ModelSwap { epoch: 1, verdict: 2 }),
+        ev(7, a0, commit(150)),
+        ev(8, a0, trans(u32::MAX, 2)),
+        ev(9, b1, commit(250)),
+    ]
+}
+
 // ---------------------------------------------------------------------------
 // Prom / CSV parsing
 // ---------------------------------------------------------------------------
@@ -173,6 +192,22 @@ fn jsonl_roundtrip_preserves_tseq_and_guidance_metric() {
         r_mem.guidance_metric_pct,
         r_rec.guidance_metric_pct
     );
+}
+
+#[test]
+fn epoch_segments_split_at_model_swaps() {
+    let segs = epoch_segments(&adaptive_run());
+    assert_eq!(
+        segs,
+        vec![
+            EpochSegment { epoch: 0, swap_verdict: None, transitions: 2, commits: 2 },
+            EpochSegment { epoch: 1, swap_verdict: Some(2), transitions: 1, commits: 2 },
+        ]
+    );
+    // A swap-free trace is one epoch-0 segment.
+    let segs = epoch_segments(&scripted_run());
+    assert_eq!(segs.len(), 1);
+    assert_eq!((segs[0].epoch, segs[0].commits), (0, 4));
 }
 
 // ---------------------------------------------------------------------------
@@ -321,6 +356,139 @@ fn stale_model_fails_policy_gate_when_requested() {
     let c = rep.checks.iter().find(|c| c.name == "staleness").unwrap();
     assert!(!c.pass);
     assert!(c.detail.contains("stale"), "{}", c.detail);
+}
+
+// ---------------------------------------------------------------------------
+// Adaptive campaigns (epoch segmentation) + edge cases
+// ---------------------------------------------------------------------------
+
+/// A single adaptive repetition: one hot-swap, counters consistent with
+/// the trace. Also the single-repetition fixture — the harness's N−1
+/// std-dev guard yields exact zeros.
+fn adaptive_campaign() -> (Vec<RunAnalysis>, Vec<CsvRunRow>, HarnessSummary) {
+    let prom = fixture_prom(0) + "gstm_model_swaps_total 1\n";
+    let runs =
+        vec![RunAnalysis::from_artifacts(0, &export_jsonl(&adaptive_run()), &prom, 2).unwrap()];
+    let csv = vec![
+        CsvRunRow { run: 0, thread: 0, secs: 1.0, commits: 2, aborts: 0 },
+        CsvRunRow { run: 0, thread: 1, secs: 2.0, commits: 2, aborts: 1 },
+    ];
+    let summary = HarnessSummary {
+        std_dev_secs: vec![0.0, 0.0],
+        tail_metric: runs[0].hists.iter().map(|h| h.tail_metric()).collect(),
+        non_determinism: metrics::non_determinism(&[runs[0].tseq.as_slice()]) as u64,
+        commits: 4,
+        aborts: 1,
+    };
+    (runs, csv, summary)
+}
+
+#[test]
+fn adaptive_single_rep_campaign_segments_epochs_and_passes() {
+    let (runs, csv, summary) = adaptive_campaign();
+    let rep = analyze_campaign("kmeans_2t", &runs, &csv, &summary, &Thresholds::default());
+    let failed: Vec<_> = rep.checks.iter().filter(|c| !c.pass).collect();
+    assert!(failed.is_empty(), "failed checks: {failed:?}");
+    assert_eq!(rep.model_swaps, 1);
+    assert_eq!(
+        rep.epochs,
+        vec![
+            (0, EpochSegment { epoch: 0, swap_verdict: None, transitions: 2, commits: 2 }),
+            (0, EpochSegment { epoch: 1, swap_verdict: Some(2), transitions: 1, commits: 2 }),
+        ]
+    );
+    // One repetition: every recomputed std-dev must be a finite zero
+    // (N−1 denominator guard), never NaN.
+    assert!(rep.std_dev_secs.iter().all(|s| *s == 0.0), "{:?}", rep.std_dev_secs);
+    let seg = rep.checks.iter().find(|c| c.name == "epoch_segmentation").unwrap();
+    assert!(seg.detail.contains("1 model swap(s)"), "{}", seg.detail);
+
+    let json = render_verdict_json(&rep);
+    assert!(json.contains("\"model_swaps\": 1"), "{json}");
+    assert!(json.contains("\"swap_verdict\": 2"), "{json}");
+    assert!(json.contains("\"swap_verdict\": null"), "{json}");
+    assert_eq!(json.matches('{').count(), json.matches('}').count(), "{json}");
+    let md = render_markdown(&rep);
+    assert!(md.contains("## Model epochs"), "{md}");
+    assert!(md.contains("swap (drifting)"), "{md}");
+    assert!(md.contains("initial model"), "{md}");
+}
+
+#[test]
+fn swap_counter_trace_mismatch_fails_epoch_segmentation() {
+    let (mut runs, csv, summary) = adaptive_campaign();
+    // The counter claims two swaps; the trace carries one.
+    let prom = fixture_prom(0) + "gstm_model_swaps_total 2\n";
+    runs[0] = RunAnalysis::from_artifacts(0, &export_jsonl(&adaptive_run()), &prom, 2).unwrap();
+    let rep = analyze_campaign("kmeans_2t", &runs, &csv, &summary, &Thresholds::default());
+    let c = rep.checks.iter().find(|c| c.name == "epoch_segmentation").unwrap();
+    assert!(!c.pass, "{}", c.detail);
+    assert!(c.detail.contains("swap event(s) in trace"), "{}", c.detail);
+}
+
+#[test]
+fn swaps_without_counter_family_fail_but_old_artifacts_pass() {
+    // Swap events in the trace demand the counter family...
+    let (mut runs, csv, summary) = adaptive_campaign();
+    runs[0] =
+        RunAnalysis::from_artifacts(0, &export_jsonl(&adaptive_run()), &fixture_prom(0), 2)
+            .unwrap();
+    let rep = analyze_campaign("kmeans_2t", &runs, &csv, &summary, &Thresholds::default());
+    let c = rep.checks.iter().find(|c| c.name == "epoch_segmentation").unwrap();
+    assert!(!c.pass, "{}", c.detail);
+    assert!(c.detail.contains("no gstm_model_swaps_total"), "{}", c.detail);
+
+    // ...but a swap-free artifact predating the family entirely passes
+    // (`fixture_prom` carries no gstm_model_swaps_total line).
+    let (runs, csv, summary) = fixture_campaign();
+    let rep = analyze_campaign("kmeans_2t", &runs, &csv, &summary, &Thresholds::default());
+    assert!(rep.pass(), "{:?}", rep.checks);
+    assert_eq!(rep.model_swaps, 0);
+    let json = render_verdict_json(&rep);
+    assert!(json.contains("\"model_swaps\": 0"), "{json}");
+    assert!(!json.contains("\"epochs\""), "{json}");
+    assert!(!render_markdown(&rep).contains("## Model epochs"));
+}
+
+#[test]
+fn fully_dropped_trace_reports_skipped_not_pass() {
+    let (_, csv, summary) = fixture_campaign();
+    // Both repetitions lost their entire trace to a saturated ring:
+    // empty JSONL, nonzero dropped counter.
+    let runs: Vec<RunAnalysis> = (0..2)
+        .map(|r| RunAnalysis::from_artifacts(r, "", &fixture_prom(1000), 2).unwrap())
+        .collect();
+    let rep = analyze_campaign("kmeans_2t", &runs, &csv, &summary, &Thresholds::default());
+    for name in ["abort_tail_match", "non_determinism_match", "epoch_segmentation"] {
+        let c = rep.checks.iter().find(|c| c.name == name).unwrap();
+        assert!(c.pass, "{name} must degrade, not fail");
+        assert!(c.detail.starts_with("skipped"), "{name} must say skipped: {}", c.detail);
+    }
+}
+
+#[test]
+fn zero_repetition_campaign_is_an_error_not_a_pass() {
+    let dir = std::env::temp_dir().join("gstm_analyze_zero_reps");
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    // The CSVs exist but not a single telemetry artifact pair.
+    std::fs::write(
+        dir.join("kmeans_2t_runs.csv"),
+        "run,thread,secs,commits,aborts\n0,0,1.0,2,0\n",
+    )
+    .unwrap();
+    std::fs::write(
+        dir.join("kmeans_2t_guided_summary.csv"),
+        "metric,thread,value\nstd_dev_secs,0,0.0\n",
+    )
+    .unwrap();
+    let err = analyze_dir(&dir, "kmeans_2t", &Thresholds::default()).unwrap_err();
+    assert!(err.contains("no kmeans_2t_run<r>_telemetry.prom"), "{err}");
+    // An empty runs.csv is a parse error before analysis even starts.
+    std::fs::write(dir.join("kmeans_2t_runs.csv"), "run,thread,secs,commits,aborts\n").unwrap();
+    let err = analyze_dir(&dir, "kmeans_2t", &Thresholds::default()).unwrap_err();
+    assert!(err.contains("no data rows"), "{err}");
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 // ---------------------------------------------------------------------------

@@ -21,6 +21,8 @@ pub fn bench_cfg(threads: u16) -> ExperimentConfig {
         yield_k: Some(2),
         guidance: GuidanceConfig::default(),
         seed: 0x5eed_cafe,
+        adaptive: None,
+        profile_threads: None,
     }
 }
 

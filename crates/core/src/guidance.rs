@@ -38,7 +38,20 @@
 //! double-mutex tracker: every abort is grouped with the next commit, and
 //! the recorded per-run multiset of states is identical (the equivalence
 //! stress test in `tests/tracker_equivalence.rs` pins this down).
+//!
+//! ## Static vs adaptive models
+//!
+//! A [`GuidedHook`] gates against either a **fixed** model (the offline
+//! profile→build pipeline) or an **adaptive** one managed by
+//! [`ModelManager`], which regenerates the model online when the drift
+//! ladder says it went stale and hot-swaps it without blocking readers
+//! (see [`crate::adapt`]). In adaptive mode the current-state word is
+//! tagged with the model's epoch: state ids are model-relative, so a
+//! state recorded under a superseded model must not be interpreted by the
+//! new one — a tag mismatch degrades the state to "unknown", which fails
+//! open exactly like an unmodeled state.
 
+use crate::adapt::{pack_state, unpack_state, AdaptConfig, ModelManager};
 use crate::config::GuidanceConfig;
 use crate::drift::{DriftTracker, ModelDrift};
 use crate::events::AbortCause;
@@ -47,11 +60,16 @@ use crate::sync::Mutex;
 use crate::telemetry::{GateOutcome, Telemetry, TraceKind};
 use crate::tsa::{GuidedModel, StateId};
 use crate::tss::StateKey;
-use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Sentinel for "current state not present in the model".
 const UNKNOWN: u32 = u32::MAX;
+
+/// The current-state word of a fresh (or reset) hook: epoch 0, state
+/// unknown. The state half short-circuits every consumer, so the epoch
+/// half never matters for this value.
+const UNKNOWN_WORD: u64 = UNKNOWN as u64;
 
 /// Number of per-thread abort buffers (power of two; thread ids map to
 /// shards by masking). 64 covers every thread count the experiments use
@@ -86,12 +104,19 @@ struct Shard {
 }
 
 /// Commit-side state, all behind one lock: the scratch buffer commits
-/// drain into (reused, so steady-state commits never allocate it) and the
-/// recorded Tseq.
+/// drain into (reused, so steady-state commits never allocate it) and
+/// the recorded Tseq. In adaptive mode the bounded sliding window model
+/// rebuilds train on is *derived* from `recorded` — every commit pushes
+/// exactly one key, so the window is always the last `window_cap`
+/// entries. Snapshots slice that suffix on demand; the commit itself
+/// does no window bookkeeping at all, so adaptation adds zero work (not
+/// even a clone) to the hot path.
 #[derive(Default)]
 struct CommitSide {
     scratch: Vec<Pair>,
     recorded: Vec<StateKey>,
+    /// Sliding-window capacity; 0 disables window snapshots.
+    window_cap: usize,
 }
 
 /// Shared windowed-attribution tracker: groups the aborts seen since the
@@ -166,6 +191,23 @@ impl StateTracker {
         result
     }
 
+    /// Enable (cap > 0) or disable the sliding window. Called once at
+    /// hook construction, before any commit traffic.
+    fn set_window_cap(&self, cap: usize) {
+        self.commit.lock().window_cap = cap;
+    }
+
+    /// Copy out the current sliding window — the most recent `window_cap`
+    /// recorded states, oldest first (empty when the window is disabled).
+    fn window_snapshot(&self) -> Vec<StateKey> {
+        let side = self.commit.lock();
+        if side.window_cap == 0 {
+            return Vec::new();
+        }
+        let start = side.recorded.len().saturating_sub(side.window_cap);
+        side.recorded[start..].to_vec()
+    }
+
     fn take_run(&self) -> Vec<StateKey> {
         let mut side = self.commit.lock();
         self.occupied.store(0, Ordering::Release);
@@ -237,13 +279,24 @@ impl GateStats {
     }
 }
 
+/// Where a [`GuidedHook`] gets its model from.
+enum ModelSource {
+    /// One model for the hook's whole lifetime (offline pipeline).
+    Fixed(Arc<GuidedModel>),
+    /// Epoch-managed model that may be hot-swapped while gating.
+    Adaptive(Arc<ModelManager>),
+}
+
 /// Model-driven gating hook (Section V of the paper).
 pub struct GuidedHook {
-    model: Arc<GuidedModel>,
+    source: ModelSource,
     config: GuidanceConfig,
     tracker: StateTracker,
-    /// Current state id in the model, or [`UNKNOWN`].
-    current: AtomicU32,
+    /// Current state, packed as `(epoch << 32) | state_id` (see
+    /// [`crate::adapt::pack_state`]); the state half is [`UNKNOWN`] when
+    /// the current state is absent from the (epoch's) model. Fixed-model
+    /// hooks always use epoch 0.
+    current: AtomicU64,
     passed: AtomicU64,
     waited: AtomicU64,
     released: AtomicU64,
@@ -255,6 +308,7 @@ pub struct GuidedHook {
     /// Optional model-drift accumulator fed every observed state
     /// transition (including self-transitions, which the profiled TSA
     /// also counts). `None` costs one predictable branch per commit.
+    /// Fixed-model hooks only; adaptive hooks carry a tracker per epoch.
     drift: Option<Arc<DriftTracker>>,
 }
 
@@ -287,10 +341,10 @@ impl GuidedHook {
         drift: Option<Arc<DriftTracker>>,
     ) -> Self {
         GuidedHook {
-            model,
+            source: ModelSource::Fixed(model),
             config,
             tracker: StateTracker::default(),
-            current: AtomicU32::new(UNKNOWN),
+            current: AtomicU64::new(UNKNOWN_WORD),
             passed: AtomicU64::new(0),
             waited: AtomicU64::new(0),
             released: AtomicU64::new(0),
@@ -300,21 +354,94 @@ impl GuidedHook {
         }
     }
 
-    /// The attached drift tracker, if any.
+    /// Create a guided hook whose model regenerates online: `model`
+    /// seeds epoch 0, commits feed a bounded sliding window, and a
+    /// [`ModelManager`] rebuilds + hot-swaps the model when the drift
+    /// ladder reaches Drifting/Stale. When `adapt.background` is set a
+    /// guardian thread polls the verdict; otherwise call
+    /// [`ModelManager::maybe_regenerate`] (via [`GuidedHook::manager`])
+    /// at the cadence you control — tests use this for deterministic
+    /// swap points.
+    ///
+    /// Swap events and the current epoch's drift report flow into
+    /// `telemetry` when given.
+    pub fn adaptive(
+        model: Arc<GuidedModel>,
+        config: GuidanceConfig,
+        adapt: AdaptConfig,
+        telemetry: Option<Arc<Telemetry>>,
+    ) -> Arc<Self> {
+        let manager = ModelManager::new(model, config, adapt, telemetry.clone());
+        let hook = Arc::new(GuidedHook {
+            source: ModelSource::Adaptive(Arc::clone(&manager)),
+            config,
+            tracker: StateTracker::default(),
+            current: AtomicU64::new(UNKNOWN_WORD),
+            passed: AtomicU64::new(0),
+            waited: AtomicU64::new(0),
+            released: AtomicU64::new(0),
+            unknown_states: AtomicU64::new(0),
+            telemetry,
+            drift: None,
+        });
+        hook.tracker.set_window_cap(adapt.window);
+        if adapt.background {
+            manager.spawn_guardian(&hook);
+        }
+        hook
+    }
+
+    /// The model manager, when this hook is adaptive.
+    pub fn manager(&self) -> Option<&Arc<ModelManager>> {
+        match &self.source {
+            ModelSource::Fixed(_) => None,
+            ModelSource::Adaptive(m) => Some(m),
+        }
+    }
+
+    /// The attached drift tracker, if any. Fixed-model hooks only: an
+    /// adaptive hook owns one tracker per epoch — use
+    /// [`GuidedHook::drift_report`] or [`ModelManager::epoch`].
     pub fn drift_tracker(&self) -> Option<&Arc<DriftTracker>> {
         self.drift.as_ref()
     }
 
-    /// Snapshot the model-drift comparison, when a tracker is attached.
+    /// Snapshot the model-drift comparison: the attached tracker's (fixed
+    /// mode, `None` when none attached) or the current epoch's (adaptive).
     pub fn drift_report(&self) -> Option<ModelDrift> {
-        self.drift.as_ref().map(|d| d.report())
+        match &self.source {
+            ModelSource::Fixed(_) => self.drift.as_ref().map(|d| d.report()),
+            ModelSource::Adaptive(m) => Some(m.epoch().drift.report()),
+        }
+    }
+
+    /// The model currently gating: the fixed model, or the live epoch's.
+    pub fn model(&self) -> Arc<GuidedModel> {
+        match &self.source {
+            ModelSource::Fixed(m) => Arc::clone(m),
+            ModelSource::Adaptive(m) => Arc::clone(&m.epoch().model),
+        }
+    }
+
+    /// Copy of the sliding window rebuilds train on (oldest first; empty
+    /// for fixed-model hooks, where the window is disabled).
+    pub fn window_snapshot(&self) -> Vec<StateKey> {
+        self.tracker.window_snapshot()
+    }
+
+    /// The `(epoch, state)` tag of the current-state word (diagnostic;
+    /// the schedule-replay suite uses it to prove no mixed-epoch reads).
+    /// The state half is `u32::MAX` when the current state is unknown.
+    pub fn current_tag(&self) -> (u32, u32) {
+        unpack_state(self.current.load(Ordering::Acquire))
     }
 
     /// Drain the recorded state sequence (for non-determinism measurement
     /// under guidance), resetting for the next run. Also resets the current
-    /// state so runs do not leak guidance context into each other.
+    /// state (and the sliding window) so runs do not leak guidance context
+    /// into each other.
     pub fn take_run(&self) -> Vec<StateKey> {
-        self.current.store(UNKNOWN, Ordering::Release);
+        self.current.store(UNKNOWN_WORD, Ordering::Release);
         self.tracker.take_run()
     }
 
@@ -328,22 +455,17 @@ impl GuidedHook {
         }
     }
 
-    /// The trained model in use.
-    pub fn model(&self) -> &Arc<GuidedModel> {
-        &self.model
-    }
-
-    /// Whether `who` may proceed from the current state. An unknown (or
-    /// unmodeled) current state always passes: threads are let run so the
-    /// system moves back into a known state (paper, Section V).
+    /// Whether `who` may proceed from the state packed in `word`, judged
+    /// by `model` (which is the `epoch` generation). Three ways to pass:
+    /// the state is unknown, the state was recorded under a *different*
+    /// epoch (model-relative ids must not cross generations — degrade to
+    /// unknown, fail open), or the model allows the pair.
     #[inline]
-    fn allowed_now(&self, who: Pair) -> bool {
-        let cur = self.current.load(Ordering::Acquire);
-        cur == UNKNOWN || self.model.is_allowed(StateId(cur), who)
+    fn allowed_word(word: u64, model: &GuidedModel, epoch: u32, who: Pair) -> bool {
+        let (e, s) = unpack_state(word);
+        s == UNKNOWN || e != epoch || model.is_allowed(StateId(s), who)
     }
-}
 
-impl GuidedHook {
     /// Count a gate resolution in the local counters and, when attached,
     /// the telemetry cells.
     #[inline]
@@ -358,14 +480,16 @@ impl GuidedHook {
             t.record_gate_outcome(who, outcome);
         }
     }
-}
 
-impl GuidanceHook for GuidedHook {
-    fn gate(&self, who: Pair) {
+    /// The gate loop, parameterized by the model generation resolved at
+    /// call entry. A concurrent hot-swap cannot strand a waiter: commits
+    /// under the new generation re-tag the current word, the tag mismatch
+    /// reads as unknown, and unknown always passes.
+    fn gate_with(&self, who: Pair, model: &GuidedModel, epoch: u32) {
         let mut waited = false;
         for _retry in 0..self.config.k_retries {
             let cur = self.current.load(Ordering::Acquire);
-            if cur == UNKNOWN || self.model.is_allowed(StateId(cur), who) {
+            if Self::allowed_word(cur, model, epoch, who) {
                 self.count_outcome(
                     who,
                     if waited { GateOutcome::Waited } else { GateOutcome::Passed },
@@ -384,7 +508,7 @@ impl GuidanceHook for GuidedHook {
         // Retry budget exhausted. Re-examine once — the final wait may have
         // ended on a state change whose new state allows us — and otherwise
         // release to guarantee progress.
-        if self.allowed_now(who) {
+        if Self::allowed_word(self.current.load(Ordering::Acquire), model, epoch, who) {
             self.count_outcome(
                 who,
                 if waited { GateOutcome::Waited } else { GateOutcome::Passed },
@@ -394,14 +518,21 @@ impl GuidanceHook for GuidedHook {
         }
     }
 
-    fn on_abort(&self, who: Pair, _cause: AbortCause) {
-        self.tracker.abort(who);
-    }
-
-    fn on_commit(&self, who: Pair) {
+    /// The commit path, parameterized by the model generation resolved at
+    /// call entry. `drift` is the tracker the transition feeds (the
+    /// epoch's own in adaptive mode): when the displaced previous state
+    /// carries a different epoch tag it is reported as unknown-origin,
+    /// because its id means nothing under `model`.
+    fn commit_with_model(
+        &self,
+        who: Pair,
+        model: &GuidedModel,
+        epoch: u32,
+        drift: Option<&DriftTracker>,
+    ) {
         let id = self
             .tracker
-            .commit_with(who, |aborts, commit| self.model.id_of_parts(aborts, commit));
+            .commit_with(who, |aborts, commit| model.id_of_parts(aborts, commit));
         let next = match id {
             Some(id) => id.0,
             None => {
@@ -412,9 +543,11 @@ impl GuidanceHook for GuidedHook {
         // Only observers need the previous state; the observability-off
         // path keeps the plain release store (an xchg here costs a locked
         // RMW on a line every committer writes).
-        if self.telemetry.is_some() || self.drift.is_some() {
-            let prev = self.current.swap(next, Ordering::AcqRel);
-            if let Some(d) = &self.drift {
+        if self.telemetry.is_some() || drift.is_some() {
+            let prev_word = self.current.swap(pack_state(epoch, next), Ordering::AcqRel);
+            let (prev_epoch, prev_state) = unpack_state(prev_word);
+            let prev = if prev_epoch == epoch { prev_state } else { UNKNOWN };
+            if let Some(d) = drift {
                 d.record(prev, next);
             }
             if let Some(t) = &self.telemetry {
@@ -423,7 +556,37 @@ impl GuidanceHook for GuidedHook {
                 }
             }
         } else {
-            self.current.store(next, Ordering::Release);
+            self.current.store(pack_state(epoch, next), Ordering::Release);
+        }
+    }
+}
+
+impl GuidanceHook for GuidedHook {
+    fn gate(&self, who: Pair) {
+        match &self.source {
+            ModelSource::Fixed(model) => self.gate_with(who, model, 0),
+            ModelSource::Adaptive(mgr) => {
+                // One epoch resolution per call: on the steady path this
+                // is two loads into the caller's own cache slot.
+                let epoch = mgr.cell().load(who.thread.index());
+                self.gate_with(who, &epoch.model, epoch.id);
+            }
+        }
+    }
+
+    fn on_abort(&self, who: Pair, _cause: AbortCause) {
+        self.tracker.abort(who);
+    }
+
+    fn on_commit(&self, who: Pair) {
+        match &self.source {
+            ModelSource::Fixed(model) => {
+                self.commit_with_model(who, model, 0, self.drift.as_deref());
+            }
+            ModelSource::Adaptive(mgr) => {
+                let epoch = mgr.cell().load(who.thread.index());
+                self.commit_with_model(who, &epoch.model, epoch.id, Some(&epoch.drift));
+            }
         }
     }
 }
@@ -431,6 +594,7 @@ impl GuidanceHook for GuidedHook {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::drift::DriftVerdict;
     use crate::ids::{ThreadId, TxnId};
     use crate::tsa::Tsa;
 
@@ -574,11 +738,12 @@ mod tests {
         let model = two_state_model();
         let hook = GuidedHook::new(model.clone(), GuidanceConfig::default());
         hook.on_commit(p(0, 1)); // state B exists in model
-        assert_ne!(hook.current.load(Ordering::Relaxed), UNKNOWN);
+        assert_ne!(hook.current_tag().1, UNKNOWN);
+        assert_eq!(hook.current_tag().0, 0, "fixed models always tag epoch 0");
         let run = hook.take_run();
         assert_eq!(run, vec![StateKey::solo(p(0, 1))]);
         // take_run resets current state to UNKNOWN.
-        assert_eq!(hook.current.load(Ordering::Relaxed), UNKNOWN);
+        assert_eq!(hook.current_tag().1, UNKNOWN);
     }
 
     #[test]
@@ -624,5 +789,186 @@ mod tests {
         hook.gate(p(0, 0));
         hook.on_abort(p(0, 0), AbortCause::Explicit);
         hook.on_commit(p(0, 0));
+    }
+
+    // ---- adaptive mode -------------------------------------------------
+
+    /// Manual-control adaptive config: no guardian thread, tiny window.
+    fn manual_adapt(window: usize) -> AdaptConfig {
+        AdaptConfig {
+            window,
+            min_window: 1,
+            background: false,
+            ..AdaptConfig::default()
+        }
+    }
+
+    #[test]
+    fn adaptive_hook_gates_like_fixed_until_swap() {
+        let hook = GuidedHook::adaptive(
+            two_state_model(),
+            GuidanceConfig::with_tfactor(1.0),
+            manual_adapt(16),
+            None,
+        );
+        hook.on_commit(p(0, 0)); // current = A (epoch 0)
+        assert_eq!(hook.current_tag().0, 0);
+        hook.gate(p(0, 1)); // allowed under the seed model
+        assert_eq!(hook.stats().passed, 1);
+        let mgr = hook.manager().expect("adaptive hook has a manager");
+        assert_eq!(mgr.swaps(), 0);
+        assert_eq!(mgr.epoch_id(), 0);
+    }
+
+    #[test]
+    fn sliding_window_is_bounded_and_cleared_by_take_run() {
+        let hook = GuidedHook::adaptive(
+            two_state_model(),
+            GuidanceConfig::default(),
+            manual_adapt(4),
+            None,
+        );
+        for t in 0..10u16 {
+            hook.on_commit(p(t, 0));
+        }
+        let w = hook.window_snapshot();
+        assert_eq!(w.len(), 4, "window keeps only the most recent cap states");
+        assert_eq!(w[0], StateKey::solo(p(6, 0)));
+        assert_eq!(w[3], StateKey::solo(p(9, 0)));
+        let run = hook.take_run();
+        assert_eq!(run.len(), 10, "recorded Tseq is not windowed");
+        assert!(hook.window_snapshot().is_empty(), "take_run clears the window");
+    }
+
+    #[test]
+    fn fixed_hook_has_no_window() {
+        let hook = GuidedHook::new(two_state_model(), GuidanceConfig::default());
+        hook.on_commit(p(0, 0));
+        assert!(hook.window_snapshot().is_empty());
+        assert!(hook.manager().is_none());
+    }
+
+    #[test]
+    fn forced_regeneration_swaps_epoch_and_retags_current() {
+        let hook = GuidedHook::adaptive(
+            two_state_model(),
+            GuidanceConfig::with_tfactor(1.0),
+            manual_adapt(64),
+            None,
+        );
+        // Feed a window dominated by a different pattern than the seed
+        // model: thread 7 commits everything.
+        for t in 0..32u16 {
+            hook.on_commit(p(t % 4, 7));
+        }
+        let mgr = hook.manager().unwrap();
+        let new_epoch = mgr
+            .regenerate_from(&hook, DriftVerdict::Stale)
+            .expect("window is thick enough");
+        assert_eq!(new_epoch, 1);
+        assert_eq!(mgr.swaps(), 1);
+        assert_eq!(mgr.epoch_id(), 1);
+        // The current word still carries the epoch-0 tag, so the next
+        // gate (now judging with the epoch-1 model) fails open...
+        assert_eq!(hook.current_tag().0, 0);
+        hook.gate(p(9, 9));
+        assert_eq!(hook.stats().passed, 1, "cross-epoch state degrades to unknown");
+        // ...and the next commit re-anchors the state under epoch 1.
+        hook.on_commit(p(0, 7));
+        assert_eq!(hook.current_tag().0, 1);
+        // The regenerated model reflects the window: it contains the
+        // states the window recorded.
+        assert!(hook.model().num_states() >= 1);
+    }
+
+    #[test]
+    fn maybe_regenerate_fires_only_on_drift() {
+        // Drift ladder with a low evidence bar so a handful of off-model
+        // commits reach Stale.
+        let drift_cfg = crate::drift::DriftConfig {
+            min_transitions: 8,
+            ..crate::drift::DriftConfig::default()
+        };
+        let adapt = AdaptConfig {
+            window: 64,
+            min_window: 4,
+            background: false,
+            drift: drift_cfg,
+            ..AdaptConfig::default()
+        };
+        let hook = GuidedHook::adaptive(
+            two_state_model(),
+            GuidanceConfig::with_tfactor(1.0),
+            adapt,
+            None,
+        );
+        let mgr = hook.manager().unwrap().clone();
+        // Fresh hook, no transitions: verdict Insufficient, no swap.
+        assert_eq!(mgr.maybe_regenerate(&hook), None);
+        // Commit a pattern the seed model has never seen: every
+        // transition is off-model/unknown, which drives the ladder to
+        // Stale once min_transitions is met.
+        for t in 0..24u16 {
+            hook.on_commit(p(t % 3, 9));
+        }
+        assert!(mgr.drift_report().verdict >= DriftVerdict::Drifting);
+        let swapped = mgr.maybe_regenerate(&hook);
+        assert_eq!(swapped, Some(1), "stale verdict triggers regeneration");
+        // The new epoch starts with a fresh tracker: immediately after
+        // the swap there is no evidence against the new model.
+        assert_eq!(mgr.drift_report().verdict, DriftVerdict::Insufficient);
+    }
+
+    #[test]
+    fn thin_window_skips_regeneration() {
+        let adapt = AdaptConfig {
+            window: 64,
+            min_window: 16,
+            background: false,
+            ..AdaptConfig::default()
+        };
+        let hook =
+            GuidedHook::adaptive(two_state_model(), GuidanceConfig::default(), adapt, None);
+        hook.on_commit(p(0, 0)); // window holds 1 < 16 states
+        let mgr = hook.manager().unwrap();
+        assert_eq!(mgr.regenerate_from(&hook, DriftVerdict::Stale), None);
+        assert_eq!(mgr.swaps(), 0);
+        assert_eq!(mgr.skipped_thin_window(), 1);
+    }
+
+    #[test]
+    fn background_guardian_swaps_on_live_drift() {
+        // End-to-end: guardian thread polls, sees a stale verdict, and
+        // swaps without any manual call.
+        let drift_cfg = crate::drift::DriftConfig {
+            min_transitions: 8,
+            ..crate::drift::DriftConfig::default()
+        };
+        let adapt = AdaptConfig {
+            window: 64,
+            min_window: 4,
+            background: true,
+            poll: std::time::Duration::from_millis(1),
+            drift: drift_cfg,
+        };
+        let hook = GuidedHook::adaptive(
+            two_state_model(),
+            GuidanceConfig::with_tfactor(1.0),
+            adapt,
+            None,
+        );
+        let mgr = hook.manager().unwrap().clone();
+        for round in 0..500 {
+            for t in 0..8u16 {
+                hook.on_commit(p(t % 3, 9)); // consistently off-model
+            }
+            if mgr.swaps() > 0 {
+                break;
+            }
+            assert!(round < 499, "guardian never swapped: {:?}", mgr.drift_report());
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        assert!(mgr.swaps() >= 1);
+        mgr.stop();
     }
 }

@@ -39,6 +39,7 @@
 //! assert!(report.guidance_metric_pct <= 100.0);
 //! ```
 
+pub mod adapt;
 pub mod analyzer;
 pub mod config;
 pub mod drift;
@@ -57,6 +58,7 @@ pub mod tss;
 
 /// Convenient re-exports of the types used by nearly every integration.
 pub mod prelude {
+    pub use crate::adapt::{AdaptConfig, EpochRef, ModelEpoch, ModelManager};
     pub use crate::analyzer::{analyze, AnalyzerReport, ModelVerdict};
     pub use crate::config::{ExecMode, GuidanceConfig};
     pub use crate::drift::{DriftConfig, DriftTracker, DriftVerdict, ModelDrift};

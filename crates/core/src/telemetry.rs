@@ -327,6 +327,16 @@ pub enum TraceKind {
         /// State id after the commit.
         to: u32,
     },
+    /// The guided model was regenerated and hot-swapped (adaptive mode).
+    /// Attributed to the synthetic pair `<0,0>`: the swap is performed by
+    /// the model manager, not a worker transaction.
+    ModelSwap {
+        /// Epoch id of the newly installed model.
+        epoch: u32,
+        /// [`crate::drift::DriftVerdict::code`] of the verdict that
+        /// triggered the regeneration.
+        verdict: u8,
+    },
 }
 
 /// One tracer entry: globally sequenced, timestamped, attributed to a
@@ -377,8 +387,12 @@ pub struct Telemetry {
     trace_seq: AtomicU64,
     trace: Box<[TraceShard]>,
     trace_dropped: AtomicU64,
+    /// Guided-model hot-swaps performed by the adaptive model manager.
+    model_swaps: AtomicU64,
     /// Registered model-drift tracker (cold: touched only at
-    /// registration and snapshot time, never on the hot path).
+    /// registration and snapshot time, never on the hot path). In
+    /// adaptive mode the manager re-attaches the new epoch's tracker on
+    /// every swap, so the snapshot always reports the live generation.
     drift: Mutex<Option<Arc<DriftTracker>>>,
 }
 
@@ -403,6 +417,7 @@ impl Telemetry {
             trace_seq: AtomicU64::new(0),
             trace: (0..TELEMETRY_SHARDS).map(|_| TraceShard::default()).collect(),
             trace_dropped: AtomicU64::new(0),
+            model_swaps: AtomicU64::new(0),
             drift: Mutex::new(None),
         }
     }
@@ -523,6 +538,24 @@ impl Telemetry {
         self.trace_dropped.load(Ordering::Relaxed)
     }
 
+    /// Record a guided-model hot-swap (invoked by the adaptive model
+    /// manager, off the hot path): bumps `gstm_model_swaps_total` and —
+    /// when tracing is on — emits a [`TraceKind::ModelSwap`] event
+    /// attributed to the synthetic pair `<0,0>`.
+    pub fn record_model_swap(&self, epoch: u32, verdict: crate::drift::DriftVerdict) {
+        use crate::ids::{ThreadId, TxnId};
+        self.model_swaps.fetch_add(1, Ordering::Relaxed);
+        self.trace(
+            Pair::new(TxnId(0), ThreadId(0)),
+            TraceKind::ModelSwap { epoch, verdict: verdict.code() },
+        );
+    }
+
+    /// Guided-model hot-swaps recorded so far.
+    pub fn model_swaps(&self) -> u64 {
+        self.model_swaps.load(Ordering::Relaxed)
+    }
+
     /// Aggregate the per-thread cells and histograms into a snapshot.
     pub fn snapshot(&self) -> TelemetrySnapshot {
         let mut snap = TelemetrySnapshot {
@@ -530,6 +563,7 @@ impl Telemetry {
             backoff_ns: self.backoff_ns.snapshot(),
             gate_wait_ns: self.gate_wait_ns.snapshot(),
             trace_dropped: self.trace_dropped(),
+            model_swaps: self.model_swaps(),
             model_drift: self.drift.lock().as_ref().map(|d| d.report()),
             ..Default::default()
         };
@@ -640,6 +674,8 @@ pub struct TelemetrySnapshot {
     pub per_thread: Vec<ThreadCounters>,
     /// Trace events lost to ring overwrites.
     pub trace_dropped: u64,
+    /// Guided-model hot-swaps (adaptive mode; 0 with a fixed model).
+    pub model_swaps: u64,
     /// Model-drift report, when a [`DriftTracker`] is attached.
     pub model_drift: Option<ModelDrift>,
 }
@@ -680,6 +716,10 @@ impl TelemetrySnapshot {
         }
         let _ = writeln!(out, "# TYPE gstm_trace_dropped_total counter");
         let _ = writeln!(out, "gstm_trace_dropped_total {}", self.trace_dropped);
+        // Emitted unconditionally (0 for fixed-model runs) so dashboards
+        // and the analyzer can rely on the family existing.
+        let _ = writeln!(out, "# TYPE gstm_model_swaps_total counter");
+        let _ = writeln!(out, "gstm_model_swaps_total {}", self.model_swaps);
         let _ = writeln!(out, "# TYPE gstm_thread_commits_total counter");
         for t in &self.per_thread {
             let _ = writeln!(out, "gstm_thread_commits_total{{thread=\"{}\"}} {}", t.cell, t.commits);
@@ -839,6 +879,9 @@ pub fn export_jsonl(events: &[TraceEvent]) -> String {
             TraceKind::StateTransition { from, to } => {
                 let _ = write!(out, ",\"kind\":\"state_transition\",\"from\":{from},\"to\":{to}");
             }
+            TraceKind::ModelSwap { epoch, verdict } => {
+                let _ = write!(out, ",\"kind\":\"model_swap\",\"epoch\":{epoch},\"verdict\":{verdict}");
+            }
         }
         out.push_str("}\n");
     }
@@ -913,6 +956,10 @@ pub fn parse_jsonl(s: &str) -> Result<Vec<TraceEvent>, String> {
             "state_transition" => TraceKind::StateTransition {
                 from: json_u64(line, "from").ok_or_else(|| err("missing from"))? as u32,
                 to: json_u64(line, "to").ok_or_else(|| err("missing to"))? as u32,
+            },
+            "model_swap" => TraceKind::ModelSwap {
+                epoch: json_u64(line, "epoch").ok_or_else(|| err("missing epoch"))? as u32,
+                verdict: json_u64(line, "verdict").ok_or_else(|| err("missing verdict"))? as u8,
             },
             _ => return Err(err("unknown kind")),
         };
@@ -1023,6 +1070,18 @@ pub fn export_chrome_trace(events: &[TraceEvent]) -> String {
                     fmt_us(ev.ts_ns),
                     ev.seq,
                     state_name(from)
+                );
+            }
+            TraceKind::ModelSwap { epoch, verdict } => {
+                // Rendered on the TSA track: the swap punctuates the
+                // state-residency timeline it invalidates.
+                let _ = write!(
+                    e,
+                    "{{\"name\":\"model_swap:e{epoch}\",\"cat\":\"tsa\",\"ph\":\"i\",\"ts\":{},\
+                     \"pid\":0,\"tid\":{TSA_TRACK_TID},\"s\":\"g\",\
+                     \"args\":{{\"seq\":{},\"verdict\":{verdict}}}}}",
+                    fmt_us(ev.ts_ns),
+                    ev.seq
                 );
             }
         }
@@ -1284,6 +1343,12 @@ mod tests {
                 pair: p(0, 3),
                 kind: TraceKind::StateTransition { from: 4, to: 9 },
             },
+            TraceEvent {
+                seq: 7,
+                ts_ns: 550,
+                pair: p(0, 0),
+                kind: TraceKind::ModelSwap { epoch: 1, verdict: 3 },
+            },
         ]
     }
 
@@ -1342,6 +1407,33 @@ mod tests {
         assert!(prom.contains("gstm_gate_wait_ns_sum 64"));
         assert!(prom.contains("gstm_abort_backoff_ns_count 1"));
         assert!(prom.contains("gstm_thread_commits_total{thread=\"0\"} 1"));
+        // The swap family is always present, 0 without an adaptive hook.
+        assert!(prom.contains("gstm_model_swaps_total 0"));
+    }
+
+    #[test]
+    fn model_swaps_flow_into_counter_trace_and_prometheus() {
+        let tel = Telemetry::with_trace_capacity(16);
+        tel.record_model_swap(1, crate::drift::DriftVerdict::Stale);
+        tel.record_model_swap(2, crate::drift::DriftVerdict::Drifting);
+        assert_eq!(tel.model_swaps(), 2);
+        let snap = tel.snapshot();
+        assert_eq!(snap.model_swaps, 2);
+        assert!(snap.render_prometheus().contains("gstm_model_swaps_total 2"));
+        let swaps: Vec<_> = tel
+            .trace_events()
+            .into_iter()
+            .filter_map(|e| match e.kind {
+                TraceKind::ModelSwap { epoch, verdict } => Some((epoch, verdict)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(swaps, vec![(1, 3), (2, 2)]);
+        // Counters-only telemetry still counts swaps, just without events.
+        let quiet = Telemetry::counters_only();
+        quiet.record_model_swap(1, crate::drift::DriftVerdict::Stale);
+        assert_eq!(quiet.model_swaps(), 1);
+        assert!(quiet.trace_events().is_empty());
     }
 
     #[test]

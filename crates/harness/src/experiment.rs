@@ -29,6 +29,16 @@ pub struct ExperimentConfig {
     pub guidance: GuidanceConfig,
     /// Input seed.
     pub seed: u64,
+    /// Online model regeneration for the guided phase: `Some(window)`
+    /// gates through an adaptive hook whose [`ModelManager`] rebuilds
+    /// the model from a `window`-state sliding window when the drift
+    /// ladder reaches Drifting/Stale (the `--adaptive[=window]` flag);
+    /// `None` keeps the offline fixed-model pipeline.
+    pub adaptive: Option<usize>,
+    /// Profile at a different thread count than measurement (the
+    /// `--profile-threads` flag). Deliberately mismatching it trains a
+    /// stale model — the drift/adaptation demo scenario.
+    pub profile_threads: Option<u16>,
 }
 
 impl ExperimentConfig {
@@ -43,6 +53,8 @@ impl ExperimentConfig {
             yield_k: Some(2),
             guidance: GuidanceConfig::default(),
             seed: 0x5eed_cafe,
+            adaptive: None,
+            profile_threads: None,
         }
     }
 }
@@ -131,6 +143,9 @@ pub struct BenchExperiment {
     pub guided_m: ModeMeasurement,
     /// Gate behaviour during the guided runs.
     pub gate: gstm_core::guidance::GateStats,
+    /// Guided-model hot-swaps across the guided runs (0 unless the
+    /// experiment ran with [`ExperimentConfig::adaptive`]).
+    pub model_swaps: u64,
 }
 
 impl BenchExperiment {
@@ -226,10 +241,14 @@ fn measure<H: GuidanceHook + 'static>(
 /// Profile a benchmark and build its guided model without measuring —
 /// used by `gstm-repro inspect` for model exploration.
 pub fn train_model(bench: &dyn Benchmark, cfg: &ExperimentConfig) -> GuidedModel {
+    let profile_cfg = ExperimentConfig {
+        threads: cfg.profile_threads.unwrap_or(cfg.threads),
+        ..*cfg
+    };
     let recorder = Arc::new(RecorderHook::new());
     let (_, train_runs) = measure(
         bench,
-        cfg,
+        &profile_cfg,
         cfg.profile_runs,
         cfg.train_size,
         |_| recorder.clone(),
@@ -274,10 +293,17 @@ pub fn run_experiment_observed(
     telemetry_for_run: impl Fn(usize) -> Option<Arc<Telemetry>>,
 ) -> BenchExperiment {
     // ---- Phase 1: profile (the artifact's `mcmc_data` option) ----
+    // `profile_threads` lets the model be trained at a different thread
+    // count than it is asked to guide — the canonical way to hand the
+    // guided phase a stale model (drift_demo / the adapt-smoke CI job).
+    let profile_cfg = ExperimentConfig {
+        threads: cfg.profile_threads.unwrap_or(cfg.threads),
+        ..*cfg
+    };
     let recorder = Arc::new(RecorderHook::new());
     let (_, train_runs) = measure(
         bench,
-        cfg,
+        &profile_cfg,
         cfg.profile_runs,
         cfg.train_size,
         |_| recorder.clone(),
@@ -314,22 +340,32 @@ pub fn run_experiment_observed(
     // accumulates across runs in one shared tracker.
     let tels: Vec<Option<Arc<Telemetry>>> =
         (0..cfg.measure_runs).map(&telemetry_for_run).collect();
-    let drift = tels
-        .iter()
-        .any(Option::is_some)
+    // Fixed-model observability shares one drift tracker across runs;
+    // adaptive hooks instead carry a tracker per model epoch (the
+    // manager re-attaches the live epoch's tracker to telemetry at
+    // every swap).
+    let drift = (cfg.adaptive.is_none() && tels.iter().any(Option::is_some))
         .then(|| Arc::new(DriftTracker::new(&model)));
     let guided_hooks: Vec<Arc<GuidedHook>> = tels
         .iter()
-        .map(|tel| {
-            if let (Some(t), Some(d)) = (tel, &drift) {
-                t.attach_drift(d.clone());
-            }
-            Arc::new(GuidedHook::with_observability(
+        .map(|tel| match cfg.adaptive {
+            Some(window) => GuidedHook::adaptive(
                 model.clone(),
                 cfg.guidance,
+                AdaptConfig::with_window(window),
                 tel.clone(),
-                drift.clone(),
-            ))
+            ),
+            None => {
+                if let (Some(t), Some(d)) = (tel, &drift) {
+                    t.attach_drift(d.clone());
+                }
+                Arc::new(GuidedHook::with_observability(
+                    model.clone(),
+                    cfg.guidance,
+                    tel.clone(),
+                    drift.clone(),
+                ))
+            }
         })
         .collect();
     let (guided_m, _) = measure(
@@ -342,8 +378,15 @@ pub fn run_experiment_observed(
         |h| h.take_run(),
     );
     let mut gate = gstm_core::guidance::GateStats::default();
+    let mut model_swaps = 0u64;
     for hook in &guided_hooks {
         gate.merge(&hook.stats());
+        if let Some(mgr) = hook.manager() {
+            // Join the guardian before reading the final swap count so
+            // no regeneration lands after the experiment is reported.
+            mgr.stop();
+            model_swaps += mgr.swaps();
+        }
     }
 
     BenchExperiment {
@@ -355,6 +398,7 @@ pub fn run_experiment_observed(
         default_m,
         guided_m,
         gate,
+        model_swaps,
     }
 }
 
@@ -457,6 +501,8 @@ mod tests {
             yield_k: Some(3),
             guidance: GuidanceConfig::default(),
             seed: 77,
+            adaptive: None,
+            profile_threads: None,
         }
     }
 
@@ -537,6 +583,54 @@ mod tests {
         // guided transitions (one per commit).
         let d = tels.last().unwrap().snapshot().model_drift.unwrap();
         assert_eq!(d.transitions_total(), commits);
+    }
+
+    #[test]
+    fn adaptive_pipeline_completes_and_reports_swaps() {
+        // The guided phase runs through an adaptive hook (guardian
+        // polling in the background); whether a swap actually fires
+        // depends on drift, so the invariants here are structural: the
+        // pipeline completes, totals still partition, and the swap count
+        // agrees with what telemetry recorded.
+        let bench = by_name("kmeans").unwrap();
+        let cfg = ExperimentConfig {
+            adaptive: Some(512),
+            // Train at 1 thread, measure at 2: a deliberately stale
+            // model, so drift has something to find.
+            profile_threads: Some(1),
+            ..tiny_cfg(2)
+        };
+        let tel = Arc::new(Telemetry::counters_only());
+        let e = run_experiment_instrumented(&*bench, &cfg, Some(tel.clone()));
+        assert_eq!(e.guided_m.per_thread_times.len(), 3);
+        let snap = tel.snapshot();
+        assert_eq!(snap.commits, e.guided_m.total_commits());
+        assert_eq!(snap.gate_total(), snap.commits + snap.aborts_total());
+        assert_eq!(snap.model_swaps, e.model_swaps, "harness and telemetry agree");
+        assert!(snap.model_drift.is_some(), "live epoch's tracker attached");
+        // Fixed-model experiments never swap.
+        let fixed = run_experiment(&*bench, &tiny_cfg(2));
+        assert_eq!(fixed.model_swaps, 0);
+    }
+
+    #[test]
+    fn profile_threads_trains_at_the_requested_width() {
+        // Profiling at 1 thread yields solo-commit states only from one
+        // thread id; the model must reflect that narrower state space
+        // compared to profiling at the measurement width.
+        let bench = by_name("kmeans").unwrap();
+        let narrow = train_model(
+            &*bench,
+            &ExperimentConfig { profile_threads: Some(1), ..tiny_cfg(2) },
+        );
+        let wide = train_model(&*bench, &tiny_cfg(2));
+        assert!(narrow.num_states() >= 1);
+        assert!(
+            narrow.num_states() <= wide.num_states(),
+            "1-thread profile ({}) cannot see more states than 2-thread ({})",
+            narrow.num_states(),
+            wide.num_states()
+        );
     }
 
     #[test]

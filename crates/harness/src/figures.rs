@@ -247,6 +247,7 @@ mod tests {
                 6,
             ),
             gate: GateStats::default(),
+            model_swaps: 0,
         }
     }
 

@@ -27,6 +27,13 @@
 //!                       JSONL + chrome://tracing trace) for the guided
 //!                       phase of each STAMP experiment (default DIR: the
 //!                       --out directory)
+//!   --adaptive[=W]      regenerate the guided model online: commits feed
+//!                       a W-state sliding window (default 4096) and a
+//!                       background manager rebuilds + hot-swaps the model
+//!                       when the drift ladder reaches Drifting/Stale
+//!   --profile-threads N profile at N threads instead of the measurement
+//!                       width (deliberately mismatching trains a stale
+//!                       model — the adaptation demo scenario)
 //! ```
 
 use gstm_core::{GuidanceConfig, Telemetry};
@@ -69,6 +76,11 @@ struct Options {
     /// `None` = telemetry off; `Some(None)` = on, write next to the CSVs;
     /// `Some(Some(dir))` = on, write into `dir`.
     telemetry: Option<Option<PathBuf>>,
+    /// `Some(window)` = online model regeneration with that sliding
+    /// window; `None` = fixed model.
+    adaptive: Option<usize>,
+    /// Profile-phase thread count override.
+    profile_threads: Option<u16>,
 }
 
 fn parse_size(s: &str) -> InputSize {
@@ -100,6 +112,8 @@ fn parse_args() -> Options {
         repeat: 3,
         out: Some(PathBuf::from("results")),
         telemetry: None,
+        adaptive: None,
+        profile_threads: None,
     };
     let next = |args: &mut dyn Iterator<Item = String>, flag: &str| -> String {
         args.next().unwrap_or_else(|| {
@@ -150,6 +164,18 @@ fn parse_args() -> Options {
             s if s.starts_with("--telemetry=") => {
                 opts.telemetry = Some(Some(PathBuf::from(&s["--telemetry=".len()..])));
             }
+            "--adaptive" => opts.adaptive = Some(4096),
+            s if s.starts_with("--adaptive=") => {
+                opts.adaptive =
+                    Some(s["--adaptive=".len()..].parse().expect("bad adaptive window"));
+            }
+            "--profile-threads" => {
+                opts.profile_threads = Some(
+                    next(&mut args, "--profile-threads")
+                        .parse()
+                        .expect("bad profile-threads"),
+                )
+            }
             "help" | "--help" | "-h" => {
                 print_help();
                 std::process::exit(0);
@@ -177,7 +203,8 @@ fn print_help() {
          \x20         fig8 fig9 fig10 fig11 fig12 stamp synquake summary repeated inspect all\n\n\
          options: --threads A,B --runs N --profile-runs N --bench a,b\n\
          \x20        --size s --train-size s --players N --frames N\n\
-         \x20        --tfactor F --seed X --out DIR --no-csv --telemetry[=DIR]"
+         \x20        --tfactor F --seed X --out DIR --no-csv --telemetry[=DIR]\n\
+         \x20        --adaptive[=W] --profile-threads N"
     );
 }
 
@@ -220,6 +247,8 @@ impl Campaign {
                     yield_k: Some(2),
                     guidance: GuidanceConfig::with_tfactor(self.opts.tfactor),
                     seed: self.opts.seed,
+                    adaptive: self.opts.adaptive,
+                    profile_threads: self.opts.profile_threads,
                 };
                 eprintln!("[gstm-repro] running {} @ {threads} threads ...", bench.name());
                 let exp = if let Some(tel_dir) = &self.opts.telemetry {
@@ -291,6 +320,13 @@ impl Campaign {
                 } else {
                     run_experiment(&*bench, &cfg)
                 };
+                if self.opts.adaptive.is_some() {
+                    eprintln!(
+                        "[gstm-repro] {} @ {threads}t: {} model swap(s) during guided runs",
+                        bench.name(),
+                        exp.model_swaps
+                    );
+                }
                 exps.push(exp);
             }
             self.stamp.insert(threads, exps);
@@ -425,6 +461,8 @@ fn main() {
                 yield_k: Some(2),
                 guidance: GuidanceConfig::with_tfactor(c.opts.tfactor),
                 seed: c.opts.seed,
+                adaptive: c.opts.adaptive,
+                profile_threads: c.opts.profile_threads,
             };
             eprintln!("[gstm-repro] training {name} @ {threads} threads ...");
             let model = gstm_harness::experiment::train_model(&*bench, &cfg);
@@ -454,6 +492,8 @@ fn main() {
                         yield_k: Some(2),
                         guidance: GuidanceConfig::with_tfactor(c.opts.tfactor),
                         seed: c.opts.seed,
+                        adaptive: c.opts.adaptive,
+                        profile_threads: c.opts.profile_threads,
                     };
                     eprintln!(
                         "[gstm-repro] repeating {} @ {threads} threads x{} ...",

@@ -195,6 +195,7 @@ mod tests {
             default_m: Default::default(),
             guided_m: Default::default(),
             gate: GateStats::default(),
+            model_swaps: 0,
         }
     }
 

@@ -35,6 +35,8 @@ fn main() {
         yield_k: Some(2),
         guidance: Default::default(),
         seed: 0x7e1e_5eed,
+        adaptive: None,
+        profile_threads: None,
     };
 
     println!(

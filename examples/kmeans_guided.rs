@@ -26,6 +26,8 @@ fn main() {
         yield_k: Some(2),
         guidance: Default::default(),
         seed: 0x5eed_cafe,
+        adaptive: None,
+        profile_threads: None,
     };
     println!("running kmeans pipeline @ {threads} threads, {runs} runs/mode ...");
     let e = run_experiment(&*bench, &cfg);

@@ -29,6 +29,8 @@ fn main() {
         yield_k: Some(2),
         guidance: Default::default(),
         seed: 0x7e1e_5eed,
+        adaptive: None,
+        profile_threads: None,
     };
 
     println!("training guided model on kmeans @ {threads} threads ({runs} profiling runs) ...");

@@ -15,6 +15,8 @@ fn cfg(threads: u16) -> ExperimentConfig {
         yield_k: Some(3),
         guidance: GuidanceConfig::default(),
         seed: 0xbeef,
+        adaptive: None,
+        profile_threads: None,
     }
 }
 

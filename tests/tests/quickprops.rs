@@ -1,0 +1,192 @@
+//! Tier-1 property tests over the model pipeline, driven by a small
+//! in-tree generator instead of `proptest` (which this container can't
+//! build — see `proptests.rs`, which stays behind the optional dep for
+//! richer runs). The generator is seeded splitmix64; a failing case is
+//! greedily shrunk (drop runs, drop keys, strip aborts) before the panic
+//! reports the minimal counterexample, so failures are actionable.
+//!
+//! These are the model-build-determinism properties the roadmap wanted
+//! in tier-1: identical Tseq input must yield a byte-identical encoded
+//! TSA (and bit-identical guidance metric), the binary model format must
+//! round-trip, and `StateKey` must canonicalize its abort multiset.
+
+use gstm_core::prelude::*;
+use gstm_core::{analyzer, model_io};
+
+// ---------------------------------------------------------------------------
+// Generator + shrinker (~100 LoC, no external crates)
+// ---------------------------------------------------------------------------
+
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+
+    fn pair(&mut self) -> Pair {
+        Pair::new(TxnId(self.below(4) as u16), ThreadId(self.below(8) as u16))
+    }
+
+    fn key(&mut self) -> StateKey {
+        let aborts: Vec<Pair> = (0..self.below(4)).map(|_| self.pair()).collect();
+        StateKey::new(aborts, self.pair())
+    }
+
+    fn runs(&mut self) -> Vec<Vec<StateKey>> {
+        (0..1 + self.below(4))
+            .map(|_| (0..1 + self.below(39)).map(|_| self.key()).collect())
+            .collect()
+    }
+}
+
+type Runs = Vec<Vec<StateKey>>;
+
+/// Every one-step-smaller variant of `runs`: one run dropped, one key
+/// dropped, or one key's aborts stripped.
+fn shrink_candidates(runs: &Runs) -> Vec<Runs> {
+    let mut out = Vec::new();
+    for r in 0..runs.len() {
+        if runs.len() > 1 {
+            let mut c = runs.clone();
+            c.remove(r);
+            out.push(c);
+        }
+        for k in 0..runs[r].len() {
+            if runs[r].len() > 1 {
+                let mut c = runs.clone();
+                c[r].remove(k);
+                out.push(c);
+            }
+            if !runs[r][k].aborts().is_empty() {
+                let mut c = runs.clone();
+                c[r][k] = StateKey::solo(runs[r][k].commit());
+                out.push(c);
+            }
+        }
+    }
+    out
+}
+
+/// Run `prop` over `cases` generated inputs; on failure, shrink greedily
+/// to a local minimum and panic with the minimal counterexample.
+fn check_runs(name: &str, cases: u64, prop: impl Fn(&Runs) -> Result<(), String>) {
+    for seed in 0..cases {
+        let mut failing = match prop(&Rng(seed).runs()) {
+            Ok(()) => continue,
+            Err(_) => Rng(seed).runs(),
+        };
+        'shrinking: loop {
+            for cand in shrink_candidates(&failing) {
+                if prop(&cand).is_err() {
+                    failing = cand;
+                    continue 'shrinking;
+                }
+            }
+            break;
+        }
+        let err = prop(&failing).unwrap_err();
+        panic!("{name}: seed {seed}, minimal counterexample {failing:?}: {err}");
+    }
+}
+
+fn ensure(cond: bool, msg: impl Fn() -> String) -> Result<(), String> {
+    if cond {
+        Ok(())
+    } else {
+        Err(msg())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Properties
+// ---------------------------------------------------------------------------
+
+/// Same Tseq in ⇒ byte-identical encoded TSA out, and bit-identical
+/// guidance metric — the determinism the adaptive rebuild path (and the
+/// analyzer's cross-checks) lean on.
+#[test]
+fn model_build_is_deterministic() {
+    check_runs("model_build_is_deterministic", 200, |runs| {
+        let (a, b) = (Tsa::from_runs(runs), Tsa::from_runs(&runs.clone()));
+        ensure(model_io::encode(&a) == model_io::encode(&b), || {
+            "two builds over the same Tseq encoded differently".into()
+        })?;
+        let cfg = GuidanceConfig::default();
+        let ma = analyzer::analyze(&GuidedModel::build(a, &cfg));
+        let mb = analyzer::analyze(&GuidedModel::build(b, &cfg));
+        ensure(
+            ma.guidance_metric_pct.to_bits() == mb.guidance_metric_pct.to_bits(),
+            || {
+                format!(
+                    "guidance metric differs across identical builds: {} vs {}",
+                    ma.guidance_metric_pct, mb.guidance_metric_pct
+                )
+            },
+        )
+    });
+}
+
+/// `model_io::encode` → `decode` preserves every state and every
+/// outbound edge list.
+#[test]
+fn model_encoding_round_trips() {
+    check_runs("model_encoding_round_trips", 200, |runs| {
+        let tsa = Tsa::from_runs(runs);
+        let back = model_io::decode(&model_io::encode(&tsa))
+            .map_err(|e| format!("decode failed: {e:?}"))?;
+        ensure(back.num_states() == tsa.num_states(), || {
+            format!("states {} vs {}", back.num_states(), tsa.num_states())
+        })?;
+        ensure(back.num_edges() == tsa.num_edges(), || {
+            format!("edges {} vs {}", back.num_edges(), tsa.num_edges())
+        })?;
+        for id in tsa.state_ids() {
+            ensure(back.state(id) == tsa.state(id), || format!("state {id:?} differs"))?;
+            ensure(back.outbound(id) == tsa.outbound(id), || {
+                format!("outbound of {id:?} differs")
+            })?;
+        }
+        Ok(())
+    });
+}
+
+/// A `StateKey` is a canonical form: abort order must not matter, and
+/// the canonical form must survive `from_sorted` reconstruction.
+#[test]
+fn state_key_canonicalizes_abort_order() {
+    for seed in 0..500u64 {
+        let mut rng = Rng(seed);
+        let mut aborts: Vec<Pair> = (0..rng.below(6)).map(|_| rng.pair()).collect();
+        let commit = rng.pair();
+        let a = StateKey::new(aborts.clone(), commit);
+        aborts.reverse();
+        let b = StateKey::new(aborts, commit);
+        assert_eq!(a, b, "seed {seed}: abort order leaked into the key");
+        assert_eq!(a.hash64(), b.hash64(), "seed {seed}: hash differs for equal keys");
+        let c = StateKey::from_sorted(a.aborts(), a.commit());
+        assert_eq!(a, c, "seed {seed}: from_sorted round-trip differs");
+    }
+}
+
+/// The shrinker itself must only propose strictly smaller inputs —
+/// otherwise `check_runs` could loop forever on a failure.
+#[test]
+fn shrinker_strictly_shrinks() {
+    let runs = Rng(42).runs();
+    let size = |r: &Runs| -> usize {
+        r.iter().flat_map(|run| run.iter().map(|k| 1 + k.aborts().len())).sum::<usize>()
+            + r.len()
+    };
+    for cand in shrink_candidates(&runs) {
+        assert!(size(&cand) < size(&runs), "candidate did not shrink");
+    }
+}

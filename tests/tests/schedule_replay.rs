@@ -1,0 +1,291 @@
+//! Deterministic schedule-replay stress harness for the adaptive guided
+//! hook (online model regeneration + lock-free hot-swap).
+//!
+//! A seeded splitmix64 PRNG drives N *logical* threads through the
+//! gate/abort/commit protocol on a single OS thread, with model hot-swaps
+//! fired at PRNG-scripted step boundaries (`background: false`, so no
+//! guardian thread races the script). Because the interleaving is a pure
+//! function of the seed, every run can assert:
+//!
+//! * **gate-outcome partition**: every gate call resolves to exactly one
+//!   of passed/waited/released, so the three counters sum to the call
+//!   count;
+//! * **epoch-tag integrity**: the `(epoch, state)` tag of the current
+//!   word always names a state id valid *in that epoch's model* — a
+//!   thread that classified a commit against one model but tagged it
+//!   with another epoch (a torn old/new mix) would violate this;
+//! * **replay determinism**: the same seed reproduces the same recorded
+//!   Tseq, the same gate counters, the same swap schedule, and
+//!   bit-identical per-epoch guidance metrics.
+//!
+//! A final test hammers real concurrency: worker threads gate/commit
+//! while the driver hot-swaps freshly built models, then the epoch tag is
+//! validated against the full epoch history.
+
+use gstm_core::analyzer;
+use gstm_core::prelude::*;
+use std::sync::Arc;
+
+// ---------------------------------------------------------------------------
+// Seeded PRNG (splitmix64) — no external crates, stable across platforms
+// ---------------------------------------------------------------------------
+
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed)
+    }
+
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fixtures
+// ---------------------------------------------------------------------------
+
+const THREADS: u16 = 4;
+const TXNS: u16 = 3;
+const STEPS: usize = 120;
+
+fn p(txn: u16, thread: u16) -> Pair {
+    Pair::new(TxnId(txn), ThreadId(thread))
+}
+
+/// A deterministic training sequence over the same pair alphabet the
+/// replay uses, so the initial model gates real states.
+fn seed_model(cfg: &GuidanceConfig) -> Arc<GuidedModel> {
+    let mut rng = Rng::new(0xfeed);
+    let run: Vec<StateKey> = (0..96)
+        .map(|_| {
+            let commit = p(rng.below(TXNS as u64) as u16, rng.below(THREADS as u64) as u16);
+            if rng.below(3) == 0 {
+                let abort =
+                    p(rng.below(TXNS as u64) as u16, rng.below(THREADS as u64) as u16);
+                StateKey::new(vec![abort], commit)
+            } else {
+                StateKey::solo(commit)
+            }
+        })
+        .collect();
+    Arc::new(GuidedModel::build(Tsa::from_runs(&[run]), cfg))
+}
+
+fn replay_config() -> GuidanceConfig {
+    // Short gate budget: a disallowed pair on a single OS thread can only
+    // be released by exhausting the retries (nobody else will move the
+    // state), so keep the spin loop small.
+    GuidanceConfig { k_retries: 2, wait_spins: 4, ..GuidanceConfig::default() }
+}
+
+fn adapt_config() -> AdaptConfig {
+    AdaptConfig { window: 64, min_window: 1, background: false, ..AdaptConfig::default() }
+}
+
+/// Everything one replay produces that a re-run with the same seed must
+/// reproduce exactly.
+#[derive(Debug, PartialEq)]
+struct ReplayOutcome {
+    tseq: Vec<StateKey>,
+    passed: u64,
+    waited: u64,
+    released: u64,
+    gate_calls: u64,
+    swaps: u64,
+    /// `guidance_metric_pct.to_bits()` of the model built from the live
+    /// window at every swap point plus the final window (one entry per
+    /// epoch that accumulated any window).
+    epoch_metric_bits: Vec<u64>,
+}
+
+/// Drive one seeded interleaving and check the per-step invariants.
+fn replay(seed: u64) -> ReplayOutcome {
+    let cfg = replay_config();
+    let hook = GuidedHook::adaptive(seed_model(&cfg), cfg, adapt_config(), None);
+    let mgr = hook.manager().expect("adaptive hook has a manager").clone();
+    // Epoch history: index = epoch id, value = that epoch's model.
+    let mut models: Vec<Arc<GuidedModel>> = vec![mgr.epoch().model.clone()];
+
+    let mut rng = Rng::new(seed.wrapping_mul(0x9e37_79b9).wrapping_add(1));
+    let mut in_txn = [false; THREADS as usize];
+    let mut txn_ctr = [0u64; THREADS as usize];
+    let mut gate_calls = 0u64;
+    let mut swaps = 0u64;
+    let mut epoch_metric_bits = Vec::new();
+
+    let window_metric_bits = |hook: &GuidedHook| -> u64 {
+        let window = hook.window_snapshot();
+        if window.is_empty() {
+            return u64::MAX;
+        }
+        let model = GuidedModel::build(Tsa::from_runs(&[window]), &replay_config());
+        analyzer::analyze(&model).guidance_metric_pct.to_bits()
+    };
+
+    for _step in 0..STEPS {
+        // Scripted swap points: ~1 in 16 steps regenerates from the live
+        // window (deterministic — the script is a pure function of seed).
+        if rng.below(16) == 0 {
+            let before = mgr.epoch_id();
+            epoch_metric_bits.push(window_metric_bits(&hook));
+            if let Some(id) = mgr.regenerate_from(&hook, DriftVerdict::Drifting) {
+                assert_eq!(id, before.wrapping_add(1), "epoch ids advance by one");
+                models.push(mgr.epoch().model.clone());
+                swaps += 1;
+            } else {
+                // Thin window — nothing was installed.
+                epoch_metric_bits.pop();
+            }
+        }
+
+        let t = rng.below(THREADS as u64) as usize;
+        let who = p((txn_ctr[t] % TXNS as u64) as u16, t as u16);
+        if !in_txn[t] {
+            hook.gate(who);
+            gate_calls += 1;
+            in_txn[t] = true;
+        } else if rng.below(4) == 0 {
+            hook.on_abort(who, AbortCause::Validation);
+            in_txn[t] = false; // retry later re-gates
+        } else {
+            hook.on_commit(who);
+            txn_ctr[t] += 1;
+            in_txn[t] = false;
+        }
+
+        // Epoch-tag integrity: the current word must never pair a state id
+        // with an epoch whose model can't have produced it.
+        let (e, s) = hook.current_tag();
+        assert!(
+            (e as usize) < models.len(),
+            "seed {seed}: current word tagged with unpublished epoch {e}"
+        );
+        assert!(
+            s == u32::MAX || (s as usize) < models[e as usize].num_states(),
+            "seed {seed}: state {s} is out of range for epoch {e} — torn old/new model read"
+        );
+    }
+
+    epoch_metric_bits.push(window_metric_bits(&hook));
+    let stats = hook.stats();
+    assert_eq!(
+        stats.passed + stats.waited + stats.released,
+        gate_calls,
+        "seed {seed}: gate outcomes must partition the {gate_calls} gate calls: {stats:?}"
+    );
+    assert_eq!(swaps, mgr.swaps(), "seed {seed}: manager swap count disagrees with script");
+
+    ReplayOutcome {
+        tseq: hook.take_run(),
+        passed: stats.passed,
+        waited: stats.waited,
+        released: stats.released,
+        gate_calls,
+        swaps,
+        epoch_metric_bits,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Tests
+// ---------------------------------------------------------------------------
+
+/// 1000 seeded interleavings, each replayed twice: the per-step
+/// invariants hold in every run, and both replays of a seed are
+/// bit-identical (Tseq, counters, swap schedule, per-epoch metrics).
+#[test]
+fn thousand_seeded_replays_are_deterministic_and_invariant() {
+    let mut total_swaps = 0u64;
+    let mut total_released = 0u64;
+    for seed in 0..1000u64 {
+        let a = replay(seed);
+        let b = replay(seed);
+        assert_eq!(a, b, "seed {seed}: same seed must reproduce the same execution");
+        total_swaps += a.swaps;
+        total_released += a.released;
+    }
+    // The harness must actually exercise the interesting paths: swaps
+    // fire and the gate sometimes releases (single-threaded waiters can
+    // only be released), otherwise the invariants above are vacuous.
+    assert!(total_swaps > 100, "only {total_swaps} swaps across 1000 seeds");
+    assert!(total_released > 0, "gate never released across 1000 seeds");
+}
+
+/// Different seeds must be able to produce different executions —
+/// otherwise the PRNG plumbing is broken and the 1000-seed sweep
+/// explores a single schedule.
+#[test]
+fn distinct_seeds_explore_distinct_schedules() {
+    let outcomes: Vec<ReplayOutcome> = (0..8).map(replay).collect();
+    let distinct = outcomes
+        .iter()
+        .map(|o| &o.tseq)
+        .collect::<std::collections::HashSet<_>>()
+        .len();
+    assert!(distinct > 1, "8 seeds produced one schedule");
+}
+
+/// Real concurrency: worker threads gate/commit while the driver
+/// hot-swaps models rebuilt from the live window. Afterwards the epoch
+/// tag must still name a valid state in the tagged epoch's model, and
+/// the gate counters must partition the workers' exact call count.
+#[test]
+fn concurrent_hot_swaps_never_tear_the_current_word() {
+    let cfg = GuidanceConfig::default();
+    let hook = GuidedHook::adaptive(seed_model(&cfg), cfg, adapt_config(), None);
+    let mgr = hook.manager().unwrap().clone();
+    let mut models: Vec<Arc<GuidedModel>> = vec![mgr.epoch().model.clone()];
+
+    const PER_THREAD: u64 = 3000;
+    let workers: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let hook = hook.clone();
+            std::thread::spawn(move || {
+                let mut rng = Rng::new(t as u64 + 17);
+                for i in 0..PER_THREAD {
+                    let who = p((i % TXNS as u64) as u16, t);
+                    hook.gate(who);
+                    if rng.below(5) == 0 {
+                        hook.on_abort(who, AbortCause::ReadVersion);
+                    } else {
+                        hook.on_commit(who);
+                    }
+                }
+            })
+        })
+        .collect();
+    // Swap as fast as the window refills while the workers run.
+    while !workers.iter().all(|w| w.is_finished()) {
+        if mgr.regenerate_from(&hook, DriftVerdict::Stale).is_some() {
+            models.push(mgr.epoch().model.clone());
+        }
+        std::thread::yield_now();
+    }
+    for w in workers {
+        w.join().unwrap();
+    }
+
+    assert_eq!(models.len() as u64 - 1, mgr.swaps());
+    let stats = hook.stats();
+    assert_eq!(
+        stats.passed + stats.waited + stats.released,
+        THREADS as u64 * PER_THREAD,
+        "gate outcomes must partition the exact gate-call count: {stats:?}"
+    );
+    let (e, s) = hook.current_tag();
+    assert!((e as usize) < models.len(), "tagged with unpublished epoch {e}");
+    assert!(
+        s == u32::MAX || (s as usize) < models[e as usize].num_states(),
+        "state {s} out of range for epoch {e} — torn old/new model read"
+    );
+}
