@@ -235,6 +235,49 @@ pub fn parse_summary_csv(text: &str) -> Result<HarnessSummary, String> {
     Ok(s)
 }
 
+/// One row of `<stem>_failures.csv`: a measurement repetition that
+/// panicked instead of completing.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CsvFailure {
+    /// Phase the casualty occurred in (`default` or `guided`).
+    pub phase: String,
+    /// Repetition index within that phase's attempt sequence.
+    pub rep: usize,
+    /// The panic cause the harness recorded.
+    pub cause: String,
+}
+
+/// Parse `<stem>_failures.csv` (`phase,rep,cause`). An empty table means
+/// every repetition completed; the cause field may be CSV-quoted.
+pub fn parse_failures_csv(text: &str) -> Result<Vec<CsvFailure>, String> {
+    let unquote = |s: &str| -> String {
+        s.strip_prefix('"')
+            .and_then(|s| s.strip_suffix('"'))
+            .map(|s| s.replace("\"\"", "\""))
+            .unwrap_or_else(|| s.to_string())
+    };
+    let mut rows = Vec::new();
+    for (n, line) in text.lines().enumerate().skip(1) {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let err = |what: &str| format!("failures.csv line {}: {what}: {line}", n + 1);
+        // The cause is free text (possibly quoted, possibly containing
+        // commas); phase and rep never are, so split off the first two
+        // fields only.
+        let f: Vec<&str> = line.splitn(3, ',').collect();
+        if f.len() != 3 {
+            return Err(err("expected 3 fields"));
+        }
+        rows.push(CsvFailure {
+            phase: f[0].to_string(),
+            rep: f[1].parse().map_err(|_| err("bad rep"))?,
+            cause: unquote(f[2]),
+        });
+    }
+    Ok(rows)
+}
+
 // ---------------------------------------------------------------------------
 // Per-run reconstruction from the JSONL trace
 // ---------------------------------------------------------------------------
@@ -342,8 +385,22 @@ pub struct RunAnalysis {
     /// The run's trace split at its `ModelSwap` events — one segment per
     /// model epoch that was live during the run (always at least one).
     pub segments: Vec<EpochSegment>,
+    /// Circuit-breaker transitions traced during the run, in sequence
+    /// order (`(from, to, cause)` stable codes).
+    pub breaker_events: Vec<BreakerEvent>,
     /// The run's parsed counter exposition.
     pub prom: PromSnapshot,
+}
+
+/// One traced circuit-breaker transition.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BreakerEvent {
+    /// State code left (0 closed, 1 open, 2 half-open).
+    pub from: u8,
+    /// State code entered.
+    pub to: u8,
+    /// Stable cause code (see `gstm_core::breaker::BreakerCause`).
+    pub cause: u8,
 }
 
 impl RunAnalysis {
@@ -364,6 +421,15 @@ impl RunAnalysis {
             })
             .collect();
         commit_ns.sort_unstable();
+        let breaker_events: Vec<BreakerEvent> = events
+            .iter()
+            .filter_map(|ev| match ev.kind {
+                TraceKind::Breaker { from, to, cause } => {
+                    Some(BreakerEvent { from, to, cause })
+                }
+                _ => None,
+            })
+            .collect();
         Ok(RunAnalysis {
             run,
             events: events.len(),
@@ -372,6 +438,7 @@ impl RunAnalysis {
             commit_ns,
             dropped: prom.get("gstm_trace_dropped_total", &[]).unwrap_or(0.0) as u64,
             segments: epoch_segments(&events),
+            breaker_events,
             prom,
         })
     }
@@ -418,6 +485,10 @@ pub struct Thresholds {
     pub max_off_model_pct: Option<f64>,
     /// Fail if the drift verdict reached Stale (code 3).
     pub fail_on_stale: bool,
+    /// Fail if the campaign degraded at all: any breaker trip, model
+    /// rejection, guardian restart, or panicked repetition (the
+    /// `--fail-on-degraded` CI gate).
+    pub fail_on_degraded: bool,
 }
 
 impl Default for Thresholds {
@@ -429,6 +500,7 @@ impl Default for Thresholds {
             max_abort_ratio_pct: None,
             max_off_model_pct: None,
             fail_on_stale: false,
+            fail_on_degraded: false,
         }
     }
 }
@@ -462,6 +534,48 @@ pub struct DriftFacts {
     /// Guidance metric recomputed from observed transitions, if enough
     /// were seen.
     pub observed_metric_pct: Option<f64>,
+}
+
+/// Degradation facts aggregated from breaker counters, trace events, and
+/// the harness's failures CSV — the "Degradation events" section of the
+/// report and the `--fail-on-degraded` gate's evidence.
+#[derive(Clone, Debug, Default)]
+pub struct DegradationFacts {
+    /// Repetitions the harness recorded as panicked.
+    pub failed_reps: Vec<CsvFailure>,
+    /// Breaker trips (`gstm_breaker_tripped_total`) summed over runs.
+    pub breaker_trips: u64,
+    /// Breaker re-closes (`gstm_breaker_reclosed_total`) summed over runs.
+    pub breaker_recloses: u64,
+    /// Half-open probe admissions (`gstm_breaker_half_open_total`) summed
+    /// over runs.
+    pub breaker_probes: u64,
+    /// Model files rejected at load (`gstm_breaker_model_rejected_total`)
+    /// summed over runs.
+    pub model_rejections: u64,
+    /// Guardian restarts after a panic (`gstm_guardian_restarts_total`)
+    /// summed over runs.
+    pub guardian_restarts: u64,
+    /// `gstm_breaker_state` of the final run (0 closed, 1 open, 2
+    /// half-open).
+    pub final_breaker_state: u64,
+    /// Every traced breaker transition, as `(run, event)` in run order.
+    pub events: Vec<(usize, BreakerEvent)>,
+}
+
+impl DegradationFacts {
+    /// Whether the campaign degraded at all.
+    pub fn any(&self) -> bool {
+        !self.failed_reps.is_empty()
+            || self.breaker_trips > 0
+            || self.model_rejections > 0
+            || self.guardian_restarts > 0
+    }
+}
+
+/// Human-readable label for a breaker state code.
+pub fn breaker_state_label(code: u64) -> &'static str {
+    gstm_core::breaker::BreakerState::from_code(code as u8).label()
 }
 
 /// Human-readable staleness label for a `gstm_model_staleness` code.
@@ -512,6 +626,9 @@ pub struct CampaignReport {
     pub epochs: Vec<(usize, EpochSegment)>,
     /// Model-drift facts, when the exposition carried them.
     pub drift: Option<DriftFacts>,
+    /// Degradation facts: breaker activity, model rejections, guardian
+    /// restarts, and panicked repetitions.
+    pub degradation: DegradationFacts,
 }
 
 impl CampaignReport {
@@ -532,6 +649,21 @@ pub fn analyze_campaign(
     runs: &[RunAnalysis],
     csv: &[CsvRunRow],
     summary: &HarnessSummary,
+    th: &Thresholds,
+) -> CampaignReport {
+    analyze_campaign_with_failures(stem, runs, csv, summary, &[], th)
+}
+
+/// [`analyze_campaign`] plus the harness's failures CSV, folded into the
+/// degradation facts (a campaign with casualties has fewer repetitions
+/// than attempts; every other check already operates on the successful
+/// ones only).
+pub fn analyze_campaign_with_failures(
+    stem: &str,
+    runs: &[RunAnalysis],
+    csv: &[CsvRunRow],
+    summary: &HarnessSummary,
+    failures: &[CsvFailure],
     th: &Thresholds,
 ) -> CampaignReport {
     let threads = csv.iter().map(|r| r.thread + 1).max().unwrap_or(0);
@@ -829,7 +961,93 @@ pub fn analyze_campaign(
         );
     }
 
+    // -- degradation ladder (breaker / fault campaigns) ---------------------
+    // Counters are per run (each guided run binds its own breaker and
+    // collector), so a run's `gstm_breaker_tripped_total` must equal the
+    // →open transitions in that run's trace, and likewise for re-closes
+    // and half-open probes. Artifacts predating the breaker families are
+    // tolerated — unless the trace carries breaker events.
+    let degradation = {
+        let sum = |name: &str| -> u64 {
+            runs.iter()
+                .filter_map(|r| r.prom.get(name, &[]))
+                .sum::<f64>() as u64
+        };
+        DegradationFacts {
+            failed_reps: failures.to_vec(),
+            breaker_trips: sum("gstm_breaker_tripped_total"),
+            breaker_recloses: sum("gstm_breaker_reclosed_total"),
+            breaker_probes: sum("gstm_breaker_half_open_total"),
+            model_rejections: sum("gstm_breaker_model_rejected_total"),
+            guardian_restarts: sum("gstm_guardian_restarts_total"),
+            final_breaker_state: runs
+                .last()
+                .and_then(|r| r.prom.get("gstm_breaker_state", &[]))
+                .unwrap_or(0.0) as u64,
+            events: runs
+                .iter()
+                .flat_map(|r| r.breaker_events.iter().map(|e| (r.run, *e)))
+                .collect(),
+        }
+    };
+    {
+        let mut bad = Vec::new();
+        for r in runs {
+            if r.dropped > 0 {
+                continue;
+            }
+            let traced = |to: u8| r.breaker_events.iter().filter(|e| e.to == to).count() as u64;
+            let families = [
+                ("gstm_breaker_tripped_total", traced(1)),
+                ("gstm_breaker_half_open_total", traced(2)),
+                ("gstm_breaker_reclosed_total", traced(0)),
+            ];
+            for (name, from_trace) in families {
+                match r.prom.get(name, &[]) {
+                    Some(v) if v as u64 != from_trace => bad.push(format!(
+                        "run {}: {} trace transition(s) vs {name} {}",
+                        r.run, from_trace, v
+                    )),
+                    None if from_trace > 0 => bad.push(format!(
+                        "run {}: {} breaker event(s) but no {name} family",
+                        r.run, from_trace
+                    )),
+                    _ => {}
+                }
+            }
+        }
+        check(
+            "breaker_consistency",
+            bad.is_empty(),
+            if bad.is_empty() {
+                format!(
+                    "{} trip(s), {} probe(s), {} re-close(s) consistent between \
+                     counters and trace",
+                    degradation.breaker_trips,
+                    degradation.breaker_probes,
+                    degradation.breaker_recloses
+                )
+            } else {
+                bad.join("; ")
+            },
+        );
+    }
+
     // -- policy gates -------------------------------------------------------
+    if th.fail_on_degraded {
+        check(
+            "degradation",
+            !degradation.any(),
+            format!(
+                "{} breaker trip(s), {} model rejection(s), {} guardian restart(s), \
+                 {} failed rep(s)",
+                degradation.breaker_trips,
+                degradation.model_rejections,
+                degradation.guardian_restarts,
+                degradation.failed_reps.len()
+            ),
+        );
+    }
     if let Some(max_cv) = th.max_cv_pct {
         let worst = (0..threads)
             .map(|t| {
@@ -922,6 +1140,7 @@ pub fn analyze_campaign(
         model_swaps,
         epochs,
         drift,
+        degradation,
     }
 }
 
@@ -937,6 +1156,12 @@ pub fn analyze_dir(dir: &Path, stem: &str, th: &Thresholds) -> Result<CampaignRe
     };
     let csv = parse_runs_csv(&read(format!("{stem}_runs.csv"))?)?;
     let summary = parse_summary_csv(&read(format!("{stem}_guided_summary.csv"))?)?;
+    // Missing file = artifacts from a harness predating campaign
+    // resilience; present-but-empty = every repetition completed.
+    let failures = match std::fs::read_to_string(dir.join(format!("{stem}_failures.csv"))) {
+        Ok(text) => parse_failures_csv(&text)?,
+        Err(_) => Vec::new(),
+    };
     let threads = csv.iter().map(|r| r.thread + 1).max().unwrap_or(0);
     let mut runs = Vec::new();
     loop {
@@ -951,7 +1176,7 @@ pub fn analyze_dir(dir: &Path, stem: &str, th: &Thresholds) -> Result<CampaignRe
     if runs.is_empty() {
         return Err(format!("no {stem}_run<r>_telemetry.prom artifacts in {}", dir.display()));
     }
-    Ok(analyze_campaign(stem, &runs, &csv, &summary, th))
+    Ok(analyze_campaign_with_failures(stem, &runs, &csv, &summary, &failures, th))
 }
 
 // ---------------------------------------------------------------------------
@@ -1019,6 +1244,32 @@ pub fn render_verdict_json(r: &CampaignReport) -> String {
     let _ = writeln!(out, "    \"aborts\": {},", r.aborts);
     let _ = writeln!(out, "    \"commit_p50_ns\": {},", ju_vec(&r.commit_p50_ns));
     let _ = writeln!(out, "    \"commit_p99_ns\": {},", ju_vec(&r.commit_p99_ns));
+    let _ = writeln!(out, "    \"degradation\": {{");
+    let d = &r.degradation;
+    let _ = writeln!(out, "      \"degraded\": {},", d.any());
+    let _ = writeln!(out, "      \"breaker_trips\": {},", d.breaker_trips);
+    let _ = writeln!(out, "      \"breaker_recloses\": {},", d.breaker_recloses);
+    let _ = writeln!(out, "      \"breaker_probes\": {},", d.breaker_probes);
+    let _ = writeln!(out, "      \"model_rejections\": {},", d.model_rejections);
+    let _ = writeln!(out, "      \"guardian_restarts\": {},", d.guardian_restarts);
+    let _ = writeln!(
+        out,
+        "      \"final_breaker_state\": \"{}\",",
+        breaker_state_label(d.final_breaker_state)
+    );
+    let _ = writeln!(out, "      \"failed_reps\": [");
+    for (i, f) in d.failed_reps.iter().enumerate() {
+        let comma = if i + 1 < d.failed_reps.len() { "," } else { "" };
+        let _ = writeln!(
+            out,
+            "        {{\"phase\": \"{}\", \"rep\": {}, \"cause\": \"{}\"}}{comma}",
+            esc_json(&f.phase),
+            f.rep,
+            esc_json(&f.cause)
+        );
+    }
+    let _ = writeln!(out, "      ]");
+    let _ = writeln!(out, "    }},");
     let _ = write!(out, "    \"model_swaps\": {}", r.model_swaps);
     if r.model_swaps > 0 {
         let _ = writeln!(out, ",");
@@ -1152,6 +1403,56 @@ pub fn render_markdown(r: &CampaignReport) -> String {
                 s.transitions,
                 s.commits
             );
+        }
+    }
+    {
+        let d = &r.degradation;
+        let _ = writeln!(out);
+        let _ = writeln!(out, "## Degradation events");
+        let _ = writeln!(out);
+        if !d.any() && d.breaker_recloses == 0 && d.events.is_empty() {
+            let _ = writeln!(out, "None — the campaign ran clean.");
+        } else {
+            let _ = writeln!(
+                out,
+                "- breaker: {} trip(s), {} half-open probe(s), {} re-close(s); \
+                 final state **{}**",
+                d.breaker_trips,
+                d.breaker_probes,
+                d.breaker_recloses,
+                breaker_state_label(d.final_breaker_state)
+            );
+            let _ = writeln!(out, "- model files rejected at load: {}", d.model_rejections);
+            let _ = writeln!(out, "- guardian restarts after panic: {}", d.guardian_restarts);
+            let _ = writeln!(out, "- panicked repetitions: {}", d.failed_reps.len());
+            if !d.events.is_empty() {
+                let _ = writeln!(out);
+                let _ = writeln!(out, "| run | transition | cause |");
+                let _ = writeln!(out, "|----:|------------|-------|");
+                for (run, e) in &d.events {
+                    let _ = writeln!(
+                        out,
+                        "| {run} | {} → {} | {} |",
+                        breaker_state_label(e.from as u64),
+                        breaker_state_label(e.to as u64),
+                        gstm_core::breaker::BreakerCause::label_for(e.cause)
+                    );
+                }
+            }
+            if !d.failed_reps.is_empty() {
+                let _ = writeln!(out);
+                let _ = writeln!(out, "| phase | rep | cause |");
+                let _ = writeln!(out, "|-------|----:|-------|");
+                for f in &d.failed_reps {
+                    let _ = writeln!(
+                        out,
+                        "| {} | {} | {} |",
+                        f.phase,
+                        f.rep,
+                        f.cause.replace('|', "\\|")
+                    );
+                }
+            }
         }
     }
     if let Some(d) = &r.drift {

@@ -4,6 +4,7 @@
 //! gstm-analyze --dir telemetry-out --bench kmeans --threads 4 \
 //!     [--out DIR] [--tol 1e-6] [--max-cv-pct 40] [--max-nondet 100] \
 //!     [--max-abort-ratio-pct 60] [--max-off-model-pct 50] [--fail-on-stale]
+//!     [--fail-on-degraded]
 //! ```
 //!
 //! Reads `<bench>_<threads>t_run<r>_telemetry.{jsonl,prom}` for r = 0..,
@@ -27,7 +28,7 @@ struct Cli {
 
 const USAGE: &str = "usage: gstm-analyze --dir DIR --bench NAME --threads N [--out DIR] \
 [--tol F] [--max-cv-pct F] [--max-nondet N] [--max-abort-ratio-pct F] \
-[--max-off-model-pct F] [--fail-on-stale]";
+[--max-off-model-pct F] [--fail-on-stale] [--fail-on-degraded]";
 
 fn parse_cli(args: &[String]) -> Result<Cli, String> {
     let mut dir = None;
@@ -62,6 +63,7 @@ fn parse_cli(args: &[String]) -> Result<Cli, String> {
                     Some(val("float")?.parse().map_err(|_| "bad --max-off-model-pct")?)
             }
             "--fail-on-stale" => th.fail_on_stale = true,
+            "--fail-on-degraded" => th.fail_on_degraded = true,
             "--help" | "-h" => return Err(USAGE.into()),
             other => return Err(format!("unknown argument {other}\n{USAGE}")),
         }

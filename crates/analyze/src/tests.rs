@@ -492,6 +492,237 @@ fn zero_repetition_campaign_is_an_error_not_a_pass() {
 }
 
 // ---------------------------------------------------------------------------
+// Degradation (chaos / breaker campaigns)
+// ---------------------------------------------------------------------------
+
+#[test]
+fn failures_csv_roundtrip_parses_quoted_causes() {
+    // The harness CSV-quotes causes containing commas or quotes
+    // (`"` -> `""`); the parser must undo exactly that.
+    let rows = parse_failures_csv(
+        "phase,rep,cause\n\
+         guided,1,\"panicked at 'idx', say \"\"hi\"\"\"\n\
+         default,0,plain cause\n",
+    )
+    .unwrap();
+    assert_eq!(rows.len(), 2);
+    assert_eq!(
+        rows[0],
+        CsvFailure {
+            phase: "guided".into(),
+            rep: 1,
+            cause: "panicked at 'idx', say \"hi\"".into()
+        }
+    );
+    assert_eq!(rows[1].cause, "plain cause");
+    // Empty table = every repetition completed.
+    assert!(parse_failures_csv("phase,rep,cause\n").unwrap().is_empty());
+    // Malformed rows are errors, not silently dropped casualties.
+    assert!(parse_failures_csv("phase,rep,cause\nguided,notanum,x\n").is_err());
+    assert!(parse_failures_csv("phase,rep,cause\nguided\n").is_err());
+}
+
+/// The scripted schedule plus one full breaker excursion: trip on
+/// released-rate, cooldown to half-open, probe re-closes.
+fn breaker_run() -> Vec<TraceEvent> {
+    let mgr = pair(0, 0);
+    let brk = |from, to, cause| TraceKind::Breaker { from, to, cause };
+    let mut script = scripted_run();
+    let base = script.last().unwrap().seq;
+    script.push(ev(base + 1, mgr, brk(0, 1, 0))); // closed→open, released-rate
+    script.push(ev(base + 2, mgr, brk(1, 2, 5))); // open→half-open, cooldown
+    script.push(ev(base + 3, mgr, brk(2, 0, 6))); // half-open→closed, probe
+    script
+}
+
+fn breaker_prom() -> String {
+    fixture_prom(0)
+        + "gstm_breaker_tripped_total 1\n\
+           gstm_breaker_half_open_total 1\n\
+           gstm_breaker_reclosed_total 1\n\
+           gstm_breaker_model_rejected_total 1\n\
+           gstm_guardian_restarts_total 0\n\
+           gstm_breaker_state 0\n"
+}
+
+/// The campaign fixture under chaos: same commit/abort schedule, each
+/// run carrying one trip/probe/re-close cycle, plus one panicked
+/// guided repetition in the failures CSV.
+fn chaos_campaign() -> (Vec<RunAnalysis>, Vec<CsvRunRow>, HarnessSummary, Vec<CsvFailure>) {
+    let (_, csv, summary) = fixture_campaign();
+    let runs: Vec<RunAnalysis> = (0..2)
+        .map(|r| {
+            RunAnalysis::from_artifacts(r, &export_jsonl(&breaker_run()), &breaker_prom(), 2)
+                .unwrap()
+        })
+        .collect();
+    let failures = vec![CsvFailure {
+        phase: "guided".into(),
+        rep: 2,
+        cause: "panicked: synthetic rep failure".into(),
+    }];
+    (runs, csv, summary, failures)
+}
+
+#[test]
+fn chaos_campaign_surfaces_degradation_without_failing_integrity() {
+    let (runs, csv, summary, failures) = chaos_campaign();
+    let rep = analyze_campaign_with_failures(
+        "kmeans_2t",
+        &runs,
+        &csv,
+        &summary,
+        &failures,
+        &Thresholds::default(),
+    );
+    // Degradation is reported, not an integrity failure: absent the
+    // --fail-on-degraded gate every check still passes.
+    let failed: Vec<_> = rep.checks.iter().filter(|c| !c.pass).collect();
+    assert!(failed.is_empty(), "failed checks: {failed:?}");
+    let d = &rep.degradation;
+    assert!(d.any());
+    assert_eq!(
+        (d.breaker_trips, d.breaker_probes, d.breaker_recloses, d.model_rejections),
+        (2, 2, 2, 2)
+    );
+    assert_eq!(d.guardian_restarts, 0);
+    assert_eq!(d.final_breaker_state, 0);
+    assert_eq!(d.events.len(), 6);
+    assert_eq!(d.events[0], (0, BreakerEvent { from: 0, to: 1, cause: 0 }));
+    assert_eq!(d.failed_reps, failures);
+    let c = rep.checks.iter().find(|c| c.name == "breaker_consistency").unwrap();
+    assert!(c.detail.contains("2 trip(s)"), "{}", c.detail);
+
+    let json = render_verdict_json(&rep);
+    assert!(json.contains("\"degraded\": true"), "{json}");
+    assert!(json.contains("\"breaker_trips\": 2"), "{json}");
+    assert!(json.contains("\"final_breaker_state\": \"closed\""), "{json}");
+    assert!(json.contains("\"cause\": \"panicked: synthetic rep failure\""), "{json}");
+    assert_eq!(json.matches('{').count(), json.matches('}').count(), "{json}");
+    let md = render_markdown(&rep);
+    assert!(md.contains("## Degradation events"), "{md}");
+    assert!(md.contains("1 trip(s)") || md.contains("2 trip(s)"), "{md}");
+    assert!(md.contains("| 0 | closed → open | released-rate |"), "{md}");
+    assert!(md.contains("| 1 | open → half-open | cooldown |"), "{md}");
+    assert!(md.contains("| 1 | half-open → closed | probe |"), "{md}");
+    assert!(md.contains("| guided | 2 | panicked: synthetic rep failure |"), "{md}");
+}
+
+#[test]
+fn clean_campaign_reports_no_degradation() {
+    let (runs, csv, summary) = fixture_campaign();
+    let rep = analyze_campaign("kmeans_2t", &runs, &csv, &summary, &Thresholds::default());
+    assert!(!rep.degradation.any());
+    let md = render_markdown(&rep);
+    assert!(md.contains("## Degradation events"), "{md}");
+    assert!(md.contains("None — the campaign ran clean."), "{md}");
+    assert!(render_verdict_json(&rep).contains("\"degraded\": false"));
+}
+
+#[test]
+fn breaker_counter_trace_mismatch_fails_consistency() {
+    let (mut runs, csv, summary, failures) = chaos_campaign();
+    // Run 1's counter claims two trips; its trace carries one.
+    let prom = breaker_prom()
+        .replace("gstm_breaker_tripped_total 1", "gstm_breaker_tripped_total 2");
+    runs[1] =
+        RunAnalysis::from_artifacts(1, &export_jsonl(&breaker_run()), &prom, 2).unwrap();
+    let rep = analyze_campaign_with_failures(
+        "kmeans_2t",
+        &runs,
+        &csv,
+        &summary,
+        &failures,
+        &Thresholds::default(),
+    );
+    let c = rep.checks.iter().find(|c| c.name == "breaker_consistency").unwrap();
+    assert!(!c.pass, "{}", c.detail);
+    assert!(c.detail.contains("gstm_breaker_tripped_total"), "{}", c.detail);
+
+    // Breaker events in the trace demand the counter families.
+    let (_, csv, summary) = fixture_campaign();
+    let runs: Vec<RunAnalysis> = (0..2)
+        .map(|r| {
+            RunAnalysis::from_artifacts(r, &export_jsonl(&breaker_run()), &fixture_prom(0), 2)
+                .unwrap()
+        })
+        .collect();
+    let rep = analyze_campaign("kmeans_2t", &runs, &csv, &summary, &Thresholds::default());
+    let c = rep.checks.iter().find(|c| c.name == "breaker_consistency").unwrap();
+    assert!(!c.pass, "{}", c.detail);
+    assert!(c.detail.contains("but no gstm_breaker_tripped_total"), "{}", c.detail);
+}
+
+#[test]
+fn fail_on_degraded_gates_chaos_but_passes_clean() {
+    let th = Thresholds { fail_on_degraded: true, ..Thresholds::default() };
+    let (runs, csv, summary, failures) = chaos_campaign();
+    let rep =
+        analyze_campaign_with_failures("kmeans_2t", &runs, &csv, &summary, &failures, &th);
+    let c = rep.checks.iter().find(|c| c.name == "degradation").unwrap();
+    assert!(!c.pass, "{}", c.detail);
+    assert!(c.detail.contains("2 breaker trip(s)"), "{}", c.detail);
+    assert!(c.detail.contains("1 failed rep(s)"), "{}", c.detail);
+    assert!(!rep.pass());
+
+    // A clean campaign sails through the same gate.
+    let (runs, csv, summary) = fixture_campaign();
+    let rep = analyze_campaign("kmeans_2t", &runs, &csv, &summary, &th);
+    assert!(rep.pass(), "{:?}", rep.checks);
+}
+
+#[test]
+fn analyze_dir_folds_failures_csv_into_degradation() {
+    let dir = std::env::temp_dir().join("gstm_analyze_failures_dir");
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    let (_, csv, summary) = fixture_campaign();
+    for r in 0..2 {
+        std::fs::write(
+            dir.join(format!("kmeans_2t_run{r}_telemetry.jsonl")),
+            export_jsonl(&scripted_run()),
+        )
+        .unwrap();
+        std::fs::write(dir.join(format!("kmeans_2t_run{r}_telemetry.prom")), fixture_prom(0))
+            .unwrap();
+    }
+    let mut runs_csv = String::from("run,thread,secs,commits,aborts\n");
+    for row in &csv {
+        runs_csv += &format!(
+            "{},{},{:.9},{},{}\n",
+            row.run, row.thread, row.secs, row.commits, row.aborts
+        );
+    }
+    std::fs::write(dir.join("kmeans_2t_runs.csv"), runs_csv).unwrap();
+    let mut sum_csv = String::from("metric,thread,value\n");
+    for (t, sd) in summary.std_dev_secs.iter().enumerate() {
+        sum_csv += &format!("std_dev_secs,{t},{sd:.9}\n");
+    }
+    for (t, tail) in summary.tail_metric.iter().enumerate() {
+        sum_csv += &format!("tail_metric,{t},{tail}\n");
+    }
+    sum_csv += &format!("non_determinism,,{}\n", summary.non_determinism);
+    sum_csv += &format!("commits,,{}\naborts,,{}\n", summary.commits, summary.aborts);
+    std::fs::write(dir.join("kmeans_2t_guided_summary.csv"), sum_csv).unwrap();
+    std::fs::write(
+        dir.join("kmeans_2t_failures.csv"),
+        "phase,rep,cause\nguided,2,\"boom, with comma\"\n",
+    )
+    .unwrap();
+
+    // Without the gate: reported but passing.
+    let rep = analyze_dir(&dir, "kmeans_2t", &Thresholds::default()).unwrap();
+    assert!(rep.pass(), "checks: {:?}", rep.checks);
+    assert_eq!(rep.degradation.failed_reps.len(), 1);
+    assert_eq!(rep.degradation.failed_reps[0].cause, "boom, with comma");
+    // With the gate: the casualty fails the campaign.
+    let th = Thresholds { fail_on_degraded: true, ..Thresholds::default() };
+    let rep = analyze_dir(&dir, "kmeans_2t", &th).unwrap();
+    assert!(!rep.pass());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+// ---------------------------------------------------------------------------
 // Rendering + end-to-end over files
 // ---------------------------------------------------------------------------
 

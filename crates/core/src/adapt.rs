@@ -50,8 +50,10 @@
 //! in the new model — the same semantics the paper uses for unmodeled
 //! states).
 
+use crate::breaker::Breaker;
 use crate::config::GuidanceConfig;
 use crate::drift::{DriftConfig, DriftTracker, DriftVerdict, ModelDrift};
+use crate::faultinject::{FaultPlan, FaultSite};
 use crate::guidance::GuidedHook;
 use crate::sync::Mutex;
 use crate::telemetry::Telemetry;
@@ -60,6 +62,11 @@ use std::cell::UnsafeCell;
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::{Arc, Weak};
 use std::time::Duration;
+
+/// Cap on the guardian's restart backoff exponent: after repeated caught
+/// panics the poll interval stretches to at most `poll << 6` so a
+/// deterministically poisoned regeneration step cannot spin a core.
+const GUARDIAN_BACKOFF_CAP: u32 = 6;
 
 /// Reader cache slots in an [`EpochCell`] (power of two; thread ids map
 /// by masking, like the tracker shards). Threads beyond this alias and
@@ -289,6 +296,12 @@ pub struct ModelManager {
     guardian: Mutex<Option<std::thread::JoinHandle<()>>>,
     /// Swap events and per-epoch drift re-attachment go here when set.
     telemetry: Option<Arc<Telemetry>>,
+    /// Breaker tracking the live epoch's drift (re-attached per swap).
+    breaker: Option<Arc<Breaker>>,
+    /// Chaos plan probed at the guardian-panic site.
+    faults: Option<Arc<FaultPlan>>,
+    /// Guardian panics caught and survived.
+    restarts: AtomicU64,
 }
 
 impl ModelManager {
@@ -301,9 +314,27 @@ impl ModelManager {
         cfg: AdaptConfig,
         telemetry: Option<Arc<Telemetry>>,
     ) -> Arc<Self> {
+        Self::with_robustness(initial, guidance, cfg, telemetry, None, None)
+    }
+
+    /// [`ModelManager::new`] plus the robustness layer: the `breaker`
+    /// follows the live epoch's drift tracker across hot-swaps, and the
+    /// guardian probes `faults`' guardian-panic site each poll (panics
+    /// are caught, counted, and survived with capped backoff).
+    pub fn with_robustness(
+        initial: Arc<GuidedModel>,
+        guidance: GuidanceConfig,
+        cfg: AdaptConfig,
+        telemetry: Option<Arc<Telemetry>>,
+        breaker: Option<Arc<Breaker>>,
+        faults: Option<Arc<FaultPlan>>,
+    ) -> Arc<Self> {
         let epoch = ModelEpoch::new(0, initial, cfg.drift);
         if let Some(t) = &telemetry {
             t.attach_drift(epoch.drift.clone());
+        }
+        if let Some(b) = &breaker {
+            b.attach_drift(epoch.drift.clone());
         }
         Arc::new(ModelManager {
             cell: EpochCell::new(epoch),
@@ -314,6 +345,9 @@ impl ModelManager {
             stop: AtomicBool::new(false),
             guardian: Mutex::new(None),
             telemetry,
+            breaker,
+            faults,
+            restarts: AtomicU64::new(0),
         })
     }
 
@@ -341,6 +375,11 @@ impl ModelManager {
     /// `min_window`.
     pub fn skipped_thin_window(&self) -> u64 {
         self.skipped_thin_window.load(Ordering::Relaxed)
+    }
+
+    /// Guardian panics caught and survived so far.
+    pub fn guardian_restarts(&self) -> u64 {
+        self.restarts.load(Ordering::Relaxed)
     }
 
     /// The adaptation tunables in effect.
@@ -394,6 +433,11 @@ impl ModelManager {
             t.attach_drift(epoch.drift.clone());
             t.record_model_swap(next_id, cause);
         }
+        if let Some(b) = &self.breaker {
+            // The breaker judges model health against the generation that
+            // is actually gating.
+            b.attach_drift(epoch.drift.clone());
+        }
         self.cell.swap(epoch);
         self.swaps.fetch_add(1, Ordering::Relaxed);
         next_id
@@ -410,13 +454,40 @@ impl ModelManager {
         }
         let mgr = Arc::clone(self);
         let hook: Weak<GuidedHook> = Arc::downgrade(hook);
-        *slot = Some(std::thread::spawn(move || loop {
-            std::thread::sleep(mgr.cfg.poll);
-            if mgr.stop.load(Ordering::Acquire) {
-                break;
+        *slot = Some(std::thread::spawn(move || {
+            // Consecutive caught panics; a clean step resets it, so the
+            // backoff only stretches while the step keeps failing.
+            let mut streak = 0u32;
+            loop {
+                let backoff = 1u32 << streak.min(GUARDIAN_BACKOFF_CAP);
+                std::thread::sleep(mgr.cfg.poll * backoff);
+                if mgr.stop.load(Ordering::Acquire) {
+                    break;
+                }
+                let Some(hook) = hook.upgrade() else { break };
+                // The regeneration step is panic-isolated: a panic in the
+                // drift read, the rebuild, or the injected guardian-panic
+                // site must degrade adaptation (the stale epoch keeps
+                // gating), never take the process down with it.
+                let step = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    if let Some(f) = &mgr.faults {
+                        if f.should_fire(FaultSite::GuardianPanic, 0).is_some() {
+                            panic!("injected guardian panic (chaos plan)");
+                        }
+                    }
+                    mgr.maybe_regenerate(&hook);
+                }));
+                match step {
+                    Ok(()) => streak = 0,
+                    Err(_) => {
+                        streak = streak.saturating_add(1);
+                        mgr.restarts.fetch_add(1, Ordering::Relaxed);
+                        if let Some(t) = &mgr.telemetry {
+                            t.record_guardian_restart();
+                        }
+                    }
+                }
             }
-            let Some(hook) = hook.upgrade() else { break };
-            mgr.maybe_regenerate(&hook);
         }));
     }
 

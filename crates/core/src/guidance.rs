@@ -52,9 +52,11 @@
 //! open exactly like an unmodeled state.
 
 use crate::adapt::{pack_state, unpack_state, AdaptConfig, ModelManager};
+use crate::breaker::{Breaker, BreakerState};
 use crate::config::GuidanceConfig;
 use crate::drift::{DriftTracker, ModelDrift};
 use crate::events::AbortCause;
+use crate::faultinject::{mix64, spin_for, FaultPlan, FaultSite};
 use crate::ids::Pair;
 use crate::sync::Mutex;
 use crate::telemetry::{GateOutcome, Telemetry, TraceKind};
@@ -75,6 +77,12 @@ const UNKNOWN_WORD: u64 = UNKNOWN as u64;
 /// shards by masking). 64 covers every thread count the experiments use
 /// without aliasing; beyond that, aliased threads merely share a buffer.
 const TRACKER_SHARDS: usize = 64;
+
+/// Cap on the gate's exponential backoff: a wait round busy-spins at most
+/// `2 * (1 << BACKOFF_CAP)` iterations before yielding, keeping the
+/// worst-case poll latency bounded while still spreading contending
+/// re-examinations apart.
+const BACKOFF_CAP: u32 = 6;
 
 /// Callbacks an STM invokes around each transaction attempt.
 ///
@@ -310,6 +318,15 @@ pub struct GuidedHook {
     /// also counts). `None` costs one predictable branch per commit.
     /// Fixed-model hooks only; adaptive hooks carry a tracker per epoch.
     drift: Option<Arc<DriftTracker>>,
+    /// Optional guidance circuit breaker. While Open the gate is a
+    /// single load + early return (fail-open unguided execution); the
+    /// breaker's window/watchdog bookkeeping rides on the outcome and
+    /// abort/commit notifications. `None` costs one predictable branch.
+    breaker: Option<Arc<Breaker>>,
+    /// Optional deterministic fault plan (chaos mode): probes the
+    /// gate-stall and transition-storm sites. `None` costs one
+    /// predictable branch per site, same as `telemetry`.
+    faults: Option<Arc<FaultPlan>>,
 }
 
 impl GuidedHook {
@@ -340,6 +357,27 @@ impl GuidedHook {
         telemetry: Option<Arc<Telemetry>>,
         drift: Option<Arc<DriftTracker>>,
     ) -> Self {
+        Self::with_robustness(model, config, telemetry, drift, None, None)
+    }
+
+    /// Create a guided hook with observability plus the robustness layer:
+    /// a circuit `breaker` that degrades gating to fail-open unguided
+    /// execution when the model misbehaves, and/or a deterministic fault
+    /// plan (`faults`) that exercises the gate-stall and transition-storm
+    /// chaos sites. The drift tracker (when given alongside the breaker)
+    /// is attached to the breaker so Fresh verdicts veto model-health
+    /// trips.
+    pub fn with_robustness(
+        model: Arc<GuidedModel>,
+        config: GuidanceConfig,
+        telemetry: Option<Arc<Telemetry>>,
+        drift: Option<Arc<DriftTracker>>,
+        breaker: Option<Arc<Breaker>>,
+        faults: Option<Arc<FaultPlan>>,
+    ) -> Self {
+        if let (Some(b), Some(d)) = (&breaker, &drift) {
+            b.attach_drift(Arc::clone(d));
+        }
         GuidedHook {
             source: ModelSource::Fixed(model),
             config,
@@ -351,6 +389,8 @@ impl GuidedHook {
             unknown_states: AtomicU64::new(0),
             telemetry,
             drift,
+            breaker,
+            faults,
         }
     }
 
@@ -371,7 +411,30 @@ impl GuidedHook {
         adapt: AdaptConfig,
         telemetry: Option<Arc<Telemetry>>,
     ) -> Arc<Self> {
-        let manager = ModelManager::new(model, config, adapt, telemetry.clone());
+        Self::adaptive_with_robustness(model, config, adapt, telemetry, None, None)
+    }
+
+    /// [`GuidedHook::adaptive`] plus the robustness layer (see
+    /// [`GuidedHook::with_robustness`]). The breaker follows the live
+    /// epoch: every hot-swap re-attaches the new generation's drift
+    /// tracker, and the guardian thread is panic-isolated against the
+    /// fault plan's guardian-panic site.
+    pub fn adaptive_with_robustness(
+        model: Arc<GuidedModel>,
+        config: GuidanceConfig,
+        adapt: AdaptConfig,
+        telemetry: Option<Arc<Telemetry>>,
+        breaker: Option<Arc<Breaker>>,
+        faults: Option<Arc<FaultPlan>>,
+    ) -> Arc<Self> {
+        let manager = ModelManager::with_robustness(
+            model,
+            config,
+            adapt,
+            telemetry.clone(),
+            breaker.clone(),
+            faults.clone(),
+        );
         let hook = Arc::new(GuidedHook {
             source: ModelSource::Adaptive(Arc::clone(&manager)),
             config,
@@ -383,12 +446,19 @@ impl GuidedHook {
             unknown_states: AtomicU64::new(0),
             telemetry,
             drift: None,
+            breaker,
+            faults,
         });
         hook.tracker.set_window_cap(adapt.window);
         if adapt.background {
             manager.spawn_guardian(&hook);
         }
         hook
+    }
+
+    /// The attached circuit breaker, if any.
+    pub fn breaker(&self) -> Option<&Arc<Breaker>> {
+        self.breaker.as_ref()
     }
 
     /// The model manager, when this hook is adaptive.
@@ -467,7 +537,10 @@ impl GuidedHook {
     }
 
     /// Count a gate resolution in the local counters and, when attached,
-    /// the telemetry cells.
+    /// the telemetry cells and the breaker's health window. A trip
+    /// reported back by the breaker fails the gate open *immediately*:
+    /// one store of the unknown word releases every thread still spinning
+    /// on the old current state (unknown always passes).
     #[inline]
     fn count_outcome(&self, who: Pair, outcome: GateOutcome) {
         let counter = match outcome {
@@ -479,6 +552,14 @@ impl GuidedHook {
         if let Some(t) = &self.telemetry {
             t.record_gate_outcome(who, outcome);
         }
+        if let Some(b) = &self.breaker {
+            let released = matches!(outcome, GateOutcome::Released);
+            if let Some(tr) = b.note_gate(who.thread.index(), released) {
+                if tr.to == BreakerState::Open {
+                    self.current.store(UNKNOWN_WORD, Ordering::Release);
+                }
+            }
+        }
     }
 
     /// The gate loop, parameterized by the model generation resolved at
@@ -487,7 +568,7 @@ impl GuidedHook {
     /// reads as unknown, and unknown always passes.
     fn gate_with(&self, who: Pair, model: &GuidedModel, epoch: u32) {
         let mut waited = false;
-        for _retry in 0..self.config.k_retries {
+        for retry in 0..self.config.k_retries {
             let cur = self.current.load(Ordering::Acquire);
             if Self::allowed_word(cur, model, epoch, who) {
                 self.count_outcome(
@@ -497,11 +578,22 @@ impl GuidedHook {
                 return;
             }
             // Wait (bounded) for a concurrent commit to change the current
-            // state, then loop to re-examine from the new state.
+            // state, then loop to re-examine from the new state. Each
+            // round busy-spins `base + jitter` iterations before yielding:
+            // the exponential base keeps short waits responsive and long
+            // waits cheap, and the jitter — a pure hash of (pair, retry,
+            // round), no RNG state — decorrelates threads that blocked on
+            // the same state so they do not re-poll in lockstep.
             waited = true;
-            let mut spins = 0;
-            while spins < self.config.wait_spins && self.current.load(Ordering::Acquire) == cur {
-                spins += 1;
+            for round in 0..self.config.wait_spins {
+                if self.current.load(Ordering::Acquire) != cur {
+                    break;
+                }
+                let base = 1u64 << (round as u32).min(BACKOFF_CAP);
+                let jitter = mix64(
+                    ((who.packed() as u64) << 32) ^ ((retry as u64) << 16) ^ round as u64,
+                ) % base;
+                spin_for((base + jitter) as u32);
                 std::thread::yield_now();
             }
         }
@@ -558,11 +650,43 @@ impl GuidedHook {
         } else {
             self.current.store(pack_state(epoch, next), Ordering::Release);
         }
+        // Chaos site: a transition storm floods the drift tracker with
+        // off-model transitions and scrambles the current state to
+        // unknown — the failure shape of an application phase change the
+        // model has never seen. No trace events are fabricated (the
+        // analyzer cross-checks traces against the recorded Tseq).
+        if let Some(f) = &self.faults {
+            if let Some(fault) = f.should_fire(FaultSite::TransitionStorm, who.thread.index()) {
+                if let Some(d) = drift {
+                    for _ in 0..fault.spins.max(1) {
+                        d.record(next, UNKNOWN);
+                    }
+                }
+                self.current.store(UNKNOWN_WORD, Ordering::Release);
+            }
+        }
     }
 }
 
 impl GuidanceHook for GuidedHook {
     fn gate(&self, who: Pair) {
+        // Chaos site: stall this thread at the gate, as if it lost its
+        // timeslice between the epoch read and the state examination.
+        if let Some(f) = &self.faults {
+            if let Some(fault) = f.should_fire(FaultSite::GateStall, who.thread.index()) {
+                spin_for(fault.spins);
+            }
+        }
+        // Fail-open: while the breaker is Open the gate is this one load
+        // — no model lookup, no waiting. The outcome still feeds
+        // count_outcome so the breaker can count down its cooldown and
+        // move to Half-Open.
+        if let Some(b) = &self.breaker {
+            if b.bypass() {
+                self.count_outcome(who, GateOutcome::Passed);
+                return;
+            }
+        }
         match &self.source {
             ModelSource::Fixed(model) => self.gate_with(who, model, 0),
             ModelSource::Adaptive(mgr) => {
@@ -576,6 +700,9 @@ impl GuidanceHook for GuidedHook {
 
     fn on_abort(&self, who: Pair, _cause: AbortCause) {
         self.tracker.abort(who);
+        if let Some(b) = &self.breaker {
+            b.note_abort(who.thread.index());
+        }
     }
 
     fn on_commit(&self, who: Pair) {
@@ -587,6 +714,9 @@ impl GuidanceHook for GuidedHook {
                 let epoch = mgr.cell().load(who.thread.index());
                 self.commit_with_model(who, &epoch.model, epoch.id, Some(&epoch.drift));
             }
+        }
+        if let Some(b) = &self.breaker {
+            b.note_commit(who.thread.index());
         }
     }
 }

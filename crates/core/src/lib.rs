@@ -41,10 +41,12 @@
 
 pub mod adapt;
 pub mod analyzer;
+pub mod breaker;
 pub mod config;
 pub mod drift;
 pub mod events;
 pub mod fastset;
+pub mod faultinject;
 pub mod guidance;
 pub mod ids;
 pub mod metrics;
@@ -60,7 +62,9 @@ pub mod tss;
 pub mod prelude {
     pub use crate::adapt::{AdaptConfig, EpochRef, ModelEpoch, ModelManager};
     pub use crate::analyzer::{analyze, AnalyzerReport, ModelVerdict};
+    pub use crate::breaker::{Breaker, BreakerCause, BreakerConfig, BreakerState};
     pub use crate::config::{ExecMode, GuidanceConfig};
+    pub use crate::faultinject::{FaultPlan, FaultSite};
     pub use crate::drift::{DriftConfig, DriftTracker, DriftVerdict, ModelDrift};
     pub use crate::events::AbortCause;
     pub use crate::fastset::AddrSet;

@@ -5,6 +5,22 @@
 //! implements a compact LEB128-varint encoding of a [`Tsa`]: state tuples
 //! as packed `<txn,thread>` pairs and transitions as delta-free
 //! `(destination, frequency)` lists.
+//!
+//! ## Integrity header (v2)
+//!
+//! A corrupt model file must degrade the run to unguided execution, never
+//! crash it, so v2 prepends a self-validating header:
+//!
+//! ```text
+//! "GSTM" | version=2 | varint thread_count | varint payload_len
+//!        | fnv1a64(payload) as 8 LE bytes | payload (v1 body)
+//! ```
+//!
+//! The checksum covers the payload only, keeping the three corruption
+//! classes distinguishable at load: a bit flip fails the checksum, a
+//! truncation fails the declared-length check, and a tampered
+//! thread-count header fails the consistency check against the decoded
+//! states.
 
 use crate::ids::Pair;
 use crate::tsa::{StateId, Tsa};
@@ -13,7 +29,27 @@ use std::io::{self, Read, Write};
 use std::path::Path;
 
 const MAGIC: &[u8; 4] = b"GSTM";
-const FORMAT_VERSION: u8 = 1;
+const FORMAT_VERSION: u8 = 2;
+
+/// FNV-1a 64-bit hash of `bytes`.
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Highest thread id referenced by any pair in `states`, plus one.
+fn thread_count_of(states: &[StateKey]) -> u64 {
+    states
+        .iter()
+        .flat_map(|k| k.aborts().iter().copied().chain(std::iter::once(k.commit())))
+        .map(|p| p.thread.0 as u64 + 1)
+        .max()
+        .unwrap_or(0)
+}
 
 /// Append an unsigned LEB128 varint.
 fn put_varint(buf: &mut Vec<u8>, mut v: u64) {
@@ -50,29 +86,40 @@ fn get_varint(bytes: &[u8], pos: &mut usize) -> io::Result<u64> {
 
 /// Serialize an automaton to bytes.
 pub fn encode(tsa: &Tsa) -> Vec<u8> {
-    let mut buf = Vec::new();
-    buf.extend_from_slice(MAGIC);
-    buf.push(FORMAT_VERSION);
-    put_varint(&mut buf, tsa.num_states() as u64);
+    let mut payload = Vec::new();
+    put_varint(&mut payload, tsa.num_states() as u64);
     for key in tsa.states() {
-        put_varint(&mut buf, key.aborts().len() as u64);
+        put_varint(&mut payload, key.aborts().len() as u64);
         for p in key.aborts() {
-            put_varint(&mut buf, p.packed() as u64);
+            put_varint(&mut payload, p.packed() as u64);
         }
-        put_varint(&mut buf, key.commit().packed() as u64);
+        put_varint(&mut payload, key.commit().packed() as u64);
     }
     for id in tsa.state_ids() {
         let edges = tsa.outbound(id);
-        put_varint(&mut buf, edges.len() as u64);
+        put_varint(&mut payload, edges.len() as u64);
         for &(dst, f) in edges {
-            put_varint(&mut buf, dst.0 as u64);
-            put_varint(&mut buf, f);
+            put_varint(&mut payload, dst.0 as u64);
+            put_varint(&mut payload, f);
         }
     }
+    let mut buf = Vec::with_capacity(payload.len() + 20);
+    buf.extend_from_slice(MAGIC);
+    buf.push(FORMAT_VERSION);
+    put_varint(&mut buf, thread_count_of(tsa.states()));
+    put_varint(&mut buf, payload.len() as u64);
+    buf.extend_from_slice(&fnv1a64(&payload).to_le_bytes());
+    buf.extend_from_slice(&payload);
     buf
 }
 
 /// Deserialize an automaton from bytes produced by [`encode`].
+///
+/// Every corruption class is rejected with a typed [`io::Error`] — bit
+/// flips by the payload checksum, truncation and trailing garbage by the
+/// declared payload length, and header tampering by the thread-count
+/// consistency check — so callers can always fall back to unguided
+/// execution instead of panicking on malformed input.
 pub fn decode(bytes: &[u8]) -> io::Result<Tsa> {
     let bad = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, msg.to_string());
     if bytes.len() < 5 || &bytes[..4] != MAGIC {
@@ -82,35 +129,53 @@ pub fn decode(bytes: &[u8]) -> io::Result<Tsa> {
         return Err(bad("unsupported format version"));
     }
     let mut pos = 5usize;
-    let n_states = get_varint(bytes, &mut pos)? as usize;
+    let thread_count = get_varint(bytes, &mut pos)?;
+    let payload_len = get_varint(bytes, &mut pos)? as usize;
+    let sum_end = pos
+        .checked_add(8)
+        .filter(|&e| e <= bytes.len())
+        .ok_or_else(|| bad("truncated checksum"))?;
+    let declared_sum = u64::from_le_bytes(bytes[pos..sum_end].try_into().unwrap());
+    let payload = &bytes[sum_end..];
+    if payload.len() != payload_len {
+        return Err(bad("payload length mismatch"));
+    }
+    if fnv1a64(payload) != declared_sum {
+        return Err(bad("checksum mismatch"));
+    }
+    let mut pos = 0usize;
+    let n_states = get_varint(payload, &mut pos)? as usize;
     let mut states = Vec::with_capacity(n_states);
     for _ in 0..n_states {
-        let n_aborts = get_varint(bytes, &mut pos)? as usize;
+        let n_aborts = get_varint(payload, &mut pos)? as usize;
         let mut aborts = Vec::with_capacity(n_aborts);
         for _ in 0..n_aborts {
-            let raw = get_varint(bytes, &mut pos)?;
+            let raw = get_varint(payload, &mut pos)?;
             aborts.push(Pair::from_packed(u32::try_from(raw).map_err(|_| bad("pair overflow"))?));
         }
-        let raw = get_varint(bytes, &mut pos)?;
+        let raw = get_varint(payload, &mut pos)?;
         let commit = Pair::from_packed(u32::try_from(raw).map_err(|_| bad("pair overflow"))?);
         states.push(StateKey::new(aborts, commit));
     }
     let mut transitions = Vec::with_capacity(n_states);
     for _ in 0..n_states {
-        let n_edges = get_varint(bytes, &mut pos)? as usize;
+        let n_edges = get_varint(payload, &mut pos)? as usize;
         let mut edges = Vec::with_capacity(n_edges);
         for _ in 0..n_edges {
-            let dst = get_varint(bytes, &mut pos)? as u32;
+            let dst = get_varint(payload, &mut pos)? as u32;
             if dst as usize >= n_states {
                 return Err(bad("edge destination out of range"));
             }
-            let f = get_varint(bytes, &mut pos)?;
+            let f = get_varint(payload, &mut pos)?;
             edges.push((StateId(dst), f));
         }
         transitions.push(edges);
     }
-    if pos != bytes.len() {
+    if pos != payload.len() {
         return Err(bad("trailing bytes"));
+    }
+    if thread_count_of(&states) != thread_count {
+        return Err(bad("thread count mismatch"));
     }
     Tsa::from_parts(states, transitions).map_err(|e| bad(&e))
 }
@@ -203,5 +268,71 @@ mod tests {
         let tsa = sample_tsa();
         let bytes = encode(&tsa);
         assert!(bytes.len() < 80, "encoded {} bytes", bytes.len());
+    }
+
+    #[test]
+    fn every_single_bit_flip_is_rejected() {
+        let bytes = encode(&sample_tsa());
+        for off in 0..bytes.len() {
+            for bit in 0..8 {
+                let mut corrupt = bytes.clone();
+                corrupt[off] ^= 1 << bit;
+                assert!(
+                    decode(&corrupt).is_err(),
+                    "flip of bit {bit} at offset {off} decoded successfully"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn every_truncation_is_rejected() {
+        let bytes = encode(&sample_tsa());
+        for keep in 0..bytes.len() {
+            assert!(decode(&bytes[..keep]).is_err(), "truncation to {keep} decoded");
+        }
+    }
+
+    #[test]
+    fn thread_count_tamper_is_rejected() {
+        let mut bytes = encode(&sample_tsa());
+        // Offset 5 is the first thread-count varint byte — exactly what
+        // FaultPlan::corrupt_model's "thread-count" mode tampers with.
+        bytes[5] = bytes[5].wrapping_add(1);
+        let err = decode(&bytes).unwrap_err();
+        assert!(
+            err.to_string().contains("thread count")
+                || err.to_string().contains("varint")
+                || err.to_string().contains("mismatch"),
+            "unexpected error: {err}"
+        );
+    }
+
+    #[test]
+    fn version_skew_is_rejected() {
+        let mut bytes = encode(&sample_tsa());
+        bytes[4] = 1; // pretend this is a pre-checksum v1 file
+        let err = decode(&bytes).unwrap_err();
+        assert!(err.to_string().contains("version"), "unexpected error: {err}");
+    }
+
+    #[test]
+    fn fault_plan_corruption_always_fails_cleanly() {
+        use crate::faultinject::{FaultPlan, FaultSite};
+        let tsa = sample_tsa();
+        let clean = encode(&tsa);
+        let mut modes_seen = std::collections::BTreeSet::new();
+        for seed in 0..200u64 {
+            let plan = FaultPlan::parse_spec(&format!("{seed}:corrupt-model")).unwrap();
+            let mut bytes = clean.clone();
+            let mode = plan.corrupt_model(&mut bytes).expect("corrupt-model runs at 1000‰");
+            modes_seen.insert(mode);
+            assert!(decode(&bytes).is_err(), "seed {seed} mode {mode} decoded successfully");
+            assert_eq!(plan.injected(FaultSite::ModelCorrupt), 1);
+        }
+        // All three corruption classes exercised across the seed sweep.
+        assert!(modes_seen.contains("bit-flip"), "modes: {modes_seen:?}");
+        assert!(modes_seen.contains("truncate"), "modes: {modes_seen:?}");
+        assert!(modes_seen.contains("thread-count"), "modes: {modes_seen:?}");
     }
 }

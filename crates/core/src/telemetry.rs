@@ -337,6 +337,16 @@ pub enum TraceKind {
         /// triggered the regeneration.
         verdict: u8,
     },
+    /// The guidance circuit breaker changed state. Attributed to the
+    /// synthetic pair `<0,0>` like [`TraceKind::ModelSwap`].
+    Breaker {
+        /// [`crate::breaker::BreakerState::code`] left.
+        from: u8,
+        /// [`crate::breaker::BreakerState::code`] entered.
+        to: u8,
+        /// [`crate::breaker::BreakerCause::code`] of the transition.
+        cause: u8,
+    },
 }
 
 /// One tracer entry: globally sequenced, timestamped, attributed to a
@@ -389,6 +399,19 @@ pub struct Telemetry {
     trace_dropped: AtomicU64,
     /// Guided-model hot-swaps performed by the adaptive model manager.
     model_swaps: AtomicU64,
+    /// Circuit-breaker trips (Closed/Half-Open → Open).
+    breaker_trips: AtomicU64,
+    /// Circuit-breaker re-closes (Half-Open → Closed).
+    breaker_recloses: AtomicU64,
+    /// Circuit-breaker half-open probes (Open → Half-Open).
+    breaker_probes: AtomicU64,
+    /// Model files rejected by integrity checks at load.
+    breaker_model_rejected: AtomicU64,
+    /// Breaker position after the latest transition
+    /// ([`crate::breaker::BreakerState::code`]).
+    breaker_state: AtomicU64,
+    /// Adapt guardian panics caught and restarted.
+    guardian_restarts: AtomicU64,
     /// Registered model-drift tracker (cold: touched only at
     /// registration and snapshot time, never on the hot path). In
     /// adaptive mode the manager re-attaches the new epoch's tracker on
@@ -418,6 +441,12 @@ impl Telemetry {
             trace: (0..TELEMETRY_SHARDS).map(|_| TraceShard::default()).collect(),
             trace_dropped: AtomicU64::new(0),
             model_swaps: AtomicU64::new(0),
+            breaker_trips: AtomicU64::new(0),
+            breaker_recloses: AtomicU64::new(0),
+            breaker_probes: AtomicU64::new(0),
+            breaker_model_rejected: AtomicU64::new(0),
+            breaker_state: AtomicU64::new(0),
+            guardian_restarts: AtomicU64::new(0),
             drift: Mutex::new(None),
         }
     }
@@ -556,6 +585,45 @@ impl Telemetry {
         self.model_swaps.load(Ordering::Relaxed)
     }
 
+    /// Record a circuit-breaker state change (invoked by
+    /// [`crate::breaker::Breaker`], off the hot path): bumps the
+    /// matching `gstm_breaker_*` counter, tracks the position gauge, and
+    /// — when tracing is on — emits a [`TraceKind::Breaker`] event
+    /// attributed to the synthetic pair `<0,0>`.
+    pub fn record_breaker_transition(&self, from: u8, to: u8, cause: u8) {
+        use crate::ids::{ThreadId, TxnId};
+        match to {
+            1 => self.breaker_trips.fetch_add(1, Ordering::Relaxed),
+            2 => self.breaker_probes.fetch_add(1, Ordering::Relaxed),
+            _ => self.breaker_recloses.fetch_add(1, Ordering::Relaxed),
+        };
+        self.breaker_state.store(to as u64, Ordering::Relaxed);
+        self.trace(
+            Pair::new(TxnId(0), ThreadId(0)),
+            TraceKind::Breaker { from, to, cause },
+        );
+    }
+
+    /// Record a model file rejected by the integrity checks at load.
+    pub fn record_model_rejected(&self) {
+        self.breaker_model_rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record an adapt-guardian panic that was caught and restarted.
+    pub fn record_guardian_restart(&self) {
+        self.guardian_restarts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Breaker trips recorded so far.
+    pub fn breaker_trips(&self) -> u64 {
+        self.breaker_trips.load(Ordering::Relaxed)
+    }
+
+    /// Guardian restarts recorded so far.
+    pub fn guardian_restarts(&self) -> u64 {
+        self.guardian_restarts.load(Ordering::Relaxed)
+    }
+
     /// Aggregate the per-thread cells and histograms into a snapshot.
     pub fn snapshot(&self) -> TelemetrySnapshot {
         let mut snap = TelemetrySnapshot {
@@ -564,6 +632,12 @@ impl Telemetry {
             gate_wait_ns: self.gate_wait_ns.snapshot(),
             trace_dropped: self.trace_dropped(),
             model_swaps: self.model_swaps(),
+            breaker_trips: self.breaker_trips.load(Ordering::Relaxed),
+            breaker_recloses: self.breaker_recloses.load(Ordering::Relaxed),
+            breaker_probes: self.breaker_probes.load(Ordering::Relaxed),
+            breaker_model_rejected: self.breaker_model_rejected.load(Ordering::Relaxed),
+            breaker_state: self.breaker_state.load(Ordering::Relaxed) as u8,
+            guardian_restarts: self.guardian_restarts.load(Ordering::Relaxed),
             model_drift: self.drift.lock().as_ref().map(|d| d.report()),
             ..Default::default()
         };
@@ -676,6 +750,19 @@ pub struct TelemetrySnapshot {
     pub trace_dropped: u64,
     /// Guided-model hot-swaps (adaptive mode; 0 with a fixed model).
     pub model_swaps: u64,
+    /// Circuit-breaker trips (Closed/Half-Open → Open).
+    pub breaker_trips: u64,
+    /// Circuit-breaker re-closes (Half-Open → Closed).
+    pub breaker_recloses: u64,
+    /// Circuit-breaker half-open probes (Open → Half-Open).
+    pub breaker_probes: u64,
+    /// Model files rejected by integrity checks at load.
+    pub breaker_model_rejected: u64,
+    /// Breaker position after the latest transition (0 closed, 1 open,
+    /// 2 half-open).
+    pub breaker_state: u8,
+    /// Adapt-guardian panics caught and restarted.
+    pub guardian_restarts: u64,
     /// Model-drift report, when a [`DriftTracker`] is attached.
     pub model_drift: Option<ModelDrift>,
 }
@@ -720,6 +807,26 @@ impl TelemetrySnapshot {
         // and the analyzer can rely on the family existing.
         let _ = writeln!(out, "# TYPE gstm_model_swaps_total counter");
         let _ = writeln!(out, "gstm_model_swaps_total {}", self.model_swaps);
+        // Breaker/degradation families are likewise unconditional: a
+        // clean run exports explicit zeros, so "no degradation" is
+        // distinguishable from "artifacts predate the breaker".
+        let _ = writeln!(out, "# TYPE gstm_breaker_tripped_total counter");
+        let _ = writeln!(out, "gstm_breaker_tripped_total {}", self.breaker_trips);
+        let _ = writeln!(out, "# TYPE gstm_breaker_reclosed_total counter");
+        let _ = writeln!(out, "gstm_breaker_reclosed_total {}", self.breaker_recloses);
+        let _ = writeln!(out, "# TYPE gstm_breaker_half_open_total counter");
+        let _ = writeln!(out, "gstm_breaker_half_open_total {}", self.breaker_probes);
+        let _ = writeln!(out, "# TYPE gstm_breaker_model_rejected_total counter");
+        let _ = writeln!(
+            out,
+            "gstm_breaker_model_rejected_total {}",
+            self.breaker_model_rejected
+        );
+        // 0 closed, 1 open, 2 half-open.
+        let _ = writeln!(out, "# TYPE gstm_breaker_state gauge");
+        let _ = writeln!(out, "gstm_breaker_state {}", self.breaker_state);
+        let _ = writeln!(out, "# TYPE gstm_guardian_restarts_total counter");
+        let _ = writeln!(out, "gstm_guardian_restarts_total {}", self.guardian_restarts);
         let _ = writeln!(out, "# TYPE gstm_thread_commits_total counter");
         for t in &self.per_thread {
             let _ = writeln!(out, "gstm_thread_commits_total{{thread=\"{}\"}} {}", t.cell, t.commits);
@@ -882,6 +989,12 @@ pub fn export_jsonl(events: &[TraceEvent]) -> String {
             TraceKind::ModelSwap { epoch, verdict } => {
                 let _ = write!(out, ",\"kind\":\"model_swap\",\"epoch\":{epoch},\"verdict\":{verdict}");
             }
+            TraceKind::Breaker { from, to, cause } => {
+                let _ = write!(
+                    out,
+                    ",\"kind\":\"breaker\",\"from\":{from},\"to\":{to},\"cause\":{cause}"
+                );
+            }
         }
         out.push_str("}\n");
     }
@@ -960,6 +1073,11 @@ pub fn parse_jsonl(s: &str) -> Result<Vec<TraceEvent>, String> {
             "model_swap" => TraceKind::ModelSwap {
                 epoch: json_u64(line, "epoch").ok_or_else(|| err("missing epoch"))? as u32,
                 verdict: json_u64(line, "verdict").ok_or_else(|| err("missing verdict"))? as u8,
+            },
+            "breaker" => TraceKind::Breaker {
+                from: json_u64(line, "from").ok_or_else(|| err("missing from"))? as u8,
+                to: json_u64(line, "to").ok_or_else(|| err("missing to"))? as u8,
+                cause: json_u64(line, "cause").ok_or_else(|| err("missing cause"))? as u8,
             },
             _ => return Err(err("unknown kind")),
         };
@@ -1080,6 +1198,20 @@ pub fn export_chrome_trace(events: &[TraceEvent]) -> String {
                     "{{\"name\":\"model_swap:e{epoch}\",\"cat\":\"tsa\",\"ph\":\"i\",\"ts\":{},\
                      \"pid\":0,\"tid\":{TSA_TRACK_TID},\"s\":\"g\",\
                      \"args\":{{\"seq\":{},\"verdict\":{verdict}}}}}",
+                    fmt_us(ev.ts_ns),
+                    ev.seq
+                );
+            }
+            TraceKind::Breaker { from, to, cause } => {
+                // Also on the TSA track: a breaker flip changes how the
+                // state timeline is being enforced.
+                let _ = write!(
+                    e,
+                    "{{\"name\":\"breaker:{}->{}\",\"cat\":\"tsa\",\"ph\":\"i\",\"ts\":{},\
+                     \"pid\":0,\"tid\":{TSA_TRACK_TID},\"s\":\"g\",\
+                     \"args\":{{\"seq\":{},\"from\":{from},\"cause\":{cause}}}}}",
+                    crate::breaker::BreakerState::from_code(from).label(),
+                    crate::breaker::BreakerState::from_code(to).label(),
                     fmt_us(ev.ts_ns),
                     ev.seq
                 );

@@ -59,6 +59,31 @@ impl ExperimentConfig {
     }
 }
 
+/// Chaos-campaign plumbing for one experiment (the `--chaos` /
+/// `--breaker` flags): a deterministic fault plan armed during the
+/// *guided* measurement phase — profiling and the default baseline stay
+/// clean so the model is trained honestly and the comparison remains
+/// valid — and the guidance circuit breaker that degrades gating to
+/// fail-open unguided execution when the model misbehaves under fire.
+#[derive(Clone, Default)]
+pub struct Robustness {
+    /// Deterministic fault plan (`--chaos=SEED[:PLAN]`); `None` = no
+    /// injection.
+    pub faults: Option<Arc<FaultPlan>>,
+    /// Arm one circuit breaker per guided run (`--breaker`).
+    pub breaker: bool,
+}
+
+/// A measurement repetition that panicked instead of completing.
+#[derive(Clone, Debug)]
+pub struct RepFailure {
+    /// Index in the phase's attempt sequence (0-based, counting failed
+    /// and successful repetitions alike).
+    pub rep: usize,
+    /// The panic payload, rendered as a string.
+    pub cause: String,
+}
+
 /// Measurements of one execution mode (default or guided) across runs.
 #[derive(Clone, Debug, Default)]
 pub struct ModeMeasurement {
@@ -74,6 +99,10 @@ pub struct ModeMeasurement {
     /// Number of distinct thread transactional states observed across all
     /// runs — the paper's non-determinism measure.
     pub non_determinism: usize,
+    /// Repetitions that panicked. Every other vector here covers only the
+    /// successful repetitions, so a chaos campaign with casualties still
+    /// yields a well-formed (if smaller) sample.
+    pub failed: Vec<RepFailure>,
 }
 
 impl ModeMeasurement {
@@ -146,6 +175,14 @@ pub struct BenchExperiment {
     /// Guided-model hot-swaps across the guided runs (0 unless the
     /// experiment ran with [`ExperimentConfig::adaptive`]).
     pub model_swaps: u64,
+    /// Whether the round-tripped model file was rejected at load (the
+    /// chaos corrupt-model site fired and the integrity header caught
+    /// it), starting the guided phase fail-open.
+    pub model_rejected: bool,
+    /// Breaker trips (Closed/Half-Open → Open) summed over guided runs.
+    pub breaker_trips: u64,
+    /// Breaker re-closes (Half-Open → Closed) summed over guided runs.
+    pub breaker_recloses: u64,
 }
 
 impl BenchExperiment {
@@ -200,11 +237,21 @@ fn stm_config(cfg: &ExperimentConfig) -> StmConfig {
 /// and `telemetry_for_run` the (optional) telemetry collector for each
 /// run — a constant closure shares one instance across runs; per-run
 /// instances give each run its own artifacts.
+/// Render a `catch_unwind` payload for the failures record.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    payload
+        .downcast_ref::<&'static str>()
+        .map(|s| s.to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "opaque panic payload".into())
+}
+
 fn measure<H: GuidanceHook + 'static>(
     bench: &dyn Benchmark,
     cfg: &ExperimentConfig,
     runs: usize,
     size: InputSize,
+    faults: Option<Arc<FaultPlan>>,
     hook_for_run: impl Fn(usize) -> Arc<H>,
     telemetry_for_run: impl Fn(usize) -> Option<Arc<Telemetry>>,
     take_run: impl Fn(&H) -> Vec<StateKey>,
@@ -214,16 +261,41 @@ fn measure<H: GuidanceHook + 'static>(
         ..Default::default()
     };
     let mut recorded = Vec::new();
-    for run in 0..runs {
-        let hook = hook_for_run(run);
-        let stm = Stm::with_telemetry(hook.clone(), stm_config(cfg), telemetry_for_run(run));
+    // Successful repetitions take consecutive indices regardless of
+    // earlier casualties, so per-run hooks/collectors (and the run0,
+    // run1, ... artifact files built from them) never have holes.
+    let mut ok = 0usize;
+    for rep in 0..runs {
+        let hook = hook_for_run(ok);
+        let stm = Stm::with_robustness(
+            hook.clone(),
+            stm_config(cfg),
+            telemetry_for_run(ok),
+            faults.clone(),
+        );
         let run_cfg = RunConfig {
             threads: cfg.threads,
             size,
             // Identical input every run: variation comes from scheduling.
             seed: cfg.seed,
         };
-        let result = bench.run(&stm, &run_cfg);
+        let result = match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            bench.run(&stm, &run_cfg)
+        })) {
+            Ok(r) => r,
+            Err(payload) => {
+                // Campaign resilience: one poisoned repetition must not
+                // void the rest. Record it with its cause and drain the
+                // hook so a partial state sequence cannot leak into the
+                // next repetition's non-determinism accounting.
+                let _ = take_run(&hook);
+                m.failed.push(RepFailure {
+                    rep,
+                    cause: panic_message(payload.as_ref()),
+                });
+                continue;
+            }
+        };
         m.per_thread_times.push(result.per_thread_secs.clone());
         m.wall_secs.push(result.wall_secs);
         let mut run_hists = vec![AbortHistogram::new(); cfg.threads as usize];
@@ -233,6 +305,7 @@ fn measure<H: GuidanceHook + 'static>(
         }
         m.per_run_hists.push(run_hists);
         recorded.push(take_run(&hook));
+        ok += 1;
     }
     m.non_determinism = metrics::non_determinism(&recorded);
     (m, recorded)
@@ -251,6 +324,7 @@ pub fn train_model(bench: &dyn Benchmark, cfg: &ExperimentConfig) -> GuidedModel
         &profile_cfg,
         cfg.profile_runs,
         cfg.train_size,
+        None,
         |_| recorder.clone(),
         |_| None,
         |h| h.take_run(),
@@ -292,6 +366,23 @@ pub fn run_experiment_observed(
     cfg: &ExperimentConfig,
     telemetry_for_run: impl Fn(usize) -> Option<Arc<Telemetry>>,
 ) -> BenchExperiment {
+    run_experiment_chaos(bench, cfg, telemetry_for_run, &Robustness::default())
+}
+
+/// [`run_experiment_observed`] under a chaos campaign: the fault plan is
+/// armed for the guided measurement phase (the trained model and the
+/// default baseline stay clean), the model is round-tripped through its
+/// on-disk encoding with the corrupt-model site given a shot at the
+/// bytes, and — when requested or when the model file was rejected —
+/// every guided run gates through its own circuit breaker, attached to
+/// that run's telemetry collector so each exported snapshot carries its
+/// own trip/re-close history.
+pub fn run_experiment_chaos(
+    bench: &dyn Benchmark,
+    cfg: &ExperimentConfig,
+    telemetry_for_run: impl Fn(usize) -> Option<Arc<Telemetry>>,
+    robust: &Robustness,
+) -> BenchExperiment {
     // ---- Phase 1: profile (the artifact's `mcmc_data` option) ----
     // `profile_threads` lets the model be trained at a different thread
     // count than it is asked to guide — the canonical way to hand the
@@ -306,6 +397,7 @@ pub fn run_experiment_observed(
         &profile_cfg,
         cfg.profile_runs,
         cfg.train_size,
+        None,
         |_| recorder.clone(),
         |_| None,
         |h| h.take_run(),
@@ -314,7 +406,22 @@ pub fn run_experiment_observed(
     // ---- Phase 2: model generation + analysis ----
     let tsa = Tsa::from_runs(&train_runs);
     let model_states = tsa.num_states();
-    let model_bytes = gstm_core::model_io::encode(&tsa).len();
+    // Round-trip the model through its on-disk encoding exactly as a
+    // load from disk would see it, letting the chaos plan's corrupt-model
+    // site tamper with the bytes in between. The integrity header must
+    // then reject the file at decode; the campaign proceeds on the
+    // in-memory model with every guided run's breaker pre-tripped
+    // (fail-open), which half-open probes can later re-close — the
+    // degradation ladder, never a panic.
+    let mut encoded = gstm_core::model_io::encode(&tsa);
+    let model_bytes = encoded.len();
+    let mut model_rejected = false;
+    if let Some(mode) = robust.faults.as_ref().and_then(|f| f.corrupt_model(&mut encoded)) {
+        if gstm_core::model_io::decode(&encoded).is_err() {
+            eprintln!("[harness] model file rejected at load (chaos corruption: {mode})");
+            model_rejected = true;
+        }
+    }
     let model = Arc::new(GuidedModel::build(tsa, &cfg.guidance));
     let analyzer_report = analyzer::analyze_with(&model, &cfg.guidance);
 
@@ -328,6 +435,7 @@ pub fn run_experiment_observed(
         cfg,
         cfg.measure_runs,
         cfg.test_size,
+        None,
         |_| default_rec.clone(),
         |_| None,
         |h| h.take_run(),
@@ -346,24 +454,45 @@ pub fn run_experiment_observed(
     // every swap).
     let drift = (cfg.adaptive.is_none() && tels.iter().any(Option::is_some))
         .then(|| Arc::new(DriftTracker::new(&model)));
+    // One breaker per guided run (paired with that run's collector). A
+    // model-file rejection arms breakers even without `--breaker` and
+    // trips each one before its run starts: the run opens fail-open and
+    // re-admits guidance only via half-open probes.
+    let breakers: Vec<Option<Arc<Breaker>>> = tels
+        .iter()
+        .map(|tel| {
+            (robust.breaker || model_rejected).then(|| {
+                let b = Arc::new(Breaker::new(BreakerConfig::default(), tel.clone()));
+                if model_rejected {
+                    b.reject_model();
+                }
+                b
+            })
+        })
+        .collect();
     let guided_hooks: Vec<Arc<GuidedHook>> = tels
         .iter()
-        .map(|tel| match cfg.adaptive {
-            Some(window) => GuidedHook::adaptive(
+        .zip(&breakers)
+        .map(|(tel, breaker)| match cfg.adaptive {
+            Some(window) => GuidedHook::adaptive_with_robustness(
                 model.clone(),
                 cfg.guidance,
                 AdaptConfig::with_window(window),
                 tel.clone(),
+                breaker.clone(),
+                robust.faults.clone(),
             ),
             None => {
                 if let (Some(t), Some(d)) = (tel, &drift) {
                     t.attach_drift(d.clone());
                 }
-                Arc::new(GuidedHook::with_observability(
+                Arc::new(GuidedHook::with_robustness(
                     model.clone(),
                     cfg.guidance,
                     tel.clone(),
                     drift.clone(),
+                    breaker.clone(),
+                    robust.faults.clone(),
                 ))
             }
         })
@@ -373,6 +502,7 @@ pub fn run_experiment_observed(
         cfg,
         cfg.measure_runs,
         cfg.test_size,
+        robust.faults.clone(),
         |r| guided_hooks[r].clone(),
         |r| tels[r].clone(),
         |h| h.take_run(),
@@ -388,6 +518,11 @@ pub fn run_experiment_observed(
             model_swaps += mgr.swaps();
         }
     }
+    let (mut breaker_trips, mut breaker_recloses) = (0u64, 0u64);
+    for b in breakers.iter().flatten() {
+        breaker_trips += b.trips();
+        breaker_recloses += b.recloses();
+    }
 
     BenchExperiment {
         name: bench.name(),
@@ -399,6 +534,9 @@ pub fn run_experiment_observed(
         guided_m,
         gate,
         model_swaps,
+        model_rejected,
+        breaker_trips,
+        breaker_recloses,
     }
 }
 
@@ -631,6 +769,104 @@ mod tests {
             narrow.num_states(),
             wide.num_states()
         );
+    }
+
+    #[test]
+    fn chaos_campaign_rejects_model_and_completes_fail_open() {
+        // corrupt-model fires at permille 1000: the round-tripped model
+        // file must be rejected at load, every guided run's breaker
+        // starts tripped (fail-open), forced aborts ride the ordinary
+        // rollback path, and the campaign still completes with a
+        // well-formed experiment.
+        let bench = by_name("kmeans").unwrap();
+        let faults =
+            Arc::new(FaultPlan::parse_spec("42:forced-aborts+corrupt-model").unwrap());
+        let robust = Robustness {
+            faults: Some(faults.clone()),
+            breaker: true,
+        };
+        let cfg = tiny_cfg(2);
+        let e = run_experiment_chaos(&*bench, &cfg, |_| None, &robust);
+        assert!(e.model_rejected, "corruption at permille 1000 must reject");
+        assert_eq!(faults.injected(FaultSite::ModelCorrupt), 1);
+        assert!(
+            faults.injected(FaultSite::Tl2Abort) > 0,
+            "forced aborts fired during the guided phase"
+        );
+        assert!(
+            e.breaker_trips >= cfg.measure_runs as u64,
+            "each guided run's breaker starts tripped on model rejection"
+        );
+        assert_eq!(
+            e.guided_m.per_thread_times.len() + e.guided_m.failed.len(),
+            cfg.measure_runs
+        );
+        assert!(e.default_m.failed.is_empty(), "baseline runs clean");
+    }
+
+    #[test]
+    fn breaker_without_faults_stays_closed() {
+        // A clean campaign with the breaker armed must behave exactly
+        // like an unarmed one: no trips, full-size samples.
+        let bench = by_name("kmeans").unwrap();
+        let robust = Robustness {
+            faults: None,
+            breaker: true,
+        };
+        let e = run_experiment_chaos(&*bench, &tiny_cfg(2), |_| None, &robust);
+        assert!(!e.model_rejected);
+        assert_eq!(e.breaker_trips, 0, "no faults, no trips");
+        assert_eq!(e.guided_m.per_thread_times.len(), 3);
+        assert!(e.guided_m.failed.is_empty());
+    }
+
+    /// Wraps a real benchmark and panics on chosen global call indices —
+    /// the campaign-resilience fixture.
+    struct Flaky {
+        inner: Arc<dyn Benchmark>,
+        calls: std::sync::atomic::AtomicUsize,
+        panic_on: Vec<usize>,
+    }
+
+    impl Benchmark for Flaky {
+        fn name(&self) -> &'static str {
+            self.inner.name()
+        }
+        fn num_txn_sites(&self) -> u16 {
+            self.inner.num_txn_sites()
+        }
+        fn run(&self, stm: &Arc<Stm>, cfg: &RunConfig) -> gstm_stamp::BenchResult {
+            let n = self
+                .calls
+                .fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+            assert!(!self.panic_on.contains(&n), "synthetic rep failure");
+            self.inner.run(stm, cfg)
+        }
+    }
+
+    #[test]
+    fn panicking_rep_is_recorded_and_campaign_continues() {
+        // tiny_cfg call layout: profile reps are calls 0-1, default reps
+        // 2-4, guided reps 5-7. Kill guided rep 1 (call 6): the campaign
+        // must finish with 2 successful guided reps and one recorded
+        // casualty carrying the panic message.
+        let flaky = Flaky {
+            inner: by_name("kmeans").unwrap(),
+            calls: std::sync::atomic::AtomicUsize::new(0),
+            panic_on: vec![6],
+        };
+        let e = run_experiment(&flaky, &tiny_cfg(2));
+        assert!(e.default_m.failed.is_empty());
+        assert_eq!(e.guided_m.failed.len(), 1);
+        assert_eq!(e.guided_m.failed[0].rep, 1);
+        assert!(
+            e.guided_m.failed[0].cause.contains("synthetic rep failure"),
+            "cause must carry the panic message, got {:?}",
+            e.guided_m.failed[0].cause
+        );
+        assert_eq!(e.guided_m.per_thread_times.len(), 2);
+        assert_eq!(e.guided_m.per_run_hists.len(), 2);
+        assert_eq!(e.guided_m.wall_secs.len(), 2);
     }
 
     #[test]

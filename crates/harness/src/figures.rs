@@ -248,6 +248,9 @@ mod tests {
             ),
             gate: GateStats::default(),
             model_swaps: 0,
+            model_rejected: false,
+            breaker_trips: 0,
+            breaker_recloses: 0,
         }
     }
 

@@ -34,11 +34,23 @@
 //!   --profile-threads N profile at N threads instead of the measurement
 //!                       width (deliberately mismatching trains a stale
 //!                       model — the adaptation demo scenario)
+//!   --chaos SEED[:PLAN] arm a deterministic fault plan for the guided
+//!                       phase. PLAN is `+`-separated site/alias tokens,
+//!                       each optionally `@permille[xbudget]`; aliases:
+//!                       forced-aborts commit-delays gate-stalls storms
+//!                       corrupt-model guardian-panic all (default:
+//!                       forced-aborts). The same SEED:PLAN replays a
+//!                       bit-identical fault schedule.
+//!   --breaker           gate every guided run through its own guidance
+//!                       circuit breaker: trips to fail-open unguided
+//!                       execution on released-rate / off-model /
+//!                       starvation bounds, re-admits via half-open
+//!                       probes after cooldown
 //! ```
 
-use gstm_core::{GuidanceConfig, Telemetry};
+use gstm_core::{FaultPlan, GuidanceConfig, Telemetry};
 use gstm_harness::experiment::{
-    run_experiment, run_experiment_observed, BenchExperiment, ExperimentConfig,
+    run_experiment_chaos, BenchExperiment, ExperimentConfig, Robustness,
 };
 use gstm_harness::game::{run_game_experiment, GameExperiment, GameExperimentConfig};
 use gstm_harness::report::{self, Table};
@@ -81,6 +93,11 @@ struct Options {
     adaptive: Option<usize>,
     /// Profile-phase thread count override.
     profile_threads: Option<u16>,
+    /// `--chaos=SEED[:PLAN]` spec for the deterministic fault plan armed
+    /// during the guided phase; `None` = no injection.
+    chaos: Option<String>,
+    /// Gate every guided run through its own circuit breaker.
+    breaker: bool,
 }
 
 fn parse_size(s: &str) -> InputSize {
@@ -114,6 +131,8 @@ fn parse_args() -> Options {
         telemetry: None,
         adaptive: None,
         profile_threads: None,
+        chaos: None,
+        breaker: false,
     };
     let next = |args: &mut dyn Iterator<Item = String>, flag: &str| -> String {
         args.next().unwrap_or_else(|| {
@@ -169,6 +188,11 @@ fn parse_args() -> Options {
                 opts.adaptive =
                     Some(s["--adaptive=".len()..].parse().expect("bad adaptive window"));
             }
+            "--chaos" => opts.chaos = Some(next(&mut args, "--chaos")),
+            s if s.starts_with("--chaos=") => {
+                opts.chaos = Some(s["--chaos=".len()..].to_string());
+            }
+            "--breaker" => opts.breaker = true,
             "--profile-threads" => {
                 opts.profile_threads = Some(
                     next(&mut args, "--profile-threads")
@@ -204,7 +228,7 @@ fn print_help() {
          options: --threads A,B --runs N --profile-runs N --bench a,b\n\
          \x20        --size s --train-size s --players N --frames N\n\
          \x20        --tfactor F --seed X --out DIR --no-csv --telemetry[=DIR]\n\
-         \x20        --adaptive[=W] --profile-threads N"
+         \x20        --adaptive[=W] --profile-threads N --chaos SEED[:PLAN] --breaker"
     );
 }
 
@@ -212,14 +236,31 @@ fn print_help() {
 /// invocation.
 struct Campaign {
     opts: Options,
+    /// Chaos plumbing parsed once from `--chaos`/`--breaker`; one shared
+    /// fault plan so injection counters accumulate across the campaign.
+    robust: Robustness,
     stamp: HashMap<u16, Vec<BenchExperiment>>,
     games: Vec<GameExperiment>,
 }
 
 impl Campaign {
     fn new(opts: Options) -> Self {
+        let faults = opts.chaos.as_deref().map(|spec| {
+            match FaultPlan::parse_spec(spec) {
+                Ok(plan) => Arc::new(plan),
+                Err(e) => {
+                    eprintln!("bad --chaos spec: {e}");
+                    std::process::exit(2);
+                }
+            }
+        });
+        let robust = Robustness {
+            faults,
+            breaker: opts.breaker,
+        };
         Campaign {
             opts,
+            robust,
             stamp: HashMap::new(),
             games: Vec::new(),
         }
@@ -268,11 +309,22 @@ impl Campaign {
                     let tels: Vec<Arc<Telemetry>> = (0..cfg.measure_runs)
                         .map(|_| Arc::new(Telemetry::with_trace_capacity(TRACE_CAP_PER_THREAD)))
                         .collect();
-                    let e = run_experiment_observed(&*bench, &cfg, |r| tels.get(r).cloned());
+                    let e = run_experiment_chaos(
+                        &*bench,
+                        &cfg,
+                        |r| tels.get(r).cloned(),
+                        &self.robust,
+                    );
                     // Each run's snapshot must agree with the harness's
                     // own accounting for that run; a divergence means an
                     // instrumentation hole, so say so loudly.
-                    for (r, tel) in tels.iter().enumerate() {
+                    // Panicked guided reps leave their collectors unused,
+                    // so only the first `per_run_hists.len()` telemetry
+                    // slots correspond to recorded runs (failed reps are
+                    // compacted out by the experiment driver).
+                    for (r, tel) in
+                        tels.iter().take(e.guided_m.per_run_hists.len()).enumerate()
+                    {
                         let snap = tel.snapshot();
                         let hists = &e.guided_m.per_run_hists[r];
                         let hc: u64 = hists.iter().map(|h| h.total_commits()).sum();
@@ -318,13 +370,31 @@ impl Campaign {
                     }
                     e
                 } else {
-                    run_experiment(&*bench, &cfg)
+                    run_experiment_chaos(&*bench, &cfg, |_| None, &self.robust)
                 };
                 if self.opts.adaptive.is_some() {
                     eprintln!(
                         "[gstm-repro] {} @ {threads}t: {} model swap(s) during guided runs",
                         bench.name(),
                         exp.model_swaps
+                    );
+                }
+                if self.robust.faults.is_some() || self.robust.breaker {
+                    let failed =
+                        exp.default_m.failed.len() + exp.guided_m.failed.len();
+                    eprintln!(
+                        "[gstm-repro] {} @ {threads}t degradation: {} breaker trip(s), \
+                         {} re-close(s), model rejected: {}, failed rep(s): {}{}",
+                        bench.name(),
+                        exp.breaker_trips,
+                        exp.breaker_recloses,
+                        exp.model_rejected,
+                        failed,
+                        self.robust
+                            .faults
+                            .as_ref()
+                            .map(|f| format!(", {} fault(s) injected so far", f.injected_total()))
+                            .unwrap_or_default(),
                     );
                 }
                 exps.push(exp);

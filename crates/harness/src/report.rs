@@ -165,7 +165,20 @@ pub fn save_run_metrics(
     std::fs::write(&runs_path, runs.to_csv())?;
     let summary_path = dir.join(format!("{stem}_guided_summary.csv"));
     std::fs::write(&summary_path, summary.to_csv())?;
-    Ok(vec![runs_path, summary_path])
+    // Campaign casualties (always written — an empty table means every
+    // repetition completed, a missing file means a pre-chaos artifact
+    // dir). One row per panicked repetition with its phase and cause;
+    // `gstm-analyze` folds these into the degradation section of the
+    // verdict.
+    let mut failures = Table::new("failures", &["phase", "rep", "cause"]);
+    for (phase, m) in [("default", &exp.default_m), ("guided", &exp.guided_m)] {
+        for f in &m.failed {
+            failures.row(vec![phase.into(), f.rep.to_string(), f.cause.clone()]);
+        }
+    }
+    let failures_path = dir.join(format!("{stem}_failures.csv"));
+    std::fs::write(&failures_path, failures.to_csv())?;
+    Ok(vec![runs_path, summary_path, failures_path])
 }
 
 /// Format a float with 1 decimal.

@@ -196,6 +196,9 @@ mod tests {
             guided_m: Default::default(),
             gate: GateStats::default(),
             model_swaps: 0,
+            model_rejected: false,
+            breaker_trips: 0,
+            breaker_recloses: 0,
         }
     }
 

@@ -1,8 +1,10 @@
 //! The LibTM runtime: detection/resolution configuration, doomed-flag
 //! table for abort-readers, and the retry loop wired to the guidance hook.
 
-use crate::txn::{LtResult, LtTxn};
+use crate::txn::{LtAbort, LtResult, LtTxn};
 use crate::MAX_THREADS;
+use gstm_core::events::AbortCause;
+use gstm_core::faultinject::{spin_for, FaultPlan, FaultSite};
 use gstm_core::telemetry::{Telemetry, TraceKind};
 use gstm_core::{GuidanceHook, NoopHook, Pair, ThreadId, TxnId};
 use gstm_core::ThreadStats;
@@ -70,6 +72,9 @@ pub struct LibTm {
     /// Optional runtime telemetry; `None` keeps the hot path to a single
     /// branch per instrumentation site.
     pub(crate) telemetry: Option<Arc<Telemetry>>,
+    /// Optional deterministic fault plan (chaos mode): the retry loop
+    /// probes the libtm forced-abort and commit-delay sites.
+    pub(crate) faults: Option<Arc<FaultPlan>>,
 }
 
 thread_local! {
@@ -95,6 +100,19 @@ impl LibTm {
         config: LibTmConfig,
         telemetry: Option<Arc<Telemetry>>,
     ) -> Arc<Self> {
+        Self::with_robustness(hook, config, telemetry, None)
+    }
+
+    /// [`LibTm::with_telemetry`] plus a deterministic fault plan: each
+    /// attempt probes the `libtm-abort` site (forced abort through the
+    /// ordinary rollback path, surfaced as [`AbortCause::Explicit`]) and
+    /// the `libtm-commit-delay` site (a bounded spin before commit).
+    pub fn with_robustness(
+        hook: Arc<dyn GuidanceHook>,
+        config: LibTmConfig,
+        telemetry: Option<Arc<Telemetry>>,
+        faults: Option<Arc<FaultPlan>>,
+    ) -> Arc<Self> {
         Arc::new(LibTm {
             config,
             hook,
@@ -103,6 +121,7 @@ impl LibTm {
             total_commits: AtomicU64::new(0),
             total_aborts: AtomicU64::new(0),
             telemetry,
+            faults,
         })
     }
 
@@ -276,7 +295,25 @@ impl LtThreadCtx {
             let mut writes = 0u32;
             let outcome = match body {
                 Err(a) => Err(a),
+                // Chaos sites between a successful body and the commit —
+                // see gstm-tl2's equivalent. The forced abort rides the
+                // ordinary rollback path (locks released, readers
+                // deregistered by the transaction's drop).
+                Ok(_)
+                    if self.tm.faults.as_ref().is_some_and(|f| {
+                        f.should_fire(FaultSite::LibtmAbort, self.thread.index()).is_some()
+                    }) =>
+                {
+                    Err(LtAbort { cause: AbortCause::Explicit })
+                }
                 Ok(r) => {
+                    if let Some(f) = &self.tm.faults {
+                        if let Some(fault) =
+                            f.should_fire(FaultSite::LibtmCommitDelay, self.thread.index())
+                        {
+                            spin_for(fault.spins);
+                        }
+                    }
                     if let Some(t) = &tel {
                         writes = tx.write_set_size() as u32;
                         let c0 = t.now_ns();

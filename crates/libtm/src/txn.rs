@@ -192,6 +192,9 @@ impl<'tm> LtTxn<'tm> {
         self.check_doomed()?;
         self.tm.maybe_yield();
         if let Some(i) = self.write_index(obj.inner.key()) {
+            // Invariant, not a recoverable error: keys are allocation
+            // addresses kept alive by the entry's TObject clone, so a
+            // same-key entry is the same allocation and the same T.
             let e = self.write_set[i]
                 .as_any()
                 .downcast_ref::<TypedWrite<T>>()
@@ -242,6 +245,7 @@ impl<'tm> LtTxn<'tm> {
         self.tm.maybe_yield();
         let key = obj.inner.key();
         if let Some(i) = self.write_index(key) {
+            // Same invariant as the read-own-write path above.
             let e = self.write_set[i]
                 .as_any_mut()
                 .downcast_mut::<TypedWrite<T>>()

@@ -70,9 +70,12 @@ mod tests {
                 (0..1000).map(|_| c.advance()).collect::<Vec<u64>>()
             }));
         }
+        // Re-raise a worker panic with its original payload instead of
+        // unwrapping the JoinHandle (which would swallow the assertion
+        // message inside a Box<dyn Any>).
         let mut all: Vec<u64> = handles
             .into_iter()
-            .flat_map(|h| h.join().unwrap())
+            .flat_map(|h| h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)))
             .collect();
         all.sort_unstable();
         all.dedup();

@@ -2,7 +2,9 @@
 //! `atomically` retry loop that wires transactions to the guidance hook.
 
 use crate::clock;
-use crate::txn::{Txn, TxResult};
+use crate::txn::{Abort, Txn, TxResult};
+use gstm_core::events::AbortCause;
+use gstm_core::faultinject::{spin_for, FaultPlan, FaultSite};
 use gstm_core::telemetry::{Telemetry, TraceKind};
 use gstm_core::ThreadStats;
 use gstm_core::{GuidanceHook, NoopHook, Pair, ThreadId, TxnId};
@@ -76,6 +78,10 @@ pub struct Stm {
     /// instrumentation point in `atomically` to a single predictable
     /// branch — no timestamps are read and no counters are touched.
     pub(crate) telemetry: Option<Arc<Telemetry>>,
+    /// Optional deterministic fault plan (chaos mode): the retry loop
+    /// probes the forced-abort and commit-delay sites. `None` keeps the
+    /// clean path at one predictable branch per site, like `telemetry`.
+    pub(crate) faults: Option<Arc<FaultPlan>>,
     next_thread: AtomicU16,
     total_commits: AtomicU64,
     total_aborts: AtomicU64,
@@ -101,10 +107,25 @@ impl Stm {
         config: StmConfig,
         telemetry: Option<Arc<Telemetry>>,
     ) -> Arc<Self> {
+        Self::with_robustness(hook, config, telemetry, None)
+    }
+
+    /// [`Stm::with_telemetry`] plus a deterministic fault plan: each
+    /// attempt probes the `tl2-abort` site (forced abort through the
+    /// ordinary rollback path, surfaced as [`AbortCause::Explicit`]) and
+    /// the `tl2-commit-delay` site (a bounded spin while the write set is
+    /// buffered, emulating a descheduled committer).
+    pub fn with_robustness(
+        hook: Arc<dyn GuidanceHook>,
+        config: StmConfig,
+        telemetry: Option<Arc<Telemetry>>,
+        faults: Option<Arc<FaultPlan>>,
+    ) -> Arc<Self> {
         Arc::new(Stm {
             hook,
             config,
             telemetry,
+            faults,
             next_thread: AtomicU16::new(0),
             total_commits: AtomicU64::new(0),
             total_aborts: AtomicU64::new(0),
@@ -258,7 +279,24 @@ impl ThreadCtx {
             let mut writes = 0u32;
             let outcome = match body {
                 Err(a) => Err(a),
+                // Chaos sites, probed between a successful body and the
+                // commit: a forced abort takes the ordinary rollback path
+                // (write set discarded, hook notified, stats counted) as
+                // AbortCause::Explicit; a commit delay stalls the
+                // committer while its locks/validation window is widest.
+                Ok(_)
+                    if self.stm.faults.as_ref().is_some_and(|f| {
+                        f.should_fire(FaultSite::Tl2Abort, self.thread.index()).is_some()
+                    }) =>
+                {
+                    Err(Abort { cause: AbortCause::Explicit })
+                }
                 Ok(r) => {
+                    if let Some(f) = &self.stm.faults {
+                        if let Some(fault) = f.should_fire(FaultSite::Tl2CommitDelay, self.thread.index()) {
+                            spin_for(fault.spins);
+                        }
+                    }
                     if let Some(t) = &tel {
                         writes = tx.write_set_size() as u32;
                         let c0 = t.now_ns();

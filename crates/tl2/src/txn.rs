@@ -186,6 +186,11 @@ impl<'stm> Txn<'stm> {
         self.n_reads += 1;
         self.maybe_yield();
         if let Some(i) = self.write_index(tvar.key()) {
+            // Invariant, not a recoverable error: keys are allocation
+            // addresses and every entry keeps its TVar's Arc alive, so a
+            // same-key entry is the same allocation and thus the same T.
+            // A failed downcast means heap corruption; retrying the
+            // transaction could not fix it.
             let entry = self.write_set[i]
                 .as_any()
                 .downcast_ref::<TypedWrite<T>>()
@@ -269,6 +274,8 @@ impl<'stm> Txn<'stm> {
             })?;
         }
         if let Some(i) = self.write_index(tvar.key()) {
+            // Same invariant as the read-own-write path: a matching key
+            // proves this is the same live allocation, hence the same T.
             let entry = self.write_set[i]
                 .as_any_mut()
                 .downcast_mut::<TypedWrite<T>>()

@@ -1,0 +1,284 @@
+//! Chaos replay determinism: the fault-injection runtime must be a pure
+//! function of `(seed, interleaving)`.
+//!
+//! The same seeded interleaver as `schedule_replay` drives N *logical*
+//! threads through the gate/abort/commit protocol on one OS thread, but
+//! with a logging [`FaultPlan`] armed: gate stalls and transition storms
+//! fire inside the guided hook, and a small circuit breaker watches the
+//! gate stream. Because both the interleaving and every fault draw are
+//! pure functions of the seed, two replays of a seed must agree
+//! bit-for-bit on:
+//!
+//! * the **fault schedule** — the full `FaultRecord` log (site, slot,
+//!   probe ordinal, entropy), not just fire counts;
+//! * the **recorded Tseq** and the gate-outcome partition
+//!   (passed + waited + released = gate calls, fail-open bypasses
+//!   included);
+//! * the **breaker trajectory** — trips, half-open probes, re-closes,
+//!   and final state.
+//!
+//! A second suite replays the real TL2 backend single-threaded under
+//! forced aborts + commit delays and demands the same bit-identical
+//! schedule, plus untouched transactional semantics (the counter ends at
+//! exactly the committed count).
+
+use gstm_core::faultinject::{FaultRecord, FaultSite};
+use gstm_core::prelude::*;
+use gstm_tl2::{Stm, StmConfig, TVar};
+use std::sync::Arc;
+
+// ---------------------------------------------------------------------------
+// Seeded PRNG (splitmix64) — same interleaver as schedule_replay
+// ---------------------------------------------------------------------------
+
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed)
+    }
+
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fixtures
+// ---------------------------------------------------------------------------
+
+const THREADS: u16 = 4;
+const TXNS: u16 = 3;
+const STEPS: usize = 480;
+
+fn p(txn: u16, thread: u16) -> Pair {
+    Pair::new(TxnId(txn), ThreadId(thread))
+}
+
+fn replay_config() -> GuidanceConfig {
+    // Single OS thread: a disallowed pair can only be released by
+    // exhausting its retries, so keep the spin budget small.
+    GuidanceConfig { k_retries: 2, wait_spins: 4, ..GuidanceConfig::default() }
+}
+
+/// Deterministic training sequence over the replay's pair alphabet.
+fn seed_model(cfg: &GuidanceConfig) -> Arc<GuidedModel> {
+    let mut rng = Rng::new(0xfeed);
+    let run: Vec<StateKey> = (0..96)
+        .map(|_| {
+            let commit = p(rng.below(TXNS as u64) as u16, rng.below(THREADS as u64) as u16);
+            if rng.below(3) == 0 {
+                let abort =
+                    p(rng.below(TXNS as u64) as u16, rng.below(THREADS as u64) as u16);
+                StateKey::new(vec![abort], commit)
+            } else {
+                StateKey::solo(commit)
+            }
+        })
+        .collect();
+    Arc::new(GuidedModel::build(Tsa::from_runs(&[run]), cfg))
+}
+
+/// A breaker tight enough to walk the whole ladder inside one replay:
+/// the scripted abort storm in the first phase crosses `max_abort_pct`,
+/// the calm second phase lets the half-open probe re-close. Released-rate
+/// and starvation bounds are parked high so the trip cause is the
+/// scripted one.
+fn small_breaker() -> BreakerConfig {
+    BreakerConfig {
+        window: 24,
+        max_released_pct: 95.0,
+        max_abort_pct: 30.0,
+        starvation_releases: 64,
+        cooldown: 16,
+        probe_window: 12,
+        ..BreakerConfig::default()
+    }
+}
+
+/// Everything one chaos replay produces that a re-run with the same seed
+/// must reproduce exactly.
+#[derive(Debug, PartialEq)]
+struct ChaosOutcome {
+    fault_log: Vec<FaultRecord>,
+    stalls: u64,
+    storms: u64,
+    tseq: Vec<StateKey>,
+    passed: u64,
+    waited: u64,
+    released: u64,
+    trips: u64,
+    probes: u64,
+    recloses: u64,
+    final_state: &'static str,
+}
+
+/// Drive one seeded interleaving through a guided hook with gate stalls
+/// and transition storms armed and a breaker watching the gate/abort
+/// stream. The script aborts half its attempts in the first third of the
+/// run (an abort storm that trips the breaker) and one in eight
+/// afterwards (a healthy tail the half-open probe can re-admit).
+fn replay(model: &Arc<GuidedModel>, seed: u64) -> ChaosOutcome {
+    let spec = format!("{seed}:gate-stalls@250+storms@250");
+    let plan = Arc::new(FaultPlan::parse_spec(&spec).unwrap().with_log());
+    let breaker = Arc::new(Breaker::new(small_breaker(), None));
+    let hook = GuidedHook::with_robustness(
+        model.clone(),
+        replay_config(),
+        None,
+        None,
+        Some(breaker.clone()),
+        Some(plan.clone()),
+    );
+
+    let mut rng = Rng::new(seed.wrapping_mul(0x9e37_79b9).wrapping_add(1));
+    let mut in_txn = [false; THREADS as usize];
+    let mut txn_ctr = [0u64; THREADS as usize];
+    let mut gate_calls = 0u64;
+
+    for step in 0..STEPS {
+        let t = rng.below(THREADS as u64) as usize;
+        let who = p((txn_ctr[t] % TXNS as u64) as u16, t as u16);
+        // One abort draw per step regardless of phase, so the schedule
+        // prefix is shared between the stormy and calm phases.
+        let roll = rng.below(8);
+        let abort = if step < STEPS / 3 { roll < 4 } else { roll < 1 };
+        if !in_txn[t] {
+            hook.gate(who);
+            gate_calls += 1;
+            in_txn[t] = true;
+        } else if abort {
+            hook.on_abort(who, AbortCause::Validation);
+            in_txn[t] = false;
+        } else {
+            hook.on_commit(who);
+            txn_ctr[t] += 1;
+            in_txn[t] = false;
+        }
+    }
+
+    let stats = hook.stats();
+    assert_eq!(
+        stats.passed + stats.waited + stats.released,
+        gate_calls,
+        "seed {seed}: gate outcomes (fail-open bypasses included) must \
+         partition the {gate_calls} gate calls: {stats:?}"
+    );
+    let log = plan.log();
+    assert_eq!(
+        log.len() as u64,
+        plan.injected_total(),
+        "seed {seed}: every injected fault must be logged"
+    );
+    ChaosOutcome {
+        stalls: plan.injected(FaultSite::GateStall),
+        storms: plan.injected(FaultSite::TransitionStorm),
+        fault_log: log,
+        tseq: hook.take_run(),
+        passed: stats.passed,
+        waited: stats.waited,
+        released: stats.released,
+        trips: breaker.trips(),
+        probes: breaker.probes(),
+        recloses: breaker.recloses(),
+        final_state: breaker.state().label(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Guided-hook chaos replays
+// ---------------------------------------------------------------------------
+
+/// 500 seeded chaos replays, each run twice: the fault schedule, Tseq,
+/// gate partition, and breaker trajectory are bit-identical across the
+/// replays of every seed.
+#[test]
+fn five_hundred_chaos_replays_are_bit_identical() {
+    let model = seed_model(&replay_config());
+    let mut total_fires = 0u64;
+    let mut total_trips = 0u64;
+    let mut total_recloses = 0u64;
+    for seed in 0..500u64 {
+        let a = replay(&model, seed);
+        let b = replay(&model, seed);
+        assert_eq!(a, b, "seed {seed}: same seed must reproduce the same chaos run");
+        total_fires += a.fault_log.len() as u64;
+        total_trips += a.trips;
+        total_recloses += a.recloses;
+    }
+    // The sweep must actually exercise the machinery it claims to cover:
+    // faults fire, the breaker trips, and at least some runs walk the
+    // full Open → Half-Open → Closed ladder.
+    assert!(total_fires > 500, "only {total_fires} faults across 500 seeds");
+    assert!(total_trips > 0, "breaker never tripped across 500 seeds");
+    assert!(total_recloses > 0, "breaker never re-closed across 500 seeds");
+}
+
+/// Different seeds must explore different fault schedules — otherwise
+/// the 500-seed sweep replays a single schedule and proves nothing.
+#[test]
+fn distinct_seeds_yield_distinct_fault_schedules() {
+    let model = seed_model(&replay_config());
+    let distinct = (0..8u64)
+        .map(|seed| {
+            replay(&model, seed)
+                .fault_log
+                .iter()
+                .map(|r| (r.site.index(), r.slot, r.n, r.entropy))
+                .collect::<Vec<_>>()
+        })
+        .collect::<std::collections::HashSet<_>>()
+        .len();
+    assert!(distinct > 1, "8 seeds produced one fault schedule");
+}
+
+// ---------------------------------------------------------------------------
+// Real-backend (TL2) chaos replays
+// ---------------------------------------------------------------------------
+
+/// One single-threaded TL2 run under forced aborts + commit delays.
+/// Returns the fault log plus the transactional outcome.
+fn tl2_chaos_run(seed: u64) -> (Vec<FaultRecord>, u64, u64, Vec<StateKey>) {
+    let spec = format!("{seed}:forced-aborts@300+commit-delays@200");
+    let plan = Arc::new(FaultPlan::parse_spec(&spec).unwrap().with_log());
+    let hook = Arc::new(RecorderHook::new());
+    let stm = Stm::with_robustness(hook.clone(), StmConfig::default(), None, Some(plan.clone()));
+    let v = TVar::new(0u64);
+    let mut ctx = stm.register_as(ThreadId(0));
+    let mut aborts = 0u64;
+    for i in 0..120u16 {
+        ctx.atomically(TxnId(i % TXNS), |tx| tx.modify(&v, |x| x + 1));
+        aborts = plan.injected(FaultSite::Tl2Abort);
+    }
+    (plan.log(), v.load_quiesced(), aborts, hook.take_run())
+}
+
+/// The real TL2 commit path under chaos: bit-identical fault schedule
+/// across replays, and the forced aborts must be *semantically* clean —
+/// every transaction still commits exactly once.
+#[test]
+fn tl2_forced_abort_replays_are_deterministic_and_lossless() {
+    let mut total_aborts = 0u64;
+    for seed in 0..40u64 {
+        let (log_a, val_a, aborts_a, tseq_a) = tl2_chaos_run(seed);
+        let (log_b, val_b, aborts_b, tseq_b) = tl2_chaos_run(seed);
+        assert_eq!(log_a, log_b, "seed {seed}: fault schedule must replay");
+        assert_eq!(tseq_a, tseq_b, "seed {seed}: recorded Tseq must replay");
+        assert_eq!(val_a, val_b);
+        assert_eq!(aborts_a, aborts_b);
+        // A forced abort rolls back through the ordinary retry path, so
+        // the counter lands on exactly one increment per transaction.
+        assert_eq!(val_a, 120, "seed {seed}: forced aborts must not lose or double commits");
+        assert_eq!(tseq_a.len(), 120, "seed {seed}: one recorded state per commit");
+        total_aborts += aborts_a;
+    }
+    assert!(total_aborts > 100, "only {total_aborts} forced aborts across 40 seeds");
+}
