@@ -1033,6 +1033,103 @@ pub fn analyze_campaign_with_failures(
         );
     }
 
+    // -- sharded commit clock (runs measured with --clock=sharded) ----------
+    // The harness stamps every run's collector with that repetition's
+    // clock deltas, so two invariants must hold exactly per run:
+    // (a) the per-shard commit counters partition the run's commit total —
+    // every commit is attributed to exactly one shard; (b) per shard the
+    // epoch moved forward, and by at least as many steps as the shard
+    // advanced — each successful advance raises the shard's epoch by ≥ 1,
+    // so `Δepoch < advances` would mean a stamp went backwards.
+    {
+        let sharded: Vec<_> = runs
+            .iter()
+            .filter(|r| r.prom.get("gstm_clock_mode", &[]) == Some(1.0))
+            .collect();
+        if !sharded.is_empty() {
+            let mut bad = Vec::new();
+            let mut total_shards = 0usize;
+            for r in &sharded {
+                let commits = r.prom.get("gstm_commits_total", &[]).unwrap_or(0.0) as u64;
+                let shard_sum =
+                    r.prom.sum("gstm_clock_shard_commits_total", &[]) as u64;
+                total_shards += r.prom.family("gstm_clock_shard_commits_total").count();
+                if shard_sum != commits {
+                    bad.push(format!(
+                        "run {}: Σ shard commits {} != gstm_commits_total {}",
+                        r.run, shard_sum, commits
+                    ));
+                }
+            }
+            check(
+                "clock_shard_partition",
+                bad.is_empty(),
+                if bad.is_empty() {
+                    format!(
+                        "{} sharded run(s): shard commit counters partition the \
+                         commit totals exactly ({} shard sample(s))",
+                        sharded.len(),
+                        total_shards
+                    )
+                } else {
+                    bad.join("; ")
+                },
+            );
+
+            let mut bad = Vec::new();
+            let mut checked = 0usize;
+            for r in &sharded {
+                let advances: Vec<(String, u64)> = r
+                    .prom
+                    .family("gstm_clock_shard_advances_total")
+                    .filter_map(|s| {
+                        s.labels
+                            .iter()
+                            .find(|(k, _)| k == "shard")
+                            .map(|(_, v)| (v.clone(), s.value as u64))
+                    })
+                    .collect();
+                for (shard, adv) in advances {
+                    let sh: &str = &shard;
+                    let start = r
+                        .prom
+                        .get("gstm_clock_shard_epoch", &[("shard", sh), ("point", "start")])
+                        .unwrap_or(0.0) as u64;
+                    let end = r
+                        .prom
+                        .get("gstm_clock_shard_epoch", &[("shard", sh), ("point", "end")])
+                        .unwrap_or(0.0) as u64;
+                    checked += 1;
+                    if end < start {
+                        bad.push(format!(
+                            "run {} shard {shard}: epoch went backwards ({start} -> {end})",
+                            r.run
+                        ));
+                    } else if end - start < adv {
+                        bad.push(format!(
+                            "run {} shard {shard}: {adv} advance(s) but epoch moved \
+                             only {} — a stamp must have repeated or regressed",
+                            r.run,
+                            end - start
+                        ));
+                    }
+                }
+            }
+            check(
+                "clock_shard_monotone",
+                bad.is_empty(),
+                if bad.is_empty() {
+                    format!(
+                        "per-shard epochs monotone with Δepoch ≥ advances across \
+                         {checked} shard-run pair(s)"
+                    )
+                } else {
+                    bad.join("; ")
+                },
+            );
+        }
+    }
+
     // -- policy gates -------------------------------------------------------
     if th.fail_on_degraded {
         check(

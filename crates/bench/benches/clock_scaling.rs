@@ -1,0 +1,122 @@
+//! Commit-clock scaling: the TL2 global version clock versus the
+//! GV5-style sharded clock, A/B at 1/2/4/8 threads.
+//!
+//! Two layers, each an A/B pair per thread count (the per-thread-count
+//! rows the `clock_scaling` baseline file records — re-record it when a
+//! clock-path change intentionally moves these numbers, the same rule as
+//! `hook_overhead`):
+//!
+//! * `advance` — the bare clock operation. Global mode is one `fetch_add`
+//!   on a single hot word every committer in the process shares; sharded
+//!   mode stamps `(epoch << 6) | shard` onto the committer's own padded
+//!   shard word, so with one shard per thread no commit-path write ever
+//!   contends.
+//! * `commit` — the full STM small-transaction commit path (read one
+//!   private `TVar`, write it back), which buys the sharded clock its
+//!   mandatory read-set validation and shard-commit accounting, the
+//!   honest price of removing the shared CAS word.
+//!
+//! The dependency-free twin (and the tool that records
+//! `crates/bench/baselines/clock_scaling.txt`, including the contended-op
+//! permille rows) is `crates/tl2/examples/clock_scaling.rs`.
+
+use criterion::Criterion;
+use gstm_core::TxnId;
+use gstm_tl2::{clock, ClockMode, StmBuilder, StmConfig, TVar};
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+const THREAD_COUNTS: [u16; 4] = [1, 2, 4, 8];
+
+/// Spawn `threads` workers, have each run `iters` clock/commit
+/// operations after a shared barrier, and return the timed span
+/// (criterion `iter_custom` contract). The span is max(worker end) -
+/// min(worker start) from per-worker timestamps: on an oversubscribed
+/// host a coordinator-side stopwatch may not be rescheduled until the
+/// workers already finished and would undercount arbitrarily.
+fn drive(threads: u16, iters: u64, op: impl Fn(u16, u64) + Send + Sync + 'static) -> Duration {
+    let op = Arc::new(op);
+    let barrier = Arc::new(Barrier::new(threads as usize));
+    let handles: Vec<_> = (0..threads)
+        .map(|t| {
+            let op = Arc::clone(&op);
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                barrier.wait();
+                let start = Instant::now();
+                op(t, iters);
+                (start, Instant::now())
+            })
+        })
+        .collect();
+    let mut first_start: Option<Instant> = None;
+    let mut last_end: Option<Instant> = None;
+    for h in handles {
+        let (start, end) = h.join().unwrap();
+        first_start = Some(first_start.map_or(start, |s| s.min(start)));
+        last_end = Some(last_end.map_or(end, |e| e.max(end)));
+    }
+    last_end.unwrap().duration_since(first_start.unwrap())
+}
+
+fn bench_advance(c: &mut Criterion) {
+    for threads in THREAD_COUNTS {
+        let mut g = c.benchmark_group(format!("clock_scaling/advance/{threads}t"));
+        g.bench_function("global", |b| {
+            b.iter_custom(|iters| {
+                drive(threads, iters, |_, n| {
+                    for _ in 0..n {
+                        std::hint::black_box(clock::global().advance());
+                    }
+                })
+            })
+        });
+        g.bench_function("sharded", |b| {
+            b.iter_custom(|iters| {
+                drive(threads, iters, |t, n| {
+                    // One shard per thread: the commit-path write never
+                    // leaves the committer's own cache line.
+                    let shard = t % clock::MAX_SHARDS as u16;
+                    clock::sharded().register_shard(shard);
+                    for _ in 0..n {
+                        std::hint::black_box(clock::sharded().advance(shard));
+                    }
+                })
+            })
+        });
+        g.finish();
+    }
+}
+
+fn bench_commit(c: &mut Criterion) {
+    for threads in THREAD_COUNTS {
+        let mut g = c.benchmark_group(format!("clock_scaling/commit/{threads}t"));
+        for (name, mode) in [("global", ClockMode::Global), ("sharded", ClockMode::Sharded)] {
+            g.bench_function(name, |b| {
+                b.iter_custom(|iters| {
+                    let stm = StmBuilder::new(StmConfig::default()).clock(mode).build();
+                    let vars: Arc<Vec<TVar<u64>>> =
+                        Arc::new((0..threads).map(|_| TVar::new(0)).collect());
+                    drive(threads, iters, move |t, n| {
+                        let mut ctx = stm.register();
+                        let v = &vars[t as usize];
+                        for _ in 0..n {
+                            ctx.atomically(TxnId(0), |tx| {
+                                let x = tx.read(v)?;
+                                tx.write(v, x.wrapping_add(1))
+                            });
+                        }
+                    })
+                })
+            });
+        }
+        g.finish();
+    }
+}
+
+fn main() {
+    let mut c = Criterion::default().configure_from_args();
+    bench_advance(&mut c);
+    bench_commit(&mut c);
+    c.final_summary();
+}

@@ -5,10 +5,11 @@
 //! produces it. Scales are reduced so `cargo bench` completes in minutes;
 //! use the `gstm-repro` binary for full-scale regeneration.
 
-use gstm_core::GuidanceConfig;
+use gstm_core::{GuidanceConfig, PinPolicy};
 use gstm_harness::experiment::{run_experiment, BenchExperiment, ExperimentConfig};
 use gstm_harness::game::{run_game_experiment, GameExperiment, GameExperimentConfig};
 use gstm_stamp::{all_benchmarks, by_name, InputSize};
+use gstm_tl2::ClockMode;
 
 /// Benchmark-scale experiment config: tiny but complete.
 pub fn bench_cfg(threads: u16) -> ExperimentConfig {
@@ -23,6 +24,8 @@ pub fn bench_cfg(threads: u16) -> ExperimentConfig {
         seed: 0x5eed_cafe,
         adaptive: None,
         profile_threads: None,
+        clock: ClockMode::Global,
+        pin: PinPolicy::None,
     }
 }
 

@@ -51,6 +51,7 @@ pub mod guidance;
 pub mod ids;
 pub mod metrics;
 pub mod model_io;
+pub mod placement;
 pub mod stats;
 pub mod sync;
 pub mod telemetry;
@@ -71,8 +72,12 @@ pub mod prelude {
     pub use crate::guidance::{GateStats, GuidanceHook, GuidedHook, NoopHook, RecorderHook};
     pub use crate::ids::{Pair, ThreadId, TxnId};
     pub use crate::metrics::AbortHistogram;
+    pub use crate::placement::{AffinityMatrix, PinPolicy, PlacementPlan};
     pub use crate::stats::ThreadStats;
-    pub use crate::telemetry::{Telemetry, TelemetrySnapshot, TraceEvent, TraceKind};
+    pub use crate::telemetry::{
+        ClockStats, PlacementStats, ShardClockStats, Telemetry, TelemetrySnapshot, TraceEvent,
+        TraceKind,
+    };
     pub use crate::tsa::{GuidedModel, StateId, Tsa};
     pub use crate::tseq::{parse_causal, EventLogHook};
     pub use crate::tss::StateKey;

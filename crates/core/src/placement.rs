@@ -1,0 +1,547 @@
+//! Model-driven thread placement.
+//!
+//! The thread-and-data-mapping literature (see PAPERS.md) shows that
+//! *where* conflicting threads run matters nearly as much as *whether*
+//! they run: threads that abort each other benefit from sharing a cache
+//! hierarchy (their conflicted lines ping-pong cheaply) while independent
+//! threads should be spread out. This module turns the signals the
+//! profiling pipeline already records — per-thread abort co-occurrence
+//! inside [`StateKey`]s and TSA transition co-occurrence — into:
+//!
+//! 1. a **thread-conflict affinity matrix** ([`AffinityMatrix`]),
+//! 2. a greedy **clustering** of mutually conflicting threads, and
+//! 3. a [`PlacementPlan`]: per-thread CPU core (applied with
+//!    `sched_setaffinity` when the platform supports it) and per-thread
+//!    clock-shard assignment for the sharded commit clock — conflicting
+//!    threads share a shard (their commits serialize on one cheap word
+//!    anyway), independent threads get distinct shards and never touch
+//!    each other's clock cache line.
+//!
+//! Everything degrades gracefully: on non-Linux/non-x86_64 targets
+//! pinning is a no-op (the plan still assigns shards), and with no model
+//! the trivial policies (`compact`, `scatter`, `none`) still work.
+
+use crate::ids::ThreadId;
+use crate::tsa::Tsa;
+
+/// How worker threads are pinned to cores (`--pin=` in the harness).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum PinPolicy {
+    /// No pinning; the OS scheduler places threads (the seed behavior).
+    #[default]
+    None,
+    /// Thread `t` on core `t % cores` — adjacent threads share caches.
+    Compact,
+    /// Threads spread maximally across the core space.
+    Scatter,
+    /// Conflict-affinity clusters from the profiled model, packed onto
+    /// adjacent cores; requires a trained model (falls back to
+    /// [`PinPolicy::Compact`] geometry when the matrix is empty).
+    Model,
+}
+
+impl PinPolicy {
+    /// Parse a `--pin=` flag value.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "none" => Ok(PinPolicy::None),
+            "compact" => Ok(PinPolicy::Compact),
+            "scatter" => Ok(PinPolicy::Scatter),
+            "model" => Ok(PinPolicy::Model),
+            other => Err(format!(
+                "unknown pin policy {other:?} (want model|compact|scatter|none)"
+            )),
+        }
+    }
+
+    /// The flag spelling.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            PinPolicy::None => "none",
+            PinPolicy::Compact => "compact",
+            PinPolicy::Scatter => "scatter",
+            PinPolicy::Model => "model",
+        }
+    }
+
+    /// Stable numeric code for metrics export
+    /// (`gstm_placement_policy`).
+    pub fn code(self) -> u8 {
+        match self {
+            PinPolicy::None => 0,
+            PinPolicy::Compact => 1,
+            PinPolicy::Scatter => 2,
+            PinPolicy::Model => 3,
+        }
+    }
+}
+
+/// Symmetric thread×thread conflict-affinity weights.
+///
+/// `weight(a, b)` is high when threads `a` and `b` were observed
+/// conflicting (one aborting while the other commits) or repeatedly
+/// committing adjacently in the profiled transaction sequence.
+#[derive(Clone, Debug)]
+pub struct AffinityMatrix {
+    threads: usize,
+    /// Row-major `threads × threads`, symmetric, zero diagonal.
+    weights: Vec<f64>,
+}
+
+impl AffinityMatrix {
+    /// An all-zero matrix over `threads` threads.
+    pub fn zero(threads: usize) -> Self {
+        AffinityMatrix {
+            threads,
+            weights: vec![0.0; threads * threads],
+        }
+    }
+
+    /// Build the matrix from a profiled automaton.
+    ///
+    /// Two signals, both already recorded by the profiling pipeline:
+    ///
+    /// * **abort co-occurrence**: a state whose tuple has thread `a`
+    ///   aborting while thread `c` commits is direct evidence the two
+    ///   contend; the edge `(a, c)` gains the state's observed
+    ///   frequency (the sum of its outbound transition counts, plus one
+    ///   so terminal states still contribute).
+    /// * **transition co-occurrence**: an edge `s → t` with frequency
+    ///   `f` means `s`'s committer and `t`'s committer ran concurrently
+    ///   enough to commit adjacently; their affinity gains `f`,
+    ///   down-weighted ×0.25 because adjacency is weaker evidence than
+    ///   an observed abort.
+    pub fn from_tsa(tsa: &Tsa, threads: usize) -> Self {
+        let mut m = Self::zero(threads);
+        for id in tsa.state_ids() {
+            let key = tsa.state(id);
+            let freq = tsa.outbound(id).iter().map(|&(_, f)| f).sum::<u64>() + 1;
+            let committer = key.commit().thread;
+            for abort in key.aborts() {
+                m.bump(abort.thread, committer, freq as f64);
+            }
+            for &(dst, f) in tsa.outbound(id) {
+                m.bump(committer, tsa.state(dst).commit().thread, f as f64 * 0.25);
+            }
+        }
+        m
+    }
+
+    fn bump(&mut self, a: ThreadId, b: ThreadId, w: f64) {
+        let (a, b) = (a.index(), b.index());
+        if a == b || a >= self.threads || b >= self.threads {
+            return;
+        }
+        self.weights[a * self.threads + b] += w;
+        self.weights[b * self.threads + a] += w;
+    }
+
+    /// Number of threads the matrix covers.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// The affinity weight between two threads (0 when out of range).
+    pub fn weight(&self, a: usize, b: usize) -> f64 {
+        if a >= self.threads || b >= self.threads {
+            return 0.0;
+        }
+        self.weights[a * self.threads + b]
+    }
+
+    /// Whether any pair has nonzero affinity.
+    pub fn is_empty(&self) -> bool {
+        self.weights.iter().all(|&w| w == 0.0)
+    }
+}
+
+/// Greedily cluster threads by descending pairwise affinity.
+///
+/// Classic agglomerative merge: sort the significant pairs by weight,
+/// merge the two endpoint clusters whenever the union stays within
+/// `max_cluster`. A pair is *significant* when its weight is at least a
+/// quarter of the strongest pair's — weak adjacency-only affinity (two
+/// threads that merely committed near each other) must not chain every
+/// thread into one cluster. Threads with no significant affinity to
+/// anyone stay singletons. Returns clusters sorted by lowest member,
+/// members ascending — deterministic for a given matrix.
+pub fn cluster_threads(m: &AffinityMatrix, max_cluster: usize) -> Vec<Vec<u16>> {
+    let n = m.threads();
+    let max_cluster = max_cluster.max(1);
+    let mut parent: Vec<usize> = (0..n).collect();
+    let mut size = vec![1usize; n];
+    fn root(parent: &mut [usize], mut x: usize) -> usize {
+        while parent[x] != x {
+            parent[x] = parent[parent[x]];
+            x = parent[x];
+        }
+        x
+    }
+    let mut strongest = 0.0f64;
+    for a in 0..n {
+        for b in a + 1..n {
+            strongest = strongest.max(m.weight(a, b));
+        }
+    }
+    let threshold = strongest / 4.0;
+    let mut edges: Vec<(usize, usize, f64)> = Vec::new();
+    for a in 0..n {
+        for b in a + 1..n {
+            let w = m.weight(a, b);
+            if w > 0.0 && w >= threshold {
+                edges.push((a, b, w));
+            }
+        }
+    }
+    // Descending weight; ties broken by (a, b) for determinism.
+    edges.sort_by(|x, y| {
+        y.2.partial_cmp(&x.2)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(x.0.cmp(&y.0))
+            .then(x.1.cmp(&y.1))
+    });
+    for (a, b, _) in edges {
+        let (ra, rb) = (root(&mut parent, a), root(&mut parent, b));
+        if ra != rb && size[ra] + size[rb] <= max_cluster {
+            parent[rb] = ra;
+            size[ra] += size[rb];
+        }
+    }
+    let mut by_root: std::collections::BTreeMap<usize, Vec<u16>> = std::collections::BTreeMap::new();
+    for t in 0..n {
+        let r = root(&mut parent, t);
+        by_root.entry(r).or_default().push(t as u16);
+    }
+    let mut clusters: Vec<Vec<u16>> = by_root.into_values().collect();
+    clusters.sort_by_key(|c| c[0]);
+    clusters
+}
+
+/// A complete placement decision: per-thread core and clock shard.
+#[derive(Clone, Debug)]
+pub struct PlacementPlan {
+    policy: PinPolicy,
+    /// Conflict clusters (every thread appears exactly once).
+    clusters: Vec<Vec<u16>>,
+    /// Thread index → clock shard.
+    thread_shard: Vec<u16>,
+    /// Thread index → core, `None` = unpinned.
+    thread_core: Vec<Option<u16>>,
+}
+
+impl PlacementPlan {
+    /// A model-driven plan: cluster by affinity, give each cluster one
+    /// clock shard, pack clusters onto adjacent cores. `shards` caps
+    /// the shard id space (the sharded clock's `MAX_SHARDS`); when
+    /// there are more clusters than shards, clusters wrap.
+    pub fn model_driven(m: &AffinityMatrix, cores: usize, shards: usize) -> Self {
+        let threads = m.threads();
+        // Cluster size capped so one cluster never spans more cores
+        // than the machine has adjacent (a loose heuristic: at most 4,
+        // the common core-per-LLC-slice granule, and never more than
+        // the core count).
+        let cap = cores.clamp(1, 4);
+        let clusters = cluster_threads(m, cap);
+        let mut thread_shard = vec![0u16; threads];
+        let mut thread_core = vec![None; threads];
+        let mut next_core = 0usize;
+        for (ci, cluster) in clusters.iter().enumerate() {
+            let shard = (ci % shards.max(1)) as u16;
+            for &t in cluster {
+                thread_shard[t as usize] = shard;
+                if cores > 0 {
+                    thread_core[t as usize] = Some((next_core % cores) as u16);
+                    next_core += 1;
+                }
+            }
+        }
+        PlacementPlan {
+            policy: PinPolicy::Model,
+            clusters,
+            thread_shard,
+            thread_core,
+        }
+    }
+
+    /// A model-free plan for the trivial policies. `Compact` packs
+    /// thread `t` onto core `t % cores`; `Scatter` spreads threads
+    /// across the core space with the widest stride; `None` leaves
+    /// every thread unpinned. All three give each thread its own shard
+    /// (mod the shard space) — shard *sharing* is a model decision.
+    pub fn trivial(policy: PinPolicy, threads: usize, cores: usize, shards: usize) -> Self {
+        let thread_shard: Vec<u16> =
+            (0..threads).map(|t| (t % shards.max(1)) as u16).collect();
+        let thread_core: Vec<Option<u16>> = (0..threads)
+            .map(|t| match policy {
+                PinPolicy::None | PinPolicy::Model => None,
+                PinPolicy::Compact => (cores > 0).then(|| (t % cores) as u16),
+                PinPolicy::Scatter => (cores > 0).then(|| {
+                    let stride = (cores / threads.max(1)).max(1);
+                    ((t * stride) % cores) as u16
+                }),
+            })
+            .collect();
+        PlacementPlan {
+            policy,
+            clusters: (0..threads as u16).map(|t| vec![t]).collect(),
+            thread_shard,
+            thread_core,
+        }
+    }
+
+    /// The policy this plan implements.
+    pub fn policy(&self) -> PinPolicy {
+        self.policy
+    }
+
+    /// The conflict clusters (singletons under the trivial policies).
+    pub fn clusters(&self) -> &[Vec<u16>] {
+        &self.clusters
+    }
+
+    /// The clock shard for a thread (threads beyond the plan map to
+    /// shard `thread % plan size`-style defaults upstream; here: 0).
+    pub fn shard_of(&self, thread: ThreadId) -> Option<u16> {
+        self.thread_shard.get(thread.index()).copied()
+    }
+
+    /// The core a thread should be pinned to, if any.
+    pub fn core_of(&self, thread: ThreadId) -> Option<u16> {
+        self.thread_core.get(thread.index()).copied().flatten()
+    }
+
+    /// How many threads the plan pins.
+    pub fn pinned_count(&self) -> usize {
+        self.thread_core.iter().filter(|c| c.is_some()).count()
+    }
+
+    /// Number of threads covered.
+    pub fn threads(&self) -> usize {
+        self.thread_shard.len()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Core pinning — raw sched_{set,get}affinity, gracefully degraded
+// ---------------------------------------------------------------------------
+
+/// Pin the calling thread to `core`. Returns whether the kernel accepted
+/// the mask. A no-op (returning `false`) on platforms without the raw
+/// syscall implementation below — the placement plan still steers shard
+/// assignment there.
+pub fn pin_current_thread(core: usize) -> bool {
+    imp::pin_current_thread(core)
+}
+
+/// Number of CPUs the current thread may run on (the scheduler's
+/// affinity mask), falling back to [`std::thread::available_parallelism`]
+/// when the syscall is unavailable.
+pub fn online_cpus() -> usize {
+    imp::online_cpus().unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    })
+}
+
+#[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+mod imp {
+    //! Raw x86_64 Linux syscalls — no libc crate dependency. `pid = 0`
+    //! targets the calling thread.
+    use std::arch::asm;
+
+    const SYS_SCHED_SETAFFINITY: u64 = 203;
+    const SYS_SCHED_GETAFFINITY: u64 = 204;
+    const MASK_WORDS: usize = 16; // 1024 CPUs
+
+    unsafe fn affinity_syscall(nr: u64, len: usize, mask: *mut u64) -> i64 {
+        let ret: i64;
+        asm!(
+            "syscall",
+            inlateout("rax") nr as i64 => ret,
+            in("rdi") 0u64, // pid 0 = current thread
+            in("rsi") len as u64,
+            in("rdx") mask,
+            lateout("rcx") _,
+            lateout("r11") _,
+            options(nostack),
+        );
+        ret
+    }
+
+    pub fn pin_current_thread(core: usize) -> bool {
+        if core >= MASK_WORDS * 64 {
+            return false;
+        }
+        let mut mask = [0u64; MASK_WORDS];
+        mask[core / 64] = 1u64 << (core % 64);
+        // SAFETY: mask is a live, properly sized buffer; pid 0 targets
+        // the calling thread, so no other process is affected.
+        let ret = unsafe {
+            affinity_syscall(
+                SYS_SCHED_SETAFFINITY,
+                std::mem::size_of_val(&mask),
+                mask.as_mut_ptr(),
+            )
+        };
+        ret == 0
+    }
+
+    pub fn online_cpus() -> Option<usize> {
+        let mut mask = [0u64; MASK_WORDS];
+        // SAFETY: as above; the kernel writes at most `size_of_val(&mask)`
+        // bytes into the buffer.
+        let ret = unsafe {
+            affinity_syscall(
+                SYS_SCHED_GETAFFINITY,
+                std::mem::size_of_val(&mask),
+                mask.as_mut_ptr(),
+            )
+        };
+        if ret <= 0 {
+            return None;
+        }
+        let n: u32 = mask.iter().map(|w| w.count_ones()).sum();
+        (n > 0).then_some(n as usize)
+    }
+}
+
+#[cfg(not(all(target_os = "linux", target_arch = "x86_64")))]
+mod imp {
+    pub fn pin_current_thread(_core: usize) -> bool {
+        false
+    }
+
+    pub fn online_cpus() -> Option<usize> {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{Pair, TxnId};
+    use crate::tss::StateKey;
+
+    fn p(txn: u16, thread: u16) -> Pair {
+        Pair::new(TxnId(txn), ThreadId(thread))
+    }
+
+    /// A run where threads 0 and 1 abort each other constantly while
+    /// threads 2 and 3 only ever commit solo.
+    fn conflict_run() -> Vec<StateKey> {
+        let mut run = Vec::new();
+        for _ in 0..20 {
+            run.push(StateKey::new(vec![p(0, 1)], p(0, 0)));
+            run.push(StateKey::new(vec![p(0, 0)], p(0, 1)));
+            run.push(StateKey::solo(p(1, 2)));
+            run.push(StateKey::solo(p(1, 3)));
+        }
+        run
+    }
+
+    #[test]
+    fn pin_policy_parses() {
+        assert_eq!(PinPolicy::parse("model"), Ok(PinPolicy::Model));
+        assert_eq!(PinPolicy::parse("none"), Ok(PinPolicy::None));
+        assert!(PinPolicy::parse("numa").is_err());
+        assert_eq!(PinPolicy::Scatter.as_str(), "scatter");
+        assert_eq!(PinPolicy::Model.code(), 3);
+    }
+
+    #[test]
+    fn affinity_matrix_reflects_observed_conflicts() {
+        let tsa = Tsa::from_runs(&[conflict_run()]);
+        let m = AffinityMatrix::from_tsa(&tsa, 4);
+        assert!(
+            m.weight(0, 1) > m.weight(2, 3),
+            "aborting pair (0,1) must out-weigh the independent pair (2,3): {} vs {}",
+            m.weight(0, 1),
+            m.weight(2, 3)
+        );
+        assert_eq!(m.weight(0, 1), m.weight(1, 0), "matrix is symmetric");
+        assert_eq!(m.weight(0, 0), 0.0, "zero diagonal");
+    }
+
+    #[test]
+    fn clustering_groups_the_conflicting_pair() {
+        let tsa = Tsa::from_runs(&[conflict_run()]);
+        let m = AffinityMatrix::from_tsa(&tsa, 4);
+        let clusters = cluster_threads(&m, 2);
+        let of = |t: u16| clusters.iter().position(|c| c.contains(&t)).unwrap();
+        assert_eq!(of(0), of(1), "conflicting threads cluster together: {clusters:?}");
+        let total: usize = clusters.iter().map(Vec::len).sum();
+        assert_eq!(total, 4, "every thread appears exactly once");
+    }
+
+    #[test]
+    fn clustering_respects_the_size_cap() {
+        // All-to-all affinity over 6 threads with cap 2: three pairs.
+        let mut m = AffinityMatrix::zero(6);
+        for a in 0..6u16 {
+            for b in 0..6u16 {
+                m.bump(ThreadId(a), ThreadId(b), 1.0);
+            }
+        }
+        let clusters = cluster_threads(&m, 2);
+        assert!(clusters.iter().all(|c| c.len() <= 2), "{clusters:?}");
+        assert_eq!(clusters.iter().map(Vec::len).sum::<usize>(), 6);
+    }
+
+    #[test]
+    fn model_plan_shares_shards_within_clusters() {
+        let tsa = Tsa::from_runs(&[conflict_run()]);
+        let m = AffinityMatrix::from_tsa(&tsa, 4);
+        let plan = PlacementPlan::model_driven(&m, 4, 64);
+        assert_eq!(plan.policy(), PinPolicy::Model);
+        assert_eq!(
+            plan.shard_of(ThreadId(0)),
+            plan.shard_of(ThreadId(1)),
+            "conflicting threads share a clock shard"
+        );
+        assert_ne!(
+            plan.shard_of(ThreadId(2)),
+            plan.shard_of(ThreadId(3)),
+            "independent threads get distinct shards"
+        );
+        assert_eq!(plan.pinned_count(), 4, "every thread gets a core");
+    }
+
+    #[test]
+    fn trivial_plans_have_expected_geometry() {
+        let none = PlacementPlan::trivial(PinPolicy::None, 4, 8, 64);
+        assert_eq!(none.pinned_count(), 0);
+        assert_eq!(none.shard_of(ThreadId(3)), Some(3));
+
+        let compact = PlacementPlan::trivial(PinPolicy::Compact, 4, 2, 64);
+        assert_eq!(compact.core_of(ThreadId(0)), Some(0));
+        assert_eq!(compact.core_of(ThreadId(3)), Some(1), "wraps at the core count");
+
+        let scatter = PlacementPlan::trivial(PinPolicy::Scatter, 2, 8, 64);
+        assert_eq!(scatter.core_of(ThreadId(0)), Some(0));
+        assert_eq!(scatter.core_of(ThreadId(1)), Some(4), "stride spreads threads");
+
+        // Shard space smaller than the thread count wraps.
+        let wrap = PlacementPlan::trivial(PinPolicy::None, 4, 0, 2);
+        assert_eq!(wrap.shard_of(ThreadId(3)), Some(1));
+    }
+
+    #[test]
+    fn online_cpus_is_sane() {
+        let n = online_cpus();
+        assert!(n >= 1, "at least the current CPU");
+    }
+
+    #[test]
+    fn pinning_round_trips_where_supported() {
+        // On the supported platform pinning to core 0 must succeed (every
+        // affinity mask contains some CPU; 0 exists on any live host in
+        // this repo's CI). Elsewhere it must cleanly report false.
+        let ok = pin_current_thread(0);
+        if cfg!(all(target_os = "linux", target_arch = "x86_64")) {
+            assert!(ok, "sched_setaffinity(0) failed on the supported platform");
+        } else {
+            assert!(!ok);
+        }
+    }
+}

@@ -2,9 +2,9 @@
 //! benchmark (the paper's Section II-C framework).
 
 use gstm_core::prelude::*;
-use gstm_core::{analyzer, metrics};
+use gstm_core::{analyzer, metrics, placement};
 use gstm_stamp::{Benchmark, InputSize, RunConfig};
-use gstm_tl2::{Stm, StmConfig};
+use gstm_tl2::{clock, ClockMode, StmBuilder, StmConfig};
 use std::sync::Arc;
 
 /// Parameters of one benchmark experiment.
@@ -39,6 +39,15 @@ pub struct ExperimentConfig {
     /// `--profile-threads` flag). Deliberately mismatching it trains a
     /// stale model — the drift/adaptation demo scenario.
     pub profile_threads: Option<u16>,
+    /// Commit-clock implementation for the measurement phases (the
+    /// `--clock` flag). Profiling always runs on the global clock so the
+    /// trained model is identical across clock modes.
+    pub clock: ClockMode,
+    /// Thread-placement policy for the measurement phases (the `--pin`
+    /// flag): `Model` derives a conflict-affinity plan from the phase-2
+    /// TSA; `Compact`/`Scatter` are the classic baselines; `None` leaves
+    /// the OS scheduler alone and assigns clock shards round-robin.
+    pub pin: PinPolicy,
 }
 
 impl ExperimentConfig {
@@ -55,6 +64,8 @@ impl ExperimentConfig {
             seed: 0x5eed_cafe,
             adaptive: None,
             profile_threads: None,
+            clock: ClockMode::Global,
+            pin: PinPolicy::None,
         }
     }
 }
@@ -251,6 +262,8 @@ fn measure<H: GuidanceHook + 'static>(
     cfg: &ExperimentConfig,
     runs: usize,
     size: InputSize,
+    clock: ClockMode,
+    plan: Option<Arc<PlacementPlan>>,
     faults: Option<Arc<FaultPlan>>,
     hook_for_run: impl Fn(usize) -> Arc<H>,
     telemetry_for_run: impl Fn(usize) -> Option<Arc<Telemetry>>,
@@ -267,12 +280,14 @@ fn measure<H: GuidanceHook + 'static>(
     let mut ok = 0usize;
     for rep in 0..runs {
         let hook = hook_for_run(ok);
-        let stm = Stm::with_robustness(
-            hook.clone(),
-            stm_config(cfg),
-            telemetry_for_run(ok),
-            faults.clone(),
-        );
+        let tel = telemetry_for_run(ok);
+        let stm = StmBuilder::new(stm_config(cfg))
+            .hook(hook.clone())
+            .telemetry(tel.clone())
+            .faults(faults.clone())
+            .clock(clock)
+            .placement(plan.clone())
+            .build();
         let run_cfg = RunConfig {
             threads: cfg.threads,
             size,
@@ -305,6 +320,16 @@ fn measure<H: GuidanceHook + 'static>(
         }
         m.per_run_hists.push(run_hists);
         recorded.push(take_run(&hook));
+        // Stamp the run's collector with this repetition's clock deltas
+        // and the placement plan it executed under, so the exported
+        // Prometheus snapshot carries the gstm_clock_*/gstm_placement_*
+        // families gstm-analyze cross-checks.
+        if let Some(tel) = &tel {
+            tel.set_clock_stats(stm.clock_stats());
+            if let Some(p) = &plan {
+                tel.set_placement(PlacementStats::from_plan(p));
+            }
+        }
         ok += 1;
     }
     m.non_determinism = metrics::non_determinism(&recorded);
@@ -324,12 +349,36 @@ pub fn train_model(bench: &dyn Benchmark, cfg: &ExperimentConfig) -> GuidedModel
         &profile_cfg,
         cfg.profile_runs,
         cfg.train_size,
+        ClockMode::Global,
+        None,
         None,
         |_| recorder.clone(),
         |_| None,
         |h| h.take_run(),
     );
     GuidedModel::build(Tsa::from_runs(&train_runs), &cfg.guidance)
+}
+
+/// Derive the measurement-phase placement plan from the freshly trained
+/// TSA. `Model` clusters threads by conflict affinity (shared clock
+/// shard, adjacent cores); `Compact`/`Scatter` are the classic layouts;
+/// `None` returns no plan — unpinned threads, round-robin shard default.
+fn placement_plan(cfg: &ExperimentConfig, tsa: &Tsa) -> Option<Arc<PlacementPlan>> {
+    let cores = placement::online_cpus();
+    let threads = cfg.threads as usize;
+    match cfg.pin {
+        PinPolicy::None => None,
+        PinPolicy::Model => {
+            let m = AffinityMatrix::from_tsa(tsa, threads);
+            Some(Arc::new(PlacementPlan::model_driven(&m, cores, clock::MAX_SHARDS)))
+        }
+        policy => Some(Arc::new(PlacementPlan::trivial(
+            policy,
+            threads,
+            cores,
+            clock::MAX_SHARDS,
+        ))),
+    }
 }
 
 /// Run the full pipeline for one benchmark at one thread count.
@@ -397,6 +446,8 @@ pub fn run_experiment_chaos(
         &profile_cfg,
         cfg.profile_runs,
         cfg.train_size,
+        ClockMode::Global,
+        None,
         None,
         |_| recorder.clone(),
         |_| None,
@@ -406,6 +457,10 @@ pub fn run_experiment_chaos(
     // ---- Phase 2: model generation + analysis ----
     let tsa = Tsa::from_runs(&train_runs);
     let model_states = tsa.num_states();
+    // The placement plan must come off the TSA before `GuidedModel::build`
+    // consumes it. Both measurement phases share the plan so the guided/
+    // default comparison holds clock and placement fixed.
+    let plan = placement_plan(cfg, &tsa);
     // Round-trip the model through its on-disk encoding exactly as a
     // load from disk would see it, letting the chaos plan's corrupt-model
     // site tamper with the bytes in between. The integrity header must
@@ -435,6 +490,8 @@ pub fn run_experiment_chaos(
         cfg,
         cfg.measure_runs,
         cfg.test_size,
+        cfg.clock,
+        plan.clone(),
         None,
         |_| default_rec.clone(),
         |_| None,
@@ -502,6 +559,8 @@ pub fn run_experiment_chaos(
         cfg,
         cfg.measure_runs,
         cfg.test_size,
+        cfg.clock,
+        plan.clone(),
         robust.faults.clone(),
         |r| guided_hooks[r].clone(),
         |r| tels[r].clone(),
@@ -628,6 +687,7 @@ pub fn run_repeated(
 mod tests {
     use super::*;
     use gstm_stamp::by_name;
+    use gstm_tl2::Stm;
 
     fn tiny_cfg(threads: u16) -> ExperimentConfig {
         ExperimentConfig {
@@ -641,6 +701,8 @@ mod tests {
             seed: 77,
             adaptive: None,
             profile_threads: None,
+            clock: ClockMode::Global,
+            pin: PinPolicy::None,
         }
     }
 
@@ -867,6 +929,63 @@ mod tests {
         assert_eq!(e.guided_m.per_thread_times.len(), 2);
         assert_eq!(e.guided_m.per_run_hists.len(), 2);
         assert_eq!(e.guided_m.wall_secs.len(), 2);
+    }
+
+    #[test]
+    fn sharded_clock_pipeline_partitions_commits() {
+        // End-to-end `--clock=sharded --pin=model`: the pipeline completes,
+        // per-run telemetry carries clock + placement stats, and each run's
+        // shard commit counters partition that run's commit total exactly.
+        let bench = by_name("kmeans").unwrap();
+        let cfg = ExperimentConfig {
+            clock: ClockMode::Sharded,
+            pin: PinPolicy::Model,
+            ..tiny_cfg(2)
+        };
+        let tels: Vec<Arc<Telemetry>> =
+            (0..cfg.measure_runs).map(|_| Arc::new(Telemetry::counters_only())).collect();
+        let e = run_experiment_observed(&*bench, &cfg, |r| tels.get(r).cloned());
+        assert_eq!(e.guided_m.per_thread_times.len(), cfg.measure_runs);
+        for (r, tel) in tels.iter().enumerate() {
+            let snap = tel.snapshot();
+            let clock = snap.clock.as_ref().expect("clock stats stamped");
+            assert!(clock.sharded, "run {r} measured on the sharded clock");
+            assert_eq!(
+                clock.shard_commits_total(),
+                snap.commits,
+                "run {r}: shard counters partition the commit total"
+            );
+            for s in &clock.shards {
+                assert!(
+                    s.epoch_end >= s.epoch_start,
+                    "run {r} shard {} epoch went backwards",
+                    s.shard
+                );
+            }
+            let placement = snap.placement.as_ref().expect("placement stamped");
+            assert_eq!(placement.policy, PinPolicy::Model.code());
+            assert_eq!(placement.thread_shard.len(), 2);
+            let prom = snap.render_prometheus();
+            assert!(prom.contains("gstm_clock_mode 1"));
+            assert!(prom.contains("gstm_placement_policy"));
+        }
+    }
+
+    #[test]
+    fn global_clock_pipeline_reports_unsharded_stats() {
+        // `--clock=global` (the default) keeps the legacy clock and says
+        // so in telemetry. (No numeric bound on `global_advances` here:
+        // the clock is process-wide, so parallel tests advance it too.)
+        let bench = by_name("kmeans").unwrap();
+        let tel = Arc::new(Telemetry::counters_only());
+        let e = run_experiment_instrumented(&*bench, &tiny_cfg(2), Some(tel.clone()));
+        assert!(e.guided_m.total_commits() > 0);
+        let snap = tel.snapshot();
+        let clock = snap.clock.as_ref().expect("clock stats stamped");
+        assert!(!clock.sharded);
+        assert!(clock.shards.is_empty());
+        assert!(snap.placement.is_none(), "no plan without --pin");
+        assert!(snap.render_prometheus().contains("gstm_clock_mode 0"));
     }
 
     #[test]

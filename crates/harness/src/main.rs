@@ -46,9 +46,22 @@
 //!                       execution on released-rate / off-model /
 //!                       starvation bounds, re-admits via half-open
 //!                       probes after cooldown
+//!   --clock MODE        commit clock for the measurement phases:
+//!                       `global` (TL2's single CAS word, the default) or
+//!                       `sharded` (GV5-style: each committer stamps
+//!                       `(epoch << 6) | shard` on its own padded shard
+//!                       word; validation compares against the lazy
+//!                       aggregate bound). Profiling always runs global.
+//!   --pin POLICY        thread placement for the measurement phases:
+//!                       `none` (default, OS scheduler), `compact`
+//!                       (thread t -> core t%cores), `scatter` (spread
+//!                       across cores), or `model` (cluster threads by
+//!                       TSA conflict affinity: conflicting threads share
+//!                       a clock shard and adjacent cores)
 //! ```
 
-use gstm_core::{FaultPlan, GuidanceConfig, Telemetry};
+use gstm_core::{FaultPlan, GuidanceConfig, PinPolicy, Telemetry};
+use gstm_tl2::ClockMode;
 use gstm_harness::experiment::{
     run_experiment_chaos, BenchExperiment, ExperimentConfig, Robustness,
 };
@@ -98,6 +111,10 @@ struct Options {
     chaos: Option<String>,
     /// Gate every guided run through its own circuit breaker.
     breaker: bool,
+    /// Commit-clock implementation (`--clock=global|sharded`).
+    clock: ClockMode,
+    /// Thread-placement policy (`--pin=none|compact|scatter|model`).
+    pin: PinPolicy,
 }
 
 fn parse_size(s: &str) -> InputSize {
@@ -110,6 +127,20 @@ fn parse_size(s: &str) -> InputSize {
             std::process::exit(2);
         }
     }
+}
+
+fn parse_clock(s: &str) -> ClockMode {
+    ClockMode::parse(s).unwrap_or_else(|e| {
+        eprintln!("bad --clock: {e}");
+        std::process::exit(2);
+    })
+}
+
+fn parse_pin(s: &str) -> PinPolicy {
+    PinPolicy::parse(s).unwrap_or_else(|e| {
+        eprintln!("bad --pin: {e}");
+        std::process::exit(2);
+    })
 }
 
 fn parse_args() -> Options {
@@ -133,6 +164,8 @@ fn parse_args() -> Options {
         profile_threads: None,
         chaos: None,
         breaker: false,
+        clock: ClockMode::Global,
+        pin: PinPolicy::None,
     };
     let next = |args: &mut dyn Iterator<Item = String>, flag: &str| -> String {
         args.next().unwrap_or_else(|| {
@@ -193,6 +226,14 @@ fn parse_args() -> Options {
                 opts.chaos = Some(s["--chaos=".len()..].to_string());
             }
             "--breaker" => opts.breaker = true,
+            "--clock" => opts.clock = parse_clock(&next(&mut args, "--clock")),
+            s if s.starts_with("--clock=") => {
+                opts.clock = parse_clock(&s["--clock=".len()..]);
+            }
+            "--pin" => opts.pin = parse_pin(&next(&mut args, "--pin")),
+            s if s.starts_with("--pin=") => {
+                opts.pin = parse_pin(&s["--pin=".len()..]);
+            }
             "--profile-threads" => {
                 opts.profile_threads = Some(
                     next(&mut args, "--profile-threads")
@@ -228,7 +269,8 @@ fn print_help() {
          options: --threads A,B --runs N --profile-runs N --bench a,b\n\
          \x20        --size s --train-size s --players N --frames N\n\
          \x20        --tfactor F --seed X --out DIR --no-csv --telemetry[=DIR]\n\
-         \x20        --adaptive[=W] --profile-threads N --chaos SEED[:PLAN] --breaker"
+         \x20        --adaptive[=W] --profile-threads N --chaos SEED[:PLAN] --breaker\n\
+         \x20        --clock global|sharded --pin none|compact|scatter|model"
     );
 }
 
@@ -290,6 +332,8 @@ impl Campaign {
                     seed: self.opts.seed,
                     adaptive: self.opts.adaptive,
                     profile_threads: self.opts.profile_threads,
+                    clock: self.opts.clock,
+                    pin: self.opts.pin,
                 };
                 eprintln!("[gstm-repro] running {} @ {threads} threads ...", bench.name());
                 let exp = if let Some(tel_dir) = &self.opts.telemetry {
@@ -533,6 +577,8 @@ fn main() {
                 seed: c.opts.seed,
                 adaptive: c.opts.adaptive,
                 profile_threads: c.opts.profile_threads,
+                clock: c.opts.clock,
+                pin: c.opts.pin,
             };
             eprintln!("[gstm-repro] training {name} @ {threads} threads ...");
             let model = gstm_harness::experiment::train_model(&*bench, &cfg);
@@ -564,6 +610,8 @@ fn main() {
                         seed: c.opts.seed,
                         adaptive: c.opts.adaptive,
                         profile_threads: c.opts.profile_threads,
+                        clock: c.opts.clock,
+                        pin: c.opts.pin,
                     };
                     eprintln!(
                         "[gstm-repro] repeating {} @ {threads} threads x{} ...",

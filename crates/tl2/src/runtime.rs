@@ -1,11 +1,12 @@
 //! The STM runtime: instance configuration, thread registration, and the
 //! `atomically` retry loop that wires transactions to the guidance hook.
 
-use crate::clock;
+use crate::clock::{self, ClockMode, ClockSnapshot, MAX_SHARDS, SHARD_BITS};
 use crate::txn::{Abort, Txn, TxResult};
 use gstm_core::events::AbortCause;
 use gstm_core::faultinject::{spin_for, FaultPlan, FaultSite};
-use gstm_core::telemetry::{Telemetry, TraceKind};
+use gstm_core::placement::{self, PlacementPlan};
+use gstm_core::telemetry::{ClockStats, ShardClockStats, Telemetry, TraceKind};
 use gstm_core::ThreadStats;
 use gstm_core::{GuidanceHook, NoopHook, Pair, ThreadId, TxnId};
 use std::sync::atomic::{AtomicU16, AtomicU64, Ordering};
@@ -67,10 +68,107 @@ impl StmConfig {
     }
 }
 
+/// Configures and builds an [`Stm`] instance — the one construction
+/// path; the named constructors ([`Stm::new`], [`Stm::with_hook`], …)
+/// are thin wrappers over it. First concrete step toward the planned
+/// `StmBackend` trait: backends will take a builder, not a constructor
+/// ladder.
+///
+/// ```
+/// use gstm_tl2::{ClockMode, StmBuilder, StmConfig};
+///
+/// let stm = StmBuilder::new(StmConfig::default())
+///     .clock(ClockMode::Sharded)
+///     .build();
+/// assert_eq!(stm.clock_mode(), ClockMode::Sharded);
+/// ```
+pub struct StmBuilder {
+    hook: Arc<dyn GuidanceHook>,
+    config: StmConfig,
+    telemetry: Option<Arc<Telemetry>>,
+    faults: Option<Arc<FaultPlan>>,
+    clock_mode: ClockMode,
+    placement: Option<Arc<PlacementPlan>>,
+}
+
+impl StmBuilder {
+    /// A builder for a plain instance (no recording, no gating, global
+    /// clock, no placement).
+    pub fn new(config: StmConfig) -> Self {
+        StmBuilder {
+            hook: Arc::new(NoopHook),
+            config,
+            telemetry: None,
+            faults: None,
+            clock_mode: ClockMode::Global,
+            placement: None,
+        }
+    }
+
+    /// Report to the given guidance hook — a [`gstm_core::RecorderHook`]
+    /// for profiling or a [`gstm_core::GuidedHook`] for model-driven
+    /// execution.
+    pub fn hook(mut self, hook: Arc<dyn GuidanceHook>) -> Self {
+        self.hook = hook;
+        self
+    }
+
+    /// Additionally record commits, aborts, and latencies into
+    /// `telemetry`.
+    pub fn telemetry(mut self, telemetry: Option<Arc<Telemetry>>) -> Self {
+        self.telemetry = telemetry;
+        self
+    }
+
+    /// Arm a deterministic fault plan: each attempt probes the
+    /// `tl2-abort` site (forced abort through the ordinary rollback
+    /// path, surfaced as [`AbortCause::Explicit`]) and the
+    /// `tl2-commit-delay` site (a bounded spin while the write set is
+    /// buffered, emulating a descheduled committer).
+    pub fn faults(mut self, faults: Option<Arc<FaultPlan>>) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Select the commit clock (default [`ClockMode::Global`]).
+    pub fn clock(mut self, mode: ClockMode) -> Self {
+        self.clock_mode = mode;
+        self
+    }
+
+    /// Install a thread-placement plan: [`Stm::register_as`] pins each
+    /// worker per the plan and assigns its clock shard from it.
+    pub fn placement(mut self, plan: Option<Arc<PlacementPlan>>) -> Self {
+        self.placement = plan;
+        self
+    }
+
+    /// Build the instance.
+    pub fn build(self) -> Arc<Stm> {
+        Arc::new(Stm {
+            hook: self.hook,
+            config: self.config,
+            telemetry: self.telemetry,
+            faults: self.faults,
+            clock_mode: self.clock_mode,
+            placement: self.placement,
+            shard_commits: (0..MAX_SHARDS).map(|_| AtomicU64::new(0)).collect(),
+            clock_baseline: clock::sharded().snapshot(),
+            next_thread: AtomicU16::new(0),
+            total_commits: AtomicU64::new(0),
+            total_aborts: AtomicU64::new(0),
+        })
+    }
+}
+
 /// One STM instance: a guidance hook plus global counters. All instances
-/// commit through the single process-wide version clock
-/// ([`clock::global`]), so a [`crate::TVar`] may be used under any
-/// instance — instances differ only in configuration and instrumentation.
+/// of one [`ClockMode`] commit through that mode's process-wide clock
+/// ([`clock::global`] / [`clock::sharded`]), so a [`crate::TVar`] may be
+/// used under any instance of the same mode — instances differ only in
+/// configuration and instrumentation. Handing a `TVar` from a global-mode
+/// instance to a sharded one is safe when the accesses are ordered (setup
+/// then run: sharded stamps always exceed prior global stamps); the
+/// reverse direction and concurrent cross-mode sharing are not supported.
 pub struct Stm {
     pub(crate) hook: Arc<dyn GuidanceHook>,
     pub(crate) config: StmConfig,
@@ -82,6 +180,19 @@ pub struct Stm {
     /// probes the forced-abort and commit-delay sites. `None` keeps the
     /// clean path at one predictable branch per site, like `telemetry`.
     pub(crate) faults: Option<Arc<FaultPlan>>,
+    /// Which commit clock transactions of this instance use.
+    pub(crate) clock_mode: ClockMode,
+    /// Placement plan consulted at registration (core pinning + shard
+    /// assignment); `None` = unpinned, shard = thread id mod shards.
+    placement: Option<Arc<PlacementPlan>>,
+    /// Per-shard successful-commit counters (sharded mode; all zero in
+    /// global mode). Every commit increments exactly one slot, so the
+    /// slots partition `total_commits` — the analyzer's exactness check.
+    shard_commits: Box<[AtomicU64]>,
+    /// Process-wide clock state at construction; [`Stm::clock_stats`]
+    /// reports deltas against it so per-run stats are run-local even
+    /// though the clocks outlive the instance.
+    clock_baseline: ClockSnapshot,
     next_thread: AtomicU16,
     total_commits: AtomicU64,
     total_aborts: AtomicU64,
@@ -90,14 +201,14 @@ pub struct Stm {
 impl Stm {
     /// A plain STM instance (no recording, no gating).
     pub fn new(config: StmConfig) -> Arc<Self> {
-        Self::with_hook(Arc::new(NoopHook), config)
+        StmBuilder::new(config).build()
     }
 
     /// An instance reporting to the given guidance hook — a
     /// [`gstm_core::RecorderHook`] for profiling or a
     /// [`gstm_core::GuidedHook`] for model-driven execution.
     pub fn with_hook(hook: Arc<dyn GuidanceHook>, config: StmConfig) -> Arc<Self> {
-        Self::with_telemetry(hook, config, None)
+        StmBuilder::new(config).hook(hook).build()
     }
 
     /// An instance that additionally records commits, aborts, and
@@ -107,29 +218,22 @@ impl Stm {
         config: StmConfig,
         telemetry: Option<Arc<Telemetry>>,
     ) -> Arc<Self> {
-        Self::with_robustness(hook, config, telemetry, None)
+        StmBuilder::new(config).hook(hook).telemetry(telemetry).build()
     }
 
-    /// [`Stm::with_telemetry`] plus a deterministic fault plan: each
-    /// attempt probes the `tl2-abort` site (forced abort through the
-    /// ordinary rollback path, surfaced as [`AbortCause::Explicit`]) and
-    /// the `tl2-commit-delay` site (a bounded spin while the write set is
-    /// buffered, emulating a descheduled committer).
+    /// [`Stm::with_telemetry`] plus a deterministic fault plan (see
+    /// [`StmBuilder::faults`]).
     pub fn with_robustness(
         hook: Arc<dyn GuidanceHook>,
         config: StmConfig,
         telemetry: Option<Arc<Telemetry>>,
         faults: Option<Arc<FaultPlan>>,
     ) -> Arc<Self> {
-        Arc::new(Stm {
-            hook,
-            config,
-            telemetry,
-            faults,
-            next_thread: AtomicU16::new(0),
-            total_commits: AtomicU64::new(0),
-            total_aborts: AtomicU64::new(0),
-        })
+        StmBuilder::new(config)
+            .hook(hook)
+            .telemetry(telemetry)
+            .faults(faults)
+            .build()
     }
 
     /// Register the calling thread, assigning the next sequential
@@ -143,10 +247,29 @@ impl Stm {
     /// this to keep thread ids stable across runs — the model's states
     /// name specific thread ids, so profiled and guided runs must agree on
     /// the numbering.
+    ///
+    /// This is also where placement lands: if the instance carries a
+    /// [`PlacementPlan`], the calling OS thread is pinned to its planned
+    /// core (best-effort; unsupported platforms no-op) and its clock
+    /// shard comes from the plan instead of the `id % MAX_SHARDS`
+    /// default.
     pub fn register_as(self: &Arc<Self>, id: ThreadId) -> ThreadCtx {
+        let mut shard = (id.index() % MAX_SHARDS) as u16;
+        if let Some(plan) = &self.placement {
+            if let Some(s) = plan.shard_of(id) {
+                shard = s % MAX_SHARDS as u16;
+            }
+            if let Some(core) = plan.core_of(id) {
+                placement::pin_current_thread(core as usize);
+            }
+        }
+        if self.clock_mode == ClockMode::Sharded {
+            clock::sharded().register_shard(shard);
+        }
         ThreadCtx {
             stm: Arc::clone(self),
             thread: id,
+            shard,
             stats: ThreadStats::new(),
             rng: 0x9e37_79b9_7f4a_7c15u64 ^ ((id.0 as u64) << 32 | 0x1234_5678),
         }
@@ -177,9 +300,71 @@ impl Stm {
         self.total_aborts.load(Ordering::Relaxed)
     }
 
-    /// Current value of the process-wide global version clock.
+    /// The commit clock this instance uses.
+    pub fn clock_mode(&self) -> ClockMode {
+        self.clock_mode
+    }
+
+    /// The placement plan installed at construction, if any.
+    pub fn placement(&self) -> Option<&Arc<PlacementPlan>> {
+        self.placement.as_ref()
+    }
+
+    /// Current value of this instance's commit clock — the global
+    /// counter in global mode, the lazily aggregated bound in sharded
+    /// mode. Either way, no stamp a new transaction can observe exceeds
+    /// this value.
     pub fn clock_now(&self) -> u64 {
-        clock::global().now()
+        match self.clock_mode {
+            ClockMode::Global => clock::global().now(),
+            ClockMode::Sharded => clock::sharded().bound(),
+        }
+    }
+
+    /// Record a successful commit against its clock shard (sharded mode).
+    #[inline]
+    pub(crate) fn record_shard_commit(&self, shard: u16) {
+        self.shard_commits[shard as usize % MAX_SHARDS].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Per-run commit-clock statistics: deltas of the process-wide
+    /// clock(s) against this instance's construction-time baseline, plus
+    /// the instance-local per-shard commit partition. Feed to
+    /// [`Telemetry::set_clock_stats`] for export.
+    pub fn clock_stats(&self) -> ClockStats {
+        match self.clock_mode {
+            ClockMode::Global => ClockStats {
+                sharded: false,
+                global_advances: clock::global()
+                    .now()
+                    .saturating_sub(self.clock_baseline.global),
+                shards: Vec::new(),
+            },
+            ClockMode::Sharded => {
+                let now = clock::sharded().snapshot();
+                let base = &self.clock_baseline;
+                let mut shards = Vec::new();
+                for s in 0..now.active.max(base.active) {
+                    let advances = now.advances[s].saturating_sub(base.advances[s]);
+                    let commits = self.shard_commits[s].load(Ordering::Relaxed);
+                    if advances == 0 && commits == 0 {
+                        continue;
+                    }
+                    shards.push(ShardClockStats {
+                        shard: s as u16,
+                        advances,
+                        epoch_start: base.stamps[s] >> SHARD_BITS,
+                        epoch_end: now.stamps[s] >> SHARD_BITS,
+                        commits,
+                    });
+                }
+                ClockStats {
+                    sharded: true,
+                    global_advances: 0,
+                    shards,
+                }
+            }
+        }
     }
 }
 
@@ -188,6 +373,8 @@ impl Stm {
 pub struct ThreadCtx {
     stm: Arc<Stm>,
     thread: ThreadId,
+    /// Clock shard this thread commits through (sharded mode).
+    shard: u16,
     stats: ThreadStats,
     rng: u64,
 }
@@ -196,6 +383,11 @@ impl ThreadCtx {
     /// This thread's id within the STM instance.
     pub fn thread_id(&self) -> ThreadId {
         self.thread
+    }
+
+    /// The clock shard this thread commits through in sharded mode.
+    pub fn shard(&self) -> u16 {
+        self.shard
     }
 
     /// The owning STM instance.
@@ -273,7 +465,8 @@ impl ThreadCtx {
             if self.stm.config.yield_prob_log2.is_some() && seed & 1 == 0 {
                 std::thread::yield_now();
             }
-            let mut tx = Txn::new(&self.stm, me, clock::global().now(), seed);
+            let rv = self.stm.clock_now();
+            let mut tx = Txn::new(&self.stm, me, rv, seed, self.shard);
             let body = f(&mut tx);
             let mut commit_ns = 0u64;
             let mut writes = 0u32;
@@ -312,6 +505,9 @@ impl ThreadCtx {
                 Ok(r) => {
                     self.stm.hook.on_commit(me);
                     self.stm.total_commits.fetch_add(1, Ordering::Relaxed);
+                    if self.stm.clock_mode == ClockMode::Sharded {
+                        self.stm.record_shard_commit(self.shard);
+                    }
                     self.stats.record_commit(retries);
                     if let Some(t) = &tel {
                         t.record_commit(me, commit_ns);

@@ -68,6 +68,8 @@ pub struct Txn<'stm> {
     stm: &'stm Stm,
     me: Pair,
     rv: u64,
+    /// Clock shard this transaction commits through (sharded mode).
+    shard: u16,
     read_set: Vec<Arc<dyn TxTarget>>,
     /// Locations already in `read_set`, keyed by allocation address —
     /// consulted on every read, so it avoids a SipHash per probe.
@@ -95,11 +97,12 @@ impl Drop for Txn<'_> {
 }
 
 impl<'stm> Txn<'stm> {
-    pub(crate) fn new(stm: &'stm Stm, me: Pair, rv: u64, rng_seed: u64) -> Self {
+    pub(crate) fn new(stm: &'stm Stm, me: Pair, rv: u64, rng_seed: u64, shard: u16) -> Self {
         Txn {
             stm,
             me,
             rv,
+            shard,
             read_set: Vec::new(),
             read_keys: AddrSet::new(),
             write_set: Vec::new(),
@@ -370,13 +373,21 @@ impl<'stm> Txn<'stm> {
             }
         }
 
-        // Phase 3: obtain the write version.
-        let wv = crate::clock::global().advance();
+        // Phase 3: obtain the write version from the configured clock.
+        let wv = match self.stm.clock_mode {
+            crate::clock::ClockMode::Global => crate::clock::global().advance(),
+            crate::clock::ClockMode::Sharded => crate::clock::sharded().advance(self.shard),
+        };
 
         // Phase 4: validate the read set. A location this transaction
         // itself locked (at commit in lazy mode, at encounter in eager
         // mode) validates against its pre-lock version.
-        if wv != self.rv + 1 {
+        //
+        // Under the sharded clock the `wv == rv + 1` shortcut is unsound:
+        // another shard may have stamped versions between our rv and wv
+        // that the arithmetic test cannot see, so sharded commits always
+        // validate.
+        if self.stm.clock_mode == crate::clock::ClockMode::Sharded || wv != self.rv + 1 {
             let own_prev = |txn: &Self, locked: &[(usize, u64, usize)], lock_addr: usize| -> Option<u64> {
                 locked
                     .iter()

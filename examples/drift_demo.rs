@@ -11,12 +11,13 @@
 //! ```
 
 use gstm_core::drift::DriftTracker;
+use gstm_core::PinPolicy;
 use gstm_core::guidance::{GuidedHook, RecorderHook};
 use gstm_core::tsa::{GuidedModel, Tsa};
 use gstm_core::tss::StateKey;
 use gstm_harness::experiment::ExperimentConfig;
 use gstm_stamp::{by_name, Benchmark, InputSize, RunConfig};
-use gstm_tl2::{Stm, StmConfig};
+use gstm_tl2::{ClockMode, Stm, StmConfig};
 use std::sync::Arc;
 
 fn main() {
@@ -37,6 +38,8 @@ fn main() {
         seed: 0x7e1e_5eed,
         adaptive: None,
         profile_threads: None,
+        clock: ClockMode::Global,
+        pin: PinPolicy::None,
     };
 
     println!(

@@ -8,10 +8,11 @@
 //! ```
 
 use gstm_core::guidance::{GuidedHook, NoopHook};
+use gstm_core::PinPolicy;
 use gstm_core::telemetry::{Telemetry, TelemetrySnapshot, ABORT_CAUSE_NAMES};
 use gstm_harness::experiment::{train_model, ExperimentConfig};
 use gstm_stamp::{by_name, Benchmark, InputSize, RunConfig};
-use gstm_tl2::{Stm, StmConfig};
+use gstm_tl2::{ClockMode, Stm, StmConfig};
 use std::sync::Arc;
 
 fn main() {
@@ -31,6 +32,8 @@ fn main() {
         seed: 0x7e1e_5eed,
         adaptive: None,
         profile_threads: None,
+        clock: ClockMode::Global,
+        pin: PinPolicy::None,
     };
 
     println!("training guided model on kmeans @ {threads} threads ({runs} profiling runs) ...");
