@@ -1,0 +1,70 @@
+#!/bin/bash
+# Bare-rustc build + test driver for this container (no registry access).
+# Usage:
+#   .buildstub/build.sh            # build all libs
+#   .buildstub/build.sh test       # build libs, then build & run every test target
+#   .buildstub/build.sh test NAME  # run only test targets whose path matches NAME
+set -e
+cd "$(dirname "$0")/.."
+ROOT=$PWD
+OUT=$ROOT/.buildstub/out
+mkdir -p "$OUT"
+RUSTC="rustc --edition 2021 -O -L $OUT --out-dir $OUT"
+
+lib() { # lib <crate_name> <src> [--extern a=...]
+  local name=$1 src=$2; shift 2
+  $RUSTC --crate-type lib --crate-name "$name" "$src" "$@"
+}
+
+# Stubs
+lib crossbeam .buildstub/crossbeam/lib.rs
+lib parking_lot .buildstub/parking_lot/lib.rs
+lib criterion .buildstub/criterion/lib.rs
+
+E_CORE="--extern gstm_core=$OUT/libgstm_core.rlib"
+E_TL2="--extern gstm_tl2=$OUT/libgstm_tl2.rlib --extern crossbeam=$OUT/libcrossbeam.rlib --extern parking_lot=$OUT/libparking_lot.rlib"
+E_STRUCTS="--extern gstm_structs=$OUT/libgstm_structs.rlib"
+E_LIBTM="--extern gstm_libtm=$OUT/libgstm_libtm.rlib"
+E_STAMP="--extern gstm_stamp=$OUT/libgstm_stamp.rlib"
+E_SYNQ="--extern gstm_synquake=$OUT/libgstm_synquake.rlib"
+E_HARNESS="--extern gstm_harness=$OUT/libgstm_harness.rlib"
+E_ALL="$E_CORE $E_TL2 $E_STRUCTS $E_LIBTM $E_STAMP $E_SYNQ $E_HARNESS"
+
+# Workspace libs, dependency order
+lib gstm_core crates/core/src/lib.rs
+lib gstm_tl2 crates/tl2/src/lib.rs $E_CORE --extern crossbeam=$OUT/libcrossbeam.rlib --extern parking_lot=$OUT/libparking_lot.rlib
+lib gstm_structs crates/structs/src/lib.rs $E_CORE $E_TL2
+lib gstm_libtm crates/libtm/src/lib.rs $E_CORE --extern parking_lot=$OUT/libparking_lot.rlib
+lib gstm_stamp crates/stamp/src/lib.rs $E_CORE $E_TL2 $E_STRUCTS
+lib gstm_synquake crates/synquake/src/lib.rs $E_CORE $E_LIBTM
+lib gstm_harness crates/harness/src/lib.rs $E_CORE $E_TL2 $E_STRUCTS $E_LIBTM $E_STAMP $E_SYNQ
+lib gstm_analyze crates/analyze/src/lib.rs $E_CORE
+
+echo "libs OK"
+
+run_test() { # run_test <crate_name> <src> <externs...>
+  local name=$1 src=$2; shift 2
+  local bin=$OUT/test_$name
+  rustc --edition 2021 -O -L "$OUT" --test --crate-name "test_$name" -o "$bin" "$src" "$@"
+  "$bin" --test-threads=4 -q
+}
+
+if [ "$1" = test ]; then
+  FILTER=${2:-}
+  match() { [ -z "$FILTER" ] || [[ $1 == *$FILTER* ]]; }
+  match crates/core/src/lib.rs        && run_test gstm_core crates/core/src/lib.rs
+  match crates/tl2/src/lib.rs         && run_test gstm_tl2 crates/tl2/src/lib.rs $E_CORE --extern crossbeam=$OUT/libcrossbeam.rlib --extern parking_lot=$OUT/libparking_lot.rlib
+  match crates/structs/src/lib.rs     && run_test gstm_structs crates/structs/src/lib.rs $E_CORE $E_TL2
+  match crates/libtm/src/lib.rs       && run_test gstm_libtm crates/libtm/src/lib.rs $E_CORE --extern parking_lot=$OUT/libparking_lot.rlib
+  match crates/stamp/src/lib.rs       && run_test gstm_stamp crates/stamp/src/lib.rs $E_CORE $E_TL2 $E_STRUCTS
+  match crates/synquake/src/lib.rs    && run_test gstm_synquake crates/synquake/src/lib.rs $E_CORE $E_LIBTM
+  match crates/harness/src/lib.rs     && run_test gstm_harness crates/harness/src/lib.rs $E_ALL
+  match crates/analyze/src/lib.rs     && run_test gstm_analyze crates/analyze/src/lib.rs $E_CORE
+  for t in tests/tests/*.rs; do
+    base=$(basename "$t" .rs)
+    [ "$base" = proptests ] && continue   # needs real proptest, pre-existing skip
+    match "$t" || continue
+    run_test "$base" "$t" $E_ALL --extern gstm_analyze=$OUT/libgstm_analyze.rlib
+  done
+  echo "tests OK"
+fi

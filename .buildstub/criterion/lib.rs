@@ -1,0 +1,123 @@
+//! Local build stub for `criterion`: enough surface to compile the bench
+//! targets with bare rustc and produce usable ns/iter numbers (median of
+//! timed batches). Cargo builds use the real crate; this exists only
+//! because the container has no registry access.
+
+use std::time::Instant;
+
+pub struct Criterion {
+    _priv: (),
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { _priv: () }
+    }
+}
+
+impl Criterion {
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher { best_ns: f64::INFINITY };
+        f(&mut b);
+        println!("{name:<48} {:>12.2} ns/iter", b.best_ns);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), _c: self }
+    }
+
+    pub fn final_summary(&mut self) {}
+}
+
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _c: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher { best_ns: f64::INFINITY };
+        f(&mut b);
+        println!("{}/{name:<40} {:>12.2} ns/iter", self.name, b.best_ns);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+pub struct Bencher {
+    best_ns: f64,
+}
+
+impl Bencher {
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut f: R) {
+        // Warm up, then take the best of 5 timed batches.
+        for _ in 0..64 {
+            std::hint::black_box(f());
+        }
+        let mut iters = 64u64;
+        // Scale the batch until it runs >= 2ms so timer noise stays small.
+        loop {
+            let t = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(f());
+            }
+            let el = t.elapsed();
+            if el.as_millis() >= 2 || iters >= 1 << 24 {
+                break;
+            }
+            iters *= 4;
+        }
+        for _ in 0..5 {
+            let t = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(f());
+            }
+            let ns = t.elapsed().as_nanos() as f64 / iters as f64;
+            if ns < self.best_ns {
+                self.best_ns = ns;
+            }
+        }
+    }
+}
+
+impl Bencher {
+    pub fn iter_custom<F: FnMut(u64) -> std::time::Duration>(&mut self, mut f: F) {
+        let mut iters = 16u64;
+        loop {
+            let el = f(iters);
+            if el.as_millis() >= 2 || iters >= 1 << 22 {
+                break;
+            }
+            iters *= 4;
+        }
+        for _ in 0..5 {
+            let ns = f(iters).as_nanos() as f64 / iters as f64;
+            if ns < self.best_ns {
+                self.best_ns = ns;
+            }
+        }
+    }
+}
+
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}

@@ -1,0 +1,156 @@
+//! Local build stub for `crossbeam` (epoch surface only).
+//!
+//! The container has no registry access, so tier-1 tests build against
+//! this conservative epoch-GC implementation: `pin()` bumps a global pin
+//! count, `defer_destroy` queues garbage, and the queue drains only when
+//! the pin count returns to zero (no active guard can still hold a
+//! `Shared` to an unlinked node, so draining at zero pins is safe).
+//! NEVER committed into the cargo build — `cargo` uses the real crate.
+
+pub mod epoch {
+    use std::marker::PhantomData;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+
+    static PINS: AtomicUsize = AtomicUsize::new(0);
+    static GARBAGE: Mutex<Vec<Deferred>> = Mutex::new(Vec::new());
+
+    struct Deferred {
+        ptr: *mut (),
+        drop_fn: unsafe fn(*mut ()),
+    }
+    unsafe impl Send for Deferred {}
+
+    pub struct Guard {
+        _priv: (),
+    }
+
+    pub fn pin() -> Guard {
+        PINS.fetch_add(1, Ordering::SeqCst);
+        Guard { _priv: () }
+    }
+
+    impl Guard {
+        /// # Safety
+        /// `ptr` must be unlinked: no subsequent `load` may return it.
+        pub unsafe fn defer_destroy<T>(&self, ptr: Shared<'_, T>) {
+            unsafe fn dropper<T>(p: *mut ()) {
+                drop(Box::from_raw(p as *mut T));
+            }
+            if ptr.raw.is_null() {
+                return;
+            }
+            GARBAGE.lock().unwrap().push(Deferred {
+                ptr: ptr.raw as *mut (),
+                drop_fn: dropper::<T>,
+            });
+        }
+    }
+
+    impl Drop for Guard {
+        fn drop(&mut self) {
+            if PINS.fetch_sub(1, Ordering::SeqCst) == 1 {
+                let drained: Vec<Deferred> = {
+                    let mut g = GARBAGE.lock().unwrap();
+                    std::mem::take(&mut *g)
+                };
+                for d in drained {
+                    unsafe { (d.drop_fn)(d.ptr) }
+                }
+            }
+        }
+    }
+
+    pub struct Atomic<T> {
+        ptr: std::sync::atomic::AtomicPtr<T>,
+    }
+    unsafe impl<T: Send + Sync> Send for Atomic<T> {}
+    unsafe impl<T: Send + Sync> Sync for Atomic<T> {}
+
+    impl<T> Atomic<T> {
+        pub fn new(v: T) -> Self {
+            Atomic {
+                ptr: std::sync::atomic::AtomicPtr::new(Box::into_raw(Box::new(v))),
+            }
+        }
+
+        pub fn null() -> Self {
+            Atomic {
+                ptr: std::sync::atomic::AtomicPtr::new(std::ptr::null_mut()),
+            }
+        }
+
+        pub fn load<'g>(&self, ord: Ordering, _: &'g Guard) -> Shared<'g, T> {
+            Shared {
+                raw: self.ptr.load(ord),
+                _m: PhantomData,
+            }
+        }
+
+        pub fn swap<'g>(&self, new: Owned<T>, ord: Ordering, _: &'g Guard) -> Shared<'g, T> {
+            Shared {
+                raw: self.ptr.swap(new.into_raw(), ord),
+                _m: PhantomData,
+            }
+        }
+
+        /// # Safety
+        /// Caller must have unique access (matches the real crate's contract).
+        pub unsafe fn try_into_owned(self) -> Option<Owned<T>> {
+            let p = self.ptr.into_inner();
+            if p.is_null() {
+                None
+            } else {
+                Some(Owned { raw: p })
+            }
+        }
+    }
+
+    pub struct Owned<T> {
+        raw: *mut T,
+    }
+
+    impl<T> Owned<T> {
+        pub fn new(v: T) -> Self {
+            Owned {
+                raw: Box::into_raw(Box::new(v)),
+            }
+        }
+
+        fn into_raw(self) -> *mut T {
+            let p = self.raw;
+            std::mem::forget(self);
+            p
+        }
+    }
+
+    impl<T> Drop for Owned<T> {
+        fn drop(&mut self) {
+            unsafe { drop(Box::from_raw(self.raw)) }
+        }
+    }
+
+    pub struct Shared<'g, T> {
+        raw: *mut T,
+        _m: PhantomData<&'g Guard>,
+    }
+
+    impl<'g, T> Clone for Shared<'g, T> {
+        fn clone(&self) -> Self {
+            *self
+        }
+    }
+    impl<'g, T> Copy for Shared<'g, T> {}
+
+    impl<'g, T> Shared<'g, T> {
+        /// # Safety
+        /// The pointee must still be live (guard pinned since the load).
+        pub unsafe fn deref(&self) -> &'g T {
+            &*self.raw
+        }
+
+        pub fn is_null(&self) -> bool {
+            self.raw.is_null()
+        }
+    }
+}

@@ -1,0 +1,54 @@
+//! Local build stub for `parking_lot` (Mutex/RwLock over std, poison
+//! transparent). Used only by the bare-rustc tier-1 build in this
+//! container; cargo builds use the real crate.
+
+pub struct Mutex<T: ?Sized>(std::sync::Mutex<T>);
+
+pub type MutexGuard<'a, T> = std::sync::MutexGuard<'a, T>;
+
+impl<T> Mutex<T> {
+    pub fn new(v: T) -> Self {
+        Mutex(std::sync::Mutex::new(v))
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        self.0.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match self.0.try_lock() {
+            Ok(g) => Some(g),
+            Err(std::sync::TryLockError::Poisoned(e)) => Some(e.into_inner()),
+            Err(std::sync::TryLockError::WouldBlock) => None,
+        }
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Self {
+        Mutex::new(T::default())
+    }
+}
+
+pub struct RwLock<T: ?Sized>(std::sync::RwLock<T>);
+
+pub type RwLockReadGuard<'a, T> = std::sync::RwLockReadGuard<'a, T>;
+pub type RwLockWriteGuard<'a, T> = std::sync::RwLockWriteGuard<'a, T>;
+
+impl<T> RwLock<T> {
+    pub fn new(v: T) -> Self {
+        RwLock(std::sync::RwLock::new(v))
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        self.0.read().unwrap_or_else(|e| e.into_inner())
+    }
+
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        self.0.write().unwrap_or_else(|e| e.into_inner())
+    }
+}
