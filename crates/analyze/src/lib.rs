@@ -290,7 +290,7 @@ pub fn tseq_from_events(events: &[TraceEvent]) -> Vec<StateKey> {
     let log: Vec<TxEvent> = events
         .iter()
         .filter_map(|ev| match ev.kind {
-            TraceKind::Abort { cause } => Some(TxEvent::Abort(ev.pair, cause)),
+            TraceKind::Abort { cause, .. } => Some(TxEvent::Abort(ev.pair, cause)),
             TraceKind::Commit { .. } => Some(TxEvent::Commit(ev.pair, 0)),
             _ => None,
         })
@@ -388,6 +388,12 @@ pub struct RunAnalysis {
     /// Circuit-breaker transitions traced during the run, in sequence
     /// order (`(from, to, cause)` stable codes).
     pub breaker_events: Vec<BreakerEvent>,
+    /// Abort events in the trace (every abort is traced, unlike the
+    /// histogram reconstruction, which drops trailing aborts).
+    pub abort_events: u64,
+    /// Abort events carrying a culprit address (`addr != 0`) — the trace
+    /// side of the contention tracker's `attributed` counter.
+    pub abort_events_with_addr: u64,
     /// The run's parsed counter exposition.
     pub prom: PromSnapshot,
 }
@@ -430,6 +436,15 @@ impl RunAnalysis {
                 _ => None,
             })
             .collect();
+        let (mut abort_events, mut abort_events_with_addr) = (0u64, 0u64);
+        for ev in &events {
+            if let TraceKind::Abort { addr, .. } = ev.kind {
+                abort_events += 1;
+                if addr != 0 {
+                    abort_events_with_addr += 1;
+                }
+            }
+        }
         Ok(RunAnalysis {
             run,
             events: events.len(),
@@ -439,6 +454,8 @@ impl RunAnalysis {
             dropped: prom.get("gstm_trace_dropped_total", &[]).unwrap_or(0.0) as u64,
             segments: epoch_segments(&events),
             breaker_events,
+            abort_events,
+            abort_events_with_addr,
             prom,
         })
     }
@@ -489,6 +506,11 @@ pub struct Thresholds {
     /// rejection, guardian restart, or panicked repetition (the
     /// `--fail-on-degraded` CI gate).
     pub fail_on_degraded: bool,
+    /// Fail if the campaign's hottest conflict address accounts for more
+    /// than this share of attributed aborts, percent (the
+    /// `--max-hot-addr-pct` gate: a single address dominating contention
+    /// is a data-layout bug, not a scheduling problem).
+    pub max_hot_addr_pct: Option<f64>,
 }
 
 impl Default for Thresholds {
@@ -501,6 +523,7 @@ impl Default for Thresholds {
             max_off_model_pct: None,
             fail_on_stale: false,
             fail_on_degraded: false,
+            max_hot_addr_pct: None,
         }
     }
 }
@@ -573,6 +596,66 @@ impl DegradationFacts {
     }
 }
 
+/// Contention facts aggregated from the `gstm_contention_*` families —
+/// the "Contention report" section and the `--max-hot-addr-pct` gate's
+/// evidence. Absent from the report when no run exported the families
+/// (pre-contention artifacts, or telemetry without a tracker).
+#[derive(Clone, Debug, Default)]
+pub struct ContentionFacts {
+    /// Runs whose exposition carried the families.
+    pub runs_with: usize,
+    /// Σ `gstm_contention_attributed_total` over those runs.
+    pub attributed: u64,
+    /// Σ `gstm_contention_unattributed_total` over those runs.
+    pub unattributed: u64,
+    /// Sketch evictions summed over runs (how hard the top-K worked).
+    pub replacements: u64,
+    /// Hot addresses merged across runs by address, count-descending,
+    /// top 16. Counts inherit the per-run sketches' over-count bounds.
+    pub top: Vec<(usize, u64)>,
+    /// Gini coefficient of the merged top-K counts: 0 = every hot
+    /// address equally hot, →1 = one address dominates. Computed over
+    /// the exported top-K only, so it measures concentration *among the
+    /// hot set* — the sketch never exports the cold tail.
+    pub gini: f64,
+    /// Share of campaign-wide attributed aborts on the single hottest
+    /// address, percent.
+    pub hottest_pct: f64,
+    /// Victim/owner conflict pairs merged across runs, count-descending.
+    pub pairs: Vec<(u16, u16, u64)>,
+}
+
+impl ContentionFacts {
+    /// Attribution rate: share of recorded aborts with a known culprit
+    /// address, percent.
+    pub fn attribution_pct(&self) -> f64 {
+        let total = self.attributed + self.unattributed;
+        if total == 0 {
+            0.0
+        } else {
+            100.0 * self.attributed as f64 / total as f64
+        }
+    }
+}
+
+/// Gini coefficient of a count distribution (0 = uniform, →1 = one value
+/// holds everything). Empty and all-zero inputs are 0.
+pub fn gini(counts: &[u64]) -> f64 {
+    let total: u64 = counts.iter().sum();
+    if counts.len() < 2 || total == 0 {
+        return 0.0;
+    }
+    let mut sorted = counts.to_vec();
+    sorted.sort_unstable();
+    let n = sorted.len() as f64;
+    let weighted: f64 = sorted
+        .iter()
+        .enumerate()
+        .map(|(i, &x)| (i as f64 + 1.0) * x as f64)
+        .sum();
+    (2.0 * weighted) / (n * total as f64) - (n + 1.0) / n
+}
+
 /// Human-readable label for a breaker state code.
 pub fn breaker_state_label(code: u64) -> &'static str {
     gstm_core::breaker::BreakerState::from_code(code as u8).label()
@@ -629,6 +712,9 @@ pub struct CampaignReport {
     /// Degradation facts: breaker activity, model rejections, guardian
     /// restarts, and panicked repetitions.
     pub degradation: DegradationFacts,
+    /// Contention facts, when any run exported the `gstm_contention_*`
+    /// families.
+    pub contention: Option<ContentionFacts>,
 }
 
 impl CampaignReport {
@@ -1130,7 +1216,223 @@ pub fn analyze_campaign_with_failures(
         }
     }
 
+    // -- conflict provenance (runs with a contention tracker attached) ------
+    // The tracker records every abort the retry loop sees, so three exact
+    // partitions must hold per run: (a) attributed + unattributed equals
+    // the run's abort counter — no abort escapes provenance accounting;
+    // (b) the exported top-K plus the residual equals attributed — the
+    // space-saving sketch conserves mass through eviction; (c) the
+    // victim/owner matrix plus owner_unknown equals the recorded total —
+    // every abort lands in exactly one matrix bucket. A fourth check
+    // audits the trace against the counters, and degrades to an explicit
+    // "skipped" when the ring dropped events (the PR 3 convention):
+    // a sampled trace must never fail — or silently pass — an exact gate.
+    let contention = {
+        let with: Vec<&RunAnalysis> = runs
+            .iter()
+            .filter(|r| r.prom.get("gstm_contention_attributed_total", &[]).is_some())
+            .collect();
+        if with.is_empty() {
+            None
+        } else {
+            let mut bad = Vec::new();
+            for r in &with {
+                let attributed =
+                    r.prom.get("gstm_contention_attributed_total", &[]).unwrap_or(0.0) as u64;
+                let unattributed =
+                    r.prom.get("gstm_contention_unattributed_total", &[]).unwrap_or(0.0) as u64;
+                let aborts = r.prom.sum("gstm_aborts_total", &[]) as u64;
+                if attributed + unattributed != aborts {
+                    bad.push(format!(
+                        "run {}: attributed {} + unattributed {} != gstm_aborts_total {}",
+                        r.run, attributed, unattributed, aborts
+                    ));
+                }
+            }
+            check(
+                "contention_partition",
+                bad.is_empty(),
+                if bad.is_empty() {
+                    format!(
+                        "{} run(s): attributed + unattributed partitions the abort \
+                         counter exactly",
+                        with.len()
+                    )
+                } else {
+                    bad.join("; ")
+                },
+            );
+
+            let mut bad = Vec::new();
+            for r in &with {
+                let attributed =
+                    r.prom.get("gstm_contention_attributed_total", &[]).unwrap_or(0.0) as u64;
+                let top_sum = r.prom.sum("gstm_contention_addr_aborts_total", &[]) as u64;
+                let residual =
+                    r.prom.get("gstm_contention_residual_total", &[]).unwrap_or(0.0) as u64;
+                if top_sum + residual != attributed {
+                    bad.push(format!(
+                        "run {}: Σ top-K {} + residual {} != attributed {}",
+                        r.run, top_sum, residual, attributed
+                    ));
+                }
+            }
+            check(
+                "contention_sketch_partition",
+                bad.is_empty(),
+                if bad.is_empty() {
+                    "top-K + residual conserves the attributed mass in every run".into()
+                } else {
+                    bad.join("; ")
+                },
+            );
+
+            let mut bad = Vec::new();
+            for r in &with {
+                let total = (r.prom.get("gstm_contention_attributed_total", &[]).unwrap_or(0.0)
+                    + r.prom.get("gstm_contention_unattributed_total", &[]).unwrap_or(0.0))
+                    as u64;
+                let pair_sum = r.prom.sum("gstm_contention_pair_aborts_total", &[]) as u64;
+                let unknown = r
+                    .prom
+                    .get("gstm_contention_owner_unknown_total", &[])
+                    .unwrap_or(0.0) as u64;
+                if pair_sum + unknown != total {
+                    bad.push(format!(
+                        "run {}: Σ pairs {} + owner_unknown {} != recorded total {}",
+                        r.run, pair_sum, unknown, total
+                    ));
+                }
+            }
+            check(
+                "contention_matrix_partition",
+                bad.is_empty(),
+                if bad.is_empty() {
+                    "victim/owner matrix + owner_unknown partitions the recorded total".into()
+                } else {
+                    bad.join("; ")
+                },
+            );
+
+            {
+                let exact: Vec<&&RunAnalysis> =
+                    with.iter().filter(|r| r.dropped == 0).collect();
+                let mut bad = Vec::new();
+                for r in &exact {
+                    let attributed = r
+                        .prom
+                        .get("gstm_contention_attributed_total", &[])
+                        .unwrap_or(0.0) as u64;
+                    let unattributed = r
+                        .prom
+                        .get("gstm_contention_unattributed_total", &[])
+                        .unwrap_or(0.0) as u64;
+                    if r.abort_events_with_addr != attributed
+                        || r.abort_events != attributed + unattributed
+                    {
+                        bad.push(format!(
+                            "run {}: trace {} abort event(s), {} with addr, vs counters \
+                             {} attributed + {} unattributed",
+                            r.run,
+                            r.abort_events,
+                            r.abort_events_with_addr,
+                            attributed,
+                            unattributed
+                        ));
+                    }
+                }
+                check(
+                    "contention_trace_attribution",
+                    bad.is_empty(),
+                    if !bad.is_empty() {
+                        bad.join("; ")
+                    } else if exact.is_empty() {
+                        "skipped: trace incomplete (dropped events)".into()
+                    } else {
+                        format!(
+                            "trace abort/culprit-address events agree with the \
+                             attribution counters in {} exact run(s)",
+                            exact.len()
+                        )
+                    },
+                );
+            }
+
+            // Facts: merge per-run exports by address / by pair.
+            let mut by_addr: std::collections::BTreeMap<usize, u64> =
+                std::collections::BTreeMap::new();
+            let mut by_pair: std::collections::BTreeMap<(u16, u16), u64> =
+                std::collections::BTreeMap::new();
+            let (mut attributed, mut unattributed, mut replacements) = (0u64, 0u64, 0u64);
+            for r in &with {
+                attributed +=
+                    r.prom.get("gstm_contention_attributed_total", &[]).unwrap_or(0.0) as u64;
+                unattributed +=
+                    r.prom.get("gstm_contention_unattributed_total", &[]).unwrap_or(0.0) as u64;
+                replacements += r
+                    .prom
+                    .get("gstm_contention_sketch_replacements_total", &[])
+                    .unwrap_or(0.0) as u64;
+                for s in r.prom.family("gstm_contention_addr_aborts_total") {
+                    let Some((_, a)) = s.labels.iter().find(|(k, _)| k == "addr") else {
+                        continue;
+                    };
+                    let Ok(addr) =
+                        usize::from_str_radix(a.trim_start_matches("0x"), 16)
+                    else {
+                        continue;
+                    };
+                    *by_addr.entry(addr).or_insert(0) += s.value as u64;
+                }
+                for s in r.prom.family("gstm_contention_pair_aborts_total") {
+                    let get = |key: &str| {
+                        s.labels
+                            .iter()
+                            .find(|(k, _)| k == key)
+                            .and_then(|(_, v)| v.parse::<u16>().ok())
+                    };
+                    if let (Some(v), Some(o)) = (get("victim"), get("owner")) {
+                        *by_pair.entry((v, o)).or_insert(0) += s.value as u64;
+                    }
+                }
+            }
+            let mut top: Vec<(usize, u64)> = by_addr.into_iter().collect();
+            top.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+            top.truncate(16);
+            let counts: Vec<u64> = top.iter().map(|&(_, c)| c).collect();
+            let hottest_pct = if attributed > 0 {
+                100.0 * counts.first().copied().unwrap_or(0) as f64 / attributed as f64
+            } else {
+                0.0
+            };
+            let mut pairs: Vec<(u16, u16, u64)> =
+                by_pair.into_iter().map(|((v, o), c)| (v, o, c)).collect();
+            pairs.sort_by(|a, b| b.2.cmp(&a.2).then((a.0, a.1).cmp(&(b.0, b.1))));
+            Some(ContentionFacts {
+                runs_with: with.len(),
+                attributed,
+                unattributed,
+                replacements,
+                gini: gini(&counts),
+                hottest_pct,
+                top,
+                pairs,
+            })
+        }
+    };
+
     // -- policy gates -------------------------------------------------------
+    if let (Some(max_pct), Some(c)) = (th.max_hot_addr_pct, contention.as_ref()) {
+        check(
+            "hot_addr_threshold",
+            c.hottest_pct <= max_pct,
+            format!(
+                "hottest address {} carries {:.2}% of attributed aborts vs limit {max_pct}%",
+                c.top.first().map(|&(a, _)| format!("{a:#x}")).unwrap_or_else(|| "n/a".into()),
+                c.hottest_pct
+            ),
+        );
+    }
     if th.fail_on_degraded {
         check(
             "degradation",
@@ -1238,6 +1540,7 @@ pub fn analyze_campaign_with_failures(
         epochs,
         drift,
         degradation,
+        contention,
     }
 }
 
@@ -1384,6 +1687,36 @@ pub fn render_verdict_json(r: &CampaignReport) -> String {
             );
         }
         let _ = write!(out, "    ]");
+    }
+    if let Some(c) = &r.contention {
+        let _ = writeln!(out, ",");
+        let _ = writeln!(out, "    \"contention\": {{");
+        let _ = writeln!(out, "      \"runs_with\": {},", c.runs_with);
+        let _ = writeln!(out, "      \"attributed\": {},", c.attributed);
+        let _ = writeln!(out, "      \"unattributed\": {},", c.unattributed);
+        let _ = writeln!(out, "      \"attribution_pct\": {},", jf(c.attribution_pct()));
+        let _ = writeln!(out, "      \"sketch_replacements\": {},", c.replacements);
+        let _ = writeln!(out, "      \"gini\": {},", jf(c.gini));
+        let _ = writeln!(out, "      \"hottest_pct\": {},", jf(c.hottest_pct));
+        let _ = writeln!(out, "      \"top\": [");
+        for (i, &(addr, count)) in c.top.iter().enumerate() {
+            let comma = if i + 1 < c.top.len() { "," } else { "" };
+            let _ = writeln!(
+                out,
+                "        {{\"addr\": \"{addr:#x}\", \"aborts\": {count}}}{comma}"
+            );
+        }
+        let _ = writeln!(out, "      ],");
+        let _ = writeln!(out, "      \"pairs\": [");
+        for (i, &(v, o, count)) in c.pairs.iter().enumerate() {
+            let comma = if i + 1 < c.pairs.len() { "," } else { "" };
+            let _ = writeln!(
+                out,
+                "        {{\"victim\": {v}, \"owner\": {o}, \"aborts\": {count}}}{comma}"
+            );
+        }
+        let _ = writeln!(out, "      ]");
+        let _ = write!(out, "    }}");
     }
     if let Some(d) = &r.drift {
         let _ = writeln!(out, ",");
@@ -1549,6 +1882,51 @@ pub fn render_markdown(r: &CampaignReport) -> String {
                         f.cause.replace('|', "\\|")
                     );
                 }
+            }
+        }
+    }
+    if let Some(c) = &r.contention {
+        let _ = writeln!(out);
+        let _ = writeln!(out, "## Contention report");
+        let _ = writeln!(out);
+        let _ = writeln!(
+            out,
+            "{} run(s) with conflict provenance: **{}** attributed abort(s), \
+             {} unattributed ({:.1}% attribution rate), {} sketch eviction(s).",
+            c.runs_with,
+            c.attributed,
+            c.unattributed,
+            c.attribution_pct(),
+            c.replacements
+        );
+        if !c.top.is_empty() {
+            let _ = writeln!(out);
+            let _ = writeln!(out, "| rank | address | aborts | share |");
+            let _ = writeln!(out, "|-----:|---------|-------:|------:|");
+            for (rank, &(addr, count)) in c.top.iter().enumerate() {
+                let share = if c.attributed > 0 {
+                    100.0 * count as f64 / c.attributed as f64
+                } else {
+                    0.0
+                };
+                let _ = writeln!(out, "| {rank} | `{addr:#x}` | {count} | {share:.1}% |");
+            }
+            let _ = writeln!(out);
+            let _ = writeln!(
+                out,
+                "Hot-set concentration (Gini over the top-{}): **{:.3}**; \
+                 hottest address carries {:.1}% of attributed aborts.",
+                c.top.len(),
+                c.gini,
+                c.hottest_pct
+            );
+        }
+        if !c.pairs.is_empty() {
+            let _ = writeln!(out);
+            let _ = writeln!(out, "Top thread conflicts (victim ← owner):");
+            let _ = writeln!(out);
+            for &(v, o, count) in c.pairs.iter().take(8) {
+                let _ = writeln!(out, "- thread {v} aborted by thread {o}: {count}");
             }
         }
     }

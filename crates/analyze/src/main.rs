@@ -4,7 +4,7 @@
 //! gstm-analyze --dir telemetry-out --bench kmeans --threads 4 \
 //!     [--out DIR] [--tol 1e-6] [--max-cv-pct 40] [--max-nondet 100] \
 //!     [--max-abort-ratio-pct 60] [--max-off-model-pct 50] [--fail-on-stale]
-//!     [--fail-on-degraded]
+//!     [--fail-on-degraded] [--max-hot-addr-pct 80]
 //! ```
 //!
 //! Reads `<bench>_<threads>t_run<r>_telemetry.{jsonl,prom}` for r = 0..,
@@ -28,7 +28,7 @@ struct Cli {
 
 const USAGE: &str = "usage: gstm-analyze --dir DIR --bench NAME --threads N [--out DIR] \
 [--tol F] [--max-cv-pct F] [--max-nondet N] [--max-abort-ratio-pct F] \
-[--max-off-model-pct F] [--fail-on-stale] [--fail-on-degraded]";
+[--max-off-model-pct F] [--fail-on-stale] [--fail-on-degraded] [--max-hot-addr-pct F]";
 
 fn parse_cli(args: &[String]) -> Result<Cli, String> {
     let mut dir = None;
@@ -61,6 +61,10 @@ fn parse_cli(args: &[String]) -> Result<Cli, String> {
             "--max-off-model-pct" => {
                 th.max_off_model_pct =
                     Some(val("float")?.parse().map_err(|_| "bad --max-off-model-pct")?)
+            }
+            "--max-hot-addr-pct" => {
+                th.max_hot_addr_pct =
+                    Some(val("float")?.parse().map_err(|_| "bad --max-hot-addr-pct")?)
             }
             "--fail-on-stale" => th.fail_on_stale = true,
             "--fail-on-degraded" => th.fail_on_degraded = true,

@@ -19,7 +19,7 @@ fn commit(ns: u64) -> TraceKind {
 }
 
 fn abort() -> TraceKind {
-    TraceKind::Abort { cause: AbortCause::ReadVersion }
+    TraceKind::Abort { cause: AbortCause::ReadVersion, addr: 0 }
 }
 
 /// The scripted schedule used by the campaign fixtures: two threads,
@@ -166,7 +166,7 @@ fn jsonl_roundtrip_preserves_tseq_and_guidance_metric() {
     let log: Vec<TxEvent> = script
         .iter()
         .filter_map(|e| match e.kind {
-            TraceKind::Abort { cause } => Some(TxEvent::Abort(e.pair, cause)),
+            TraceKind::Abort { cause, .. } => Some(TxEvent::Abort(e.pair, cause)),
             TraceKind::Commit { .. } => Some(TxEvent::Commit(e.pair, 0)),
             _ => None,
         })
@@ -859,4 +859,218 @@ fn analyze_dir_discovers_run_stamped_artifacts() {
     assert_eq!(rep.runs, 2);
     assert!(analyze_dir(&dir, "missing_8t", &Thresholds::default()).is_err());
     std::fs::remove_dir_all(&dir).ok();
+}
+
+// ---------------------------------------------------------------------------
+// Conflict provenance
+// ---------------------------------------------------------------------------
+
+/// The scripted schedule with abort attribution: thread 1's abort carries
+/// a culprit address, thread 0 suffers an unattributed one before its
+/// second commit.
+fn contention_run() -> Vec<TraceEvent> {
+    let (a0, b1) = (pair(0, 0), pair(1, 1));
+    vec![
+        ev(1, a0, TraceKind::Begin),
+        ev(2, a0, commit(100)),
+        ev(
+            3,
+            b1,
+            TraceKind::Abort {
+                cause: AbortCause::ReadLocked { owner: Some(ThreadId(0)) },
+                addr: 0xab00,
+            },
+        ),
+        ev(4, b1, commit(200)),
+        ev(5, a0, abort()),
+        ev(6, a0, commit(150)),
+        ev(7, b1, commit(250)),
+    ]
+}
+
+fn contention_prom(dropped: u64) -> String {
+    format!(
+        "gstm_commits_total 4\n\
+         gstm_aborts_total{{cause=\"read_locked\"}} 1\n\
+         gstm_aborts_total{{cause=\"read_version\"}} 1\n\
+         gstm_gate_outcomes_total{{outcome=\"passed\"}} 5\n\
+         gstm_gate_outcomes_total{{outcome=\"waited\"}} 0\n\
+         gstm_gate_outcomes_total{{outcome=\"released\"}} 0\n\
+         gstm_thread_commits_total{{thread=\"0\"}} 2\n\
+         gstm_thread_commits_total{{thread=\"1\"}} 2\n\
+         gstm_thread_aborts_total{{thread=\"0\"}} 1\n\
+         gstm_thread_aborts_total{{thread=\"1\"}} 1\n\
+         gstm_thread_gate_outcomes_total{{thread=\"0\",outcome=\"passed\"}} 2\n\
+         gstm_thread_gate_outcomes_total{{thread=\"1\",outcome=\"passed\"}} 3\n\
+         gstm_contention_attributed_total 1\n\
+         gstm_contention_unattributed_total 1\n\
+         gstm_contention_residual_total 0\n\
+         gstm_contention_owner_unknown_total 1\n\
+         gstm_contention_sketch_replacements_total 0\n\
+         gstm_contention_sketch_slots{{state=\"occupied\"}} 1\n\
+         gstm_contention_sketch_slots{{state=\"capacity\"}} 2048\n\
+         gstm_contention_addr_aborts_total{{rank=\"0\",addr=\"0xab00\"}} 1\n\
+         gstm_contention_addr_error{{rank=\"0\",addr=\"0xab00\"}} 0\n\
+         gstm_contention_pair_aborts_total{{victim=\"1\",owner=\"0\"}} 1\n\
+         gstm_trace_dropped_total {dropped}\n"
+    )
+}
+
+/// Two attributed repetitions plus matching CSVs.
+fn contention_campaign() -> (Vec<RunAnalysis>, Vec<CsvRunRow>, HarnessSummary) {
+    let runs: Vec<RunAnalysis> = (0..2)
+        .map(|r| {
+            RunAnalysis::from_artifacts(
+                r,
+                &export_jsonl(&contention_run()),
+                &contention_prom(0),
+                2,
+            )
+            .unwrap()
+        })
+        .collect();
+    let secs = [[1.0, 2.0], [1.1, 2.2]];
+    let mut csv = Vec::new();
+    for (r, times) in secs.iter().enumerate() {
+        for (t, &s) in times.iter().enumerate() {
+            csv.push(CsvRunRow { run: r, thread: t, secs: s, commits: 2, aborts: 1 });
+        }
+    }
+    let mut merged = vec![AbortHistogram::new(), AbortHistogram::new()];
+    for r in &runs {
+        for (m, h) in merged.iter_mut().zip(&r.hists) {
+            m.merge(h);
+        }
+    }
+    let summary = HarnessSummary {
+        std_dev_secs: vec![metrics::std_dev(&[1.0, 1.1]), metrics::std_dev(&[2.0, 2.2])],
+        tail_metric: merged.iter().map(|m| m.tail_metric()).collect(),
+        non_determinism: metrics::non_determinism(
+            &runs.iter().map(|r| r.tseq.as_slice()).collect::<Vec<_>>(),
+        ) as u64,
+        commits: 8,
+        aborts: 4,
+    };
+    (runs, csv, summary)
+}
+
+#[test]
+fn contention_campaign_passes_and_reports_facts() {
+    let (runs, csv, summary) = contention_campaign();
+    let rep = analyze_campaign("kmeans_2t", &runs, &csv, &summary, &Thresholds::default());
+    assert!(rep.pass(), "checks: {:?}", rep.checks);
+    for name in [
+        "contention_partition",
+        "contention_sketch_partition",
+        "contention_matrix_partition",
+        "contention_trace_attribution",
+    ] {
+        let c = rep.checks.iter().find(|c| c.name == name).unwrap_or_else(|| {
+            panic!("missing check {name}")
+        });
+        assert!(c.pass, "{name}: {}", c.detail);
+        assert!(!c.detail.starts_with("skipped"), "{name} ran: {}", c.detail);
+    }
+    let facts = rep.contention.as_ref().expect("contention facts");
+    assert_eq!(facts.runs_with, 2);
+    assert_eq!((facts.attributed, facts.unattributed), (2, 2));
+    assert_eq!(facts.attribution_pct(), 50.0);
+    assert_eq!(facts.top, vec![(0xab00, 2)], "per-run exports merge by address");
+    assert_eq!(facts.hottest_pct, 100.0);
+    assert_eq!(facts.pairs, vec![(1, 0, 2)]);
+}
+
+#[test]
+fn contention_partition_violation_fails() {
+    let (mut runs, csv, summary) = contention_campaign();
+    // Claim one more attributed abort than the counters saw.
+    let prom = contention_prom(0)
+        .replace("gstm_contention_attributed_total 1", "gstm_contention_attributed_total 2");
+    runs[1] =
+        RunAnalysis::from_artifacts(1, &export_jsonl(&contention_run()), &prom, 2).unwrap();
+    let rep = analyze_campaign("kmeans_2t", &runs, &csv, &summary, &Thresholds::default());
+    assert!(!rep.pass());
+    let failing: Vec<&str> =
+        rep.checks.iter().filter(|c| !c.pass).map(|c| c.name.as_str()).collect();
+    // The inflated counter breaks the abort partition, the sketch
+    // conservation, and the trace cross-check in run 1.
+    assert!(failing.contains(&"contention_partition"), "{failing:?}");
+    assert!(failing.contains(&"contention_sketch_partition"), "{failing:?}");
+    assert!(failing.contains(&"contention_trace_attribution"), "{failing:?}");
+}
+
+#[test]
+fn dropped_trace_skips_attribution_audit_but_keeps_partitions() {
+    let (mut runs, csv, summary) = contention_campaign();
+    for r in 0..2 {
+        runs[r] = RunAnalysis::from_artifacts(
+            r,
+            &export_jsonl(&contention_run()),
+            &contention_prom(3),
+            2,
+        )
+        .unwrap();
+    }
+    let rep = analyze_campaign("kmeans_2t", &runs, &csv, &summary, &Thresholds::default());
+    let audit = rep
+        .checks
+        .iter()
+        .find(|c| c.name == "contention_trace_attribution")
+        .unwrap();
+    assert!(audit.pass);
+    assert!(audit.detail.starts_with("skipped"), "{}", audit.detail);
+    // Counter-only partitions don't need the trace and still run.
+    for name in ["contention_partition", "contention_sketch_partition"] {
+        let c = rep.checks.iter().find(|c| c.name == name).unwrap();
+        assert!(!c.detail.starts_with("skipped"), "{name} must still verify");
+    }
+}
+
+#[test]
+fn campaigns_without_contention_families_skip_the_section() {
+    let (runs, csv, summary) = fixture_campaign();
+    let rep = analyze_campaign("kmeans_2t", &runs, &csv, &summary, &Thresholds::default());
+    assert!(rep.contention.is_none());
+    assert!(
+        !rep.checks.iter().any(|c| c.name.starts_with("contention")),
+        "no contention checks without the families"
+    );
+}
+
+#[test]
+fn hot_addr_gate_fails_a_dominated_campaign() {
+    let (runs, csv, summary) = contention_campaign();
+    let th = Thresholds { max_hot_addr_pct: Some(50.0), ..Thresholds::default() };
+    let rep = analyze_campaign("kmeans_2t", &runs, &csv, &summary, &th);
+    let gate = rep.checks.iter().find(|c| c.name == "hot_addr_threshold").unwrap();
+    assert!(!gate.pass, "one address holds 100% > 50% limit: {}", gate.detail);
+    // A lenient limit passes.
+    let th = Thresholds { max_hot_addr_pct: Some(100.0), ..Thresholds::default() };
+    assert!(analyze_campaign("kmeans_2t", &runs, &csv, &summary, &th).pass());
+}
+
+#[test]
+fn contention_renders_in_verdict_and_markdown() {
+    let (runs, csv, summary) = contention_campaign();
+    let rep = analyze_campaign("kmeans_2t", &runs, &csv, &summary, &Thresholds::default());
+    let json = render_verdict_json(&rep);
+    assert!(json.contains("\"contention\": {"), "{json}");
+    assert!(json.contains("\"addr\": \"0xab00\""), "{json}");
+    assert!(json.contains("\"victim\": 1"), "{json}");
+    assert_eq!(json.matches('{').count(), json.matches('}').count(), "{json}");
+    let md = render_markdown(&rep);
+    assert!(md.contains("## Contention report"), "{md}");
+    assert!(md.contains("`0xab00`"), "{md}");
+    assert!(md.contains("thread 1 aborted by thread 0: 2"), "{md}");
+}
+
+#[test]
+fn gini_measures_concentration() {
+    assert_eq!(gini(&[]), 0.0);
+    assert_eq!(gini(&[5]), 0.0);
+    assert_eq!(gini(&[3, 3, 3]), 0.0, "uniform distribution");
+    let skewed = gini(&[97, 1, 1, 1]);
+    assert!(skewed > 0.7, "dominated distribution concentrates: {skewed}");
+    let mild = gini(&[4, 3, 2, 1]);
+    assert!(mild > 0.0 && mild < skewed, "ordering: {mild} < {skewed}");
 }

@@ -26,6 +26,7 @@ pub fn bench_cfg(threads: u16) -> ExperimentConfig {
         profile_threads: None,
         clock: ClockMode::Global,
         pin: PinPolicy::None,
+        affinity: AffinitySource::Tsa,
     }
 }
 

@@ -21,8 +21,14 @@
 //! recording, per-epoch drift recording, but a drift threshold it can
 //! never reach, so no swap ever fires. Its A/B partner is `guided+drift`
 //! (adaptive commits always take the observer path); the steady-state
-//! hot-swap machinery must stay within 2% of it. The plain `guided` row
-//! is the observability-disabled path the ≤2% ratio budget applies to.
+//! hot-swap machinery must stay within 2% of it. The `guided+ctn` row
+//! replays the backend-side conflict-provenance recording (one
+//! space-saving sketch update plus one matrix bump per abort, against a
+//! small hot set so the sketch stays on its hit path); its disabled
+//! partner is the plain `guided` row, which still executes the runtime's
+//! one-branch `Option` check with no tracker attached. The plain `guided`
+//! row is the observability-disabled path the ≤2% ratio budget applies
+//! to.
 //!
 //! CI regression mode:
 //!
@@ -37,7 +43,9 @@
 //!
 //! Numbers in README.md § Performance come from this harness.
 
+use gstm_core::contention::ContentionTracker;
 use gstm_core::drift::{DriftConfig, DriftTracker};
+use gstm_core::events::ConflictSite;
 use gstm_core::guidance::{GuidanceHook, GuidedHook, NoopHook, RecorderHook};
 use gstm_core::telemetry::Telemetry;
 use gstm_core::{
@@ -72,15 +80,37 @@ impl GuidanceHook for LegacyRecorder {
 /// Aborts per commit in the measured cycle (3:1, a contended-workload mix).
 const ABORTS_PER_COMMIT: usize = 3;
 
+/// Conflict sites for the `guided+ctn` row: a hot set of
+/// `ABORTS_PER_COMMIT` cache-line-spaced addresses shared by every
+/// thread, so the sketch serves hits (its steady-state path on the
+/// skewed workloads provenance exists for) rather than churning slots.
+#[inline]
+fn hot_site(i: usize) -> ConflictSite {
+    ConflictSite::at(0x1000 + (i << 6))
+}
+
+/// One row's moving parts: the hook plus the optional runtime-side
+/// instrumentation each window replays (telemetry records, conflict
+/// provenance records).
+type Setup = (
+    Arc<dyn GuidanceHook>,
+    Option<Arc<Telemetry>>,
+    Option<Arc<ContentionTracker>>,
+);
+
 /// Drive `commits` windows against `hook` from `threads` workers and
 /// return the mean wall-clock nanoseconds per commit (full window: one
 /// gate + three aborts + one commit). When `tel` is set, each window also
 /// replays the runtime-side telemetry instrumentation (gate/commit
 /// timestamps plus counter records), matching what the STM retry loops
-/// do in enabled mode.
+/// do in enabled mode. When `ctn` is set, every abort also records its
+/// conflict site into the tracker, matching the backends' abort paths;
+/// when it is `None` the per-abort `Option` check still runs — that
+/// branch is exactly the runtime's contention-disabled path.
 fn drive(
     hook: Arc<dyn GuidanceHook>,
     tel: Option<Arc<Telemetry>>,
+    ctn: Option<Arc<ContentionTracker>>,
     threads: u16,
     commits_per_thread: usize,
 ) -> f64 {
@@ -89,6 +119,7 @@ fn drive(
     for t in 0..threads {
         let hook = Arc::clone(&hook);
         let tel = tel.clone();
+        let ctn = ctn.clone();
         let barrier = Arc::clone(&barrier);
         handles.push(std::thread::spawn(move || {
             let me = Pair::new(TxnId(t % 4), ThreadId(t));
@@ -101,17 +132,23 @@ fn drive(
                     let t0 = t.now_ns();
                     hook.gate(me);
                     t.record_gate_wait(me, t.now_ns().saturating_sub(t0));
-                    for _ in 0..ABORTS_PER_COMMIT {
+                    for i in 0..ABORTS_PER_COMMIT {
                         hook.on_abort(me, AbortCause::Validation);
                         t.record_abort(me, AbortCause::Validation);
+                        if let Some(ct) = &ctn {
+                            ct.record(me.thread, AbortCause::Validation, hot_site(i));
+                        }
                     }
                     let c0 = t.now_ns();
                     hook.on_commit(me);
                     t.record_commit(me, t.now_ns().saturating_sub(c0));
                 } else {
                     hook.gate(me);
-                    for _ in 0..ABORTS_PER_COMMIT {
+                    for i in 0..ABORTS_PER_COMMIT {
                         hook.on_abort(me, AbortCause::Validation);
+                        if let Some(ct) = &ctn {
+                            ct.record(me.thread, AbortCause::Validation, hot_site(i));
+                        }
                     }
                     hook.on_commit(me);
                 }
@@ -246,15 +283,11 @@ fn component_micro() {
 const COMMITS: usize = 200_000;
 
 /// Best-of-`n` ns/window for a fresh hook per repetition.
-fn best_of(
-    n: usize,
-    threads: u16,
-    mk: &dyn Fn() -> (Arc<dyn GuidanceHook>, Option<Arc<Telemetry>>),
-) -> f64 {
+fn best_of(n: usize, threads: u16, mk: &dyn Fn() -> Setup) -> f64 {
     (0..n)
         .map(|_| {
-            let (hook, tel) = mk();
-            drive(hook, tel, threads, COMMITS)
+            let (hook, tel, ctn) = mk();
+            drive(hook, tel, ctn, threads, COMMITS)
         })
         .fold(f64::INFINITY, f64::min)
 }
@@ -262,15 +295,11 @@ fn best_of(
 /// Median-of-`n` ns/window — the `--check` aggregator. An oversubscribed
 /// single-core host throws low *and* high outliers; the median tracks the
 /// typical window where a minimum chases lucky scheduling.
-fn median_of(
-    n: usize,
-    threads: u16,
-    mk: &dyn Fn() -> (Arc<dyn GuidanceHook>, Option<Arc<Telemetry>>),
-) -> f64 {
+fn median_of(n: usize, threads: u16, mk: &dyn Fn() -> Setup) -> f64 {
     let mut samples: Vec<f64> = (0..n)
         .map(|_| {
-            let (hook, tel) = mk();
-            drive(hook, tel, threads, COMMITS)
+            let (hook, tel, ctn) = mk();
+            drive(hook, tel, ctn, threads, COMMITS)
         })
         .collect();
     samples.sort_by(f64::total_cmp);
@@ -342,10 +371,13 @@ fn run_check(baseline_path: &str) -> ! {
         // burst doesn't blanket all rounds back-to-back.
         let (mut ratio, mut legacy, mut guided) = (f64::INFINITY, 0.0, f64::INFINITY);
         for round in 0..MAX_ROUNDS {
-            let l = median_of(3, threads, &|| (Arc::new(LegacyRecorder::default()), None));
+            let l = median_of(3, threads, &|| {
+                (Arc::new(LegacyRecorder::default()), None, None)
+            });
             let g = median_of(3, threads, &|| {
                 (
                     Arc::new(GuidedHook::new(Arc::clone(&model), GuidanceConfig::default())),
+                    None,
                     None,
                 )
             });
@@ -395,13 +427,11 @@ fn main() {
     for &threads in &thread_counts {
         // Warmup + measure; take the best of 3 to damp scheduler noise.
         let mut rows: Vec<(&str, f64)> = Vec::new();
-        let best = |mk: &dyn Fn() -> (Arc<dyn GuidanceHook>, Option<Arc<Telemetry>>)| -> f64 {
-            best_of(3, threads, mk)
-        };
-        let legacy = best(&|| (Arc::new(LegacyRecorder::default()), None));
-        rows.push(("noop", best(&|| (Arc::new(NoopHook), None))));
+        let best = |mk: &dyn Fn() -> Setup| -> f64 { best_of(3, threads, mk) };
+        let legacy = best(&|| (Arc::new(LegacyRecorder::default()), None, None));
+        rows.push(("noop", best(&|| (Arc::new(NoopHook), None, None))));
         rows.push(("legacy", legacy));
-        rows.push(("sharded", best(&|| (Arc::new(RecorderHook::new()), None))));
+        rows.push(("sharded", best(&|| (Arc::new(RecorderHook::new()), None, None))));
         let model = harness_model(threads);
         rows.push((
             "guided",
@@ -409,6 +439,21 @@ fn main() {
                 (
                     Arc::new(GuidedHook::new(Arc::clone(&model), GuidanceConfig::default())),
                     None,
+                    None,
+                )
+            }),
+        ));
+        // Conflict-provenance enabled: the same telemetry-disabled window
+        // plus one `ContentionTracker::record` per abort (sketch hit +
+        // matrix bump). A/B partner: the plain `guided` row above, which
+        // executes the runtime's `Option` branch with no tracker.
+        rows.push((
+            "guided+ctn",
+            best(&|| {
+                (
+                    Arc::new(GuidedHook::new(Arc::clone(&model), GuidanceConfig::default())),
+                    None,
+                    Some(Arc::new(ContentionTracker::new())),
                 )
             }),
         ));
@@ -425,6 +470,7 @@ fn main() {
                         None,
                         Some(drift),
                     )),
+                    None,
                     None,
                 )
             }),
@@ -447,7 +493,7 @@ fn main() {
                 };
                 let hook =
                     GuidedHook::adaptive(Arc::clone(&model), GuidanceConfig::default(), adapt, None);
-                (hook as Arc<dyn GuidanceHook>, None)
+                (hook as Arc<dyn GuidanceHook>, None, None)
             }),
         ));
         // Enabled mode: counters + histograms + runtime-side timestamps
@@ -464,6 +510,7 @@ fn main() {
                         Some(Arc::clone(&tel)),
                     )),
                     Some(tel),
+                    None,
                 )
             }),
         ));

@@ -52,6 +52,43 @@ impl AbortCause {
     }
 }
 
+/// The memory location a conflict was detected on.
+///
+/// [`AbortCause`] records *who* a transaction conflicted with but not
+/// *where*; `ConflictSite` carries the contended location's stable
+/// identity (its allocation address — the same key the read/write sets
+/// use) alongside the cause. It rides the backends' abort structs rather
+/// than the cause enum so existing cause matching and its trace schema
+/// stay untouched; a zero address means the backend could not name a
+/// location (explicit retries, doom flags observed without provenance),
+/// which the contention sketch counts as *unattributed*.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct ConflictSite {
+    addr: usize,
+}
+
+impl ConflictSite {
+    /// No known location (attribution counts this abort as unattributed).
+    pub const UNKNOWN: ConflictSite = ConflictSite { addr: 0 };
+
+    /// A conflict detected on the location with the given stable key.
+    /// A zero key collapses to [`ConflictSite::UNKNOWN`] (allocation
+    /// addresses are never null).
+    pub fn at(addr: usize) -> Self {
+        ConflictSite { addr }
+    }
+
+    /// The conflicting location's key, if one was recorded.
+    pub fn addr(self) -> Option<usize> {
+        (self.addr != 0).then_some(self.addr)
+    }
+
+    /// The raw key (0 = unknown) — the trace-schema encoding.
+    pub fn raw(self) -> usize {
+        self.addr
+    }
+}
+
 /// One entry in the global event log.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum TxEvent {

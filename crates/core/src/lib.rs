@@ -43,6 +43,7 @@ pub mod adapt;
 pub mod analyzer;
 pub mod breaker;
 pub mod config;
+pub mod contention;
 pub mod drift;
 pub mod events;
 pub mod fastset;
@@ -67,12 +68,13 @@ pub mod prelude {
     pub use crate::config::{ExecMode, GuidanceConfig};
     pub use crate::faultinject::{FaultPlan, FaultSite};
     pub use crate::drift::{DriftConfig, DriftTracker, DriftVerdict, ModelDrift};
-    pub use crate::events::AbortCause;
+    pub use crate::contention::{ContentionStats, ContentionTracker, HotAddr, PairConflict};
+    pub use crate::events::{AbortCause, ConflictSite};
     pub use crate::fastset::AddrSet;
     pub use crate::guidance::{GateStats, GuidanceHook, GuidedHook, NoopHook, RecorderHook};
     pub use crate::ids::{Pair, ThreadId, TxnId};
     pub use crate::metrics::AbortHistogram;
-    pub use crate::placement::{AffinityMatrix, PinPolicy, PlacementPlan};
+    pub use crate::placement::{AffinityMatrix, AffinitySource, PinPolicy, PlacementPlan};
     pub use crate::stats::ThreadStats;
     pub use crate::telemetry::{
         ClockStats, PlacementStats, ShardClockStats, Telemetry, TelemetrySnapshot, TraceEvent,

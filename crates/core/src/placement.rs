@@ -76,6 +76,43 @@ impl PinPolicy {
     }
 }
 
+/// Which signal feeds the `--pin=model` affinity matrix (`--affinity=`
+/// in the harness). Irrelevant for the trivial pin policies.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum AffinitySource {
+    /// Derive affinity from the profiled automaton
+    /// ([`AffinityMatrix::from_tsa`]) — the seed behavior.
+    #[default]
+    Tsa,
+    /// Derive affinity from measured abort attribution
+    /// ([`AffinityMatrix::from_contention`]): a contention tracker rides
+    /// the profiling runs and its victim/owner matrix becomes the
+    /// placement input. Falls back to the TSA signal when profiling
+    /// observed no attributable conflicts.
+    Measured,
+}
+
+impl AffinitySource {
+    /// Parse an `--affinity=` flag value.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "tsa" => Ok(AffinitySource::Tsa),
+            "measured" => Ok(AffinitySource::Measured),
+            other => Err(format!(
+                "unknown affinity source {other:?} (want tsa|measured)"
+            )),
+        }
+    }
+
+    /// The flag spelling.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            AffinitySource::Tsa => "tsa",
+            AffinitySource::Measured => "measured",
+        }
+    }
+}
+
 /// Symmetric thread×thread conflict-affinity weights.
 ///
 /// `weight(a, b)` is high when threads `a` and `b` were observed
@@ -123,6 +160,27 @@ impl AffinityMatrix {
             for &(dst, f) in tsa.outbound(id) {
                 m.bump(committer, tsa.state(dst).commit().thread, f as f64 * 0.25);
             }
+        }
+        m
+    }
+
+    /// Build the matrix from measured conflict attribution.
+    ///
+    /// Each [`PairConflict`](crate::contention::PairConflict) is a
+    /// victim/owner pair observed at abort time by the contention
+    /// tracker: thread `victim` aborted because thread `owner` held (or
+    /// doomed it over) the conflicting location. That is *direct*
+    /// evidence the two contend — unlike [`from_tsa`](Self::from_tsa),
+    /// no adjacency heuristic is needed, so every edge carries its raw
+    /// measured abort count.
+    pub fn from_contention(stats: &crate::contention::ContentionStats, threads: usize) -> Self {
+        let mut m = Self::zero(threads);
+        for p in &stats.pairs {
+            m.bump(
+                ThreadId(p.victim),
+                ThreadId(p.owner),
+                p.count as f64,
+            );
         }
         m
     }
@@ -461,6 +519,28 @@ mod tests {
         );
         assert_eq!(m.weight(0, 1), m.weight(1, 0), "matrix is symmetric");
         assert_eq!(m.weight(0, 0), 0.0, "zero diagonal");
+    }
+
+    #[test]
+    fn affinity_matrix_from_measured_contention() {
+        use crate::contention::{ContentionStats, PairConflict};
+        let stats = ContentionStats {
+            pairs: vec![
+                PairConflict { victim: 0, owner: 1, count: 40 },
+                PairConflict { victim: 1, owner: 0, count: 35 },
+                PairConflict { victim: 2, owner: 3, count: 2 },
+                PairConflict { victim: 0, owner: 0, count: 9 }, // self-pair: dropped
+            ],
+            ..ContentionStats::default()
+        };
+        let m = AffinityMatrix::from_contention(&stats, 4);
+        assert_eq!(m.weight(0, 1), 75.0, "victim/owner directions sum");
+        assert_eq!(m.weight(1, 0), 75.0, "matrix is symmetric");
+        assert_eq!(m.weight(2, 3), 2.0);
+        assert_eq!(m.weight(0, 0), 0.0, "zero diagonal survives self-pairs");
+        let clusters = cluster_threads(&m, 2);
+        let of = |t: u16| clusters.iter().position(|c| c.contains(&t)).unwrap();
+        assert_eq!(of(0), of(1), "hot measured pair clusters together: {clusters:?}");
     }
 
     #[test]

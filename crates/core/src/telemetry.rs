@@ -25,6 +25,7 @@
 //! * the tracer writes into a bounded per-thread ring buffer (oldest
 //!   events overwritten, never unbounded growth) under an uncontended
 //!   per-thread mutex, and can be sized to zero to keep counters only.
+use crate::contention::ContentionStats;
 use crate::drift::{DriftTracker, ModelDrift};
 use crate::events::AbortCause;
 use crate::ids::Pair;
@@ -311,6 +312,9 @@ pub enum TraceKind {
     Abort {
         /// Why it rolled back.
         cause: AbortCause,
+        /// The conflicting location's key
+        /// ([`crate::events::ConflictSite::raw`]; 0 = unknown).
+        addr: usize,
     },
     /// An attempt committed.
     Commit {
@@ -422,6 +426,10 @@ pub struct Telemetry {
     clock_stats: Mutex<Option<ClockStats>>,
     /// Thread-placement plan summary, set by the harness (cold).
     placement: Mutex<Option<PlacementStats>>,
+    /// Merged conflict-provenance stats, set by the harness after the
+    /// run quiesces (cold; the hot record path lives in
+    /// [`crate::contention::ContentionTracker`], not here).
+    contention: Mutex<Option<ContentionStats>>,
 }
 
 /// One clock shard's per-run statistics (sharded commit clock).
@@ -537,6 +545,7 @@ impl Telemetry {
             drift: Mutex::new(None),
             clock_stats: Mutex::new(None),
             placement: Mutex::new(None),
+            contention: Mutex::new(None),
         }
     }
 
@@ -550,6 +559,14 @@ impl Telemetry {
     /// snapshots expose it as `gstm_placement_*`).
     pub fn set_placement(&self, stats: PlacementStats) {
         *self.placement.lock() = Some(stats);
+    }
+
+    /// Attach the run's merged conflict-provenance stats (set by the
+    /// harness from [`crate::contention::ContentionTracker::snapshot`]
+    /// after the run joins; snapshots expose them as
+    /// `gstm_contention_*`).
+    pub fn set_contention(&self, stats: ContentionStats) {
+        *self.contention.lock() = Some(stats);
     }
 
     /// Register a model-drift tracker so snapshots (and their Prometheus
@@ -742,6 +759,7 @@ impl Telemetry {
             model_drift: self.drift.lock().as_ref().map(|d| d.report()),
             clock: self.clock_stats.lock().clone(),
             placement: self.placement.lock().clone(),
+            contention: self.contention.lock().clone(),
             ..Default::default()
         };
         for (i, cell) in self.cells.iter().enumerate() {
@@ -872,6 +890,9 @@ pub struct TelemetrySnapshot {
     pub clock: Option<ClockStats>,
     /// Placement-plan summary, when the harness set it.
     pub placement: Option<PlacementStats>,
+    /// Conflict-provenance stats, when the harness attached a
+    /// [`crate::contention::ContentionTracker`] to the run.
+    pub contention: Option<ContentionStats>,
 }
 
 impl TelemetrySnapshot {
@@ -989,6 +1010,65 @@ impl TelemetrySnapshot {
             let _ = writeln!(out, "# TYPE gstm_placement_thread_core gauge");
             for &(t, c) in &p.thread_core {
                 let _ = writeln!(out, "gstm_placement_thread_core{{thread=\"{t}\"}} {c}");
+            }
+        }
+        // Contention families are emitted only when the harness attached
+        // a tracker — absence means "artifacts predate conflict
+        // provenance" (or the run disabled it), which the analyzer
+        // treats as "checks not applicable".
+        if let Some(ct) = &self.contention {
+            let _ = writeln!(out, "# TYPE gstm_contention_attributed_total counter");
+            let _ = writeln!(out, "gstm_contention_attributed_total {}", ct.attributed);
+            let _ = writeln!(out, "# TYPE gstm_contention_unattributed_total counter");
+            let _ = writeln!(out, "gstm_contention_unattributed_total {}", ct.unattributed);
+            let _ = writeln!(out, "# TYPE gstm_contention_residual_total counter");
+            let _ = writeln!(out, "gstm_contention_residual_total {}", ct.residual);
+            let _ = writeln!(out, "# TYPE gstm_contention_owner_unknown_total counter");
+            let _ = writeln!(out, "gstm_contention_owner_unknown_total {}", ct.owner_unknown);
+            let _ = writeln!(out, "# TYPE gstm_contention_sketch_replacements_total counter");
+            let _ = writeln!(
+                out,
+                "gstm_contention_sketch_replacements_total {}",
+                ct.replacements
+            );
+            let _ = writeln!(out, "# TYPE gstm_contention_sketch_slots gauge");
+            let _ = writeln!(
+                out,
+                "gstm_contention_sketch_slots{{state=\"occupied\"}} {}",
+                ct.occupied
+            );
+            let _ = writeln!(
+                out,
+                "gstm_contention_sketch_slots{{state=\"capacity\"}} {}",
+                ct.capacity
+            );
+            if !ct.top.is_empty() {
+                let _ = writeln!(out, "# TYPE gstm_contention_addr_aborts_total counter");
+                for (rank, h) in ct.top.iter().enumerate() {
+                    let _ = writeln!(
+                        out,
+                        "gstm_contention_addr_aborts_total{{rank=\"{rank}\",addr=\"{:#x}\"}} {}",
+                        h.addr, h.count
+                    );
+                }
+                let _ = writeln!(out, "# TYPE gstm_contention_addr_error gauge");
+                for (rank, h) in ct.top.iter().enumerate() {
+                    let _ = writeln!(
+                        out,
+                        "gstm_contention_addr_error{{rank=\"{rank}\",addr=\"{:#x}\"}} {}",
+                        h.addr, h.err
+                    );
+                }
+            }
+            if !ct.pairs.is_empty() {
+                let _ = writeln!(out, "# TYPE gstm_contention_pair_aborts_total counter");
+                for p in &ct.pairs {
+                    let _ = writeln!(
+                        out,
+                        "gstm_contention_pair_aborts_total{{victim=\"{}\",owner=\"{}\"}} {}",
+                        p.victim, p.owner, p.count
+                    );
+                }
             }
         }
         let _ = writeln!(out, "# TYPE gstm_thread_commits_total counter");
@@ -1135,10 +1215,15 @@ pub fn export_jsonl(events: &[TraceEvent]) -> String {
             TraceKind::GateWait { wait_ns } => {
                 let _ = write!(out, ",\"kind\":\"gate_wait\",\"wait_ns\":{wait_ns}");
             }
-            TraceKind::Abort { cause } => {
+            TraceKind::Abort { cause, addr } => {
                 let _ = write!(out, ",\"kind\":\"abort\",\"cause\":\"{}\"", cause_name(cause));
                 if let Some(t) = cause.conflicting_thread() {
                     let _ = write!(out, ",\"conflict\":{}", t.0);
+                }
+                // Optional field (like "conflict"): pre-PR7 artifacts
+                // lack it and parse_jsonl defaults it to 0.
+                if addr != 0 {
+                    let _ = write!(out, ",\"addr\":{addr}");
                 }
             }
             TraceKind::Commit { commit_ns, writes } => {
@@ -1224,7 +1309,11 @@ pub fn parse_jsonl(s: &str) -> Result<Vec<TraceEvent>, String> {
                     "explicit" => AbortCause::Explicit,
                     _ => return Err(err("unknown cause")),
                 };
-                TraceKind::Abort { cause }
+                // Tolerant: pre-PR7 artifacts have no "addr" field.
+                TraceKind::Abort {
+                    cause,
+                    addr: json_u64(line, "addr").unwrap_or(0) as usize,
+                }
             }
             "commit" => TraceKind::Commit {
                 commit_ns: json_u64(line, "commit_ns").ok_or_else(|| err("missing commit_ns"))?,
@@ -1320,11 +1409,16 @@ pub fn export_chrome_trace(events: &[TraceEvent]) -> String {
                     ev.seq
                 );
             }
-            TraceKind::Abort { cause } => {
+            TraceKind::Abort { cause, addr } => {
+                let culprit = if addr != 0 {
+                    format!(",\"addr\":\"{addr:#x}\"")
+                } else {
+                    String::new()
+                };
                 let _ = write!(
                     e,
                     "{{\"name\":\"abort:{}\",\"cat\":\"abort\",\"ph\":\"i\",\"ts\":{},\
-                     \"pid\":0,\"tid\":{tid},\"s\":\"t\",\"args\":{{\"seq\":{}}}}}",
+                     \"pid\":0,\"tid\":{tid},\"s\":\"t\",\"args\":{{\"seq\":{}{culprit}}}}}",
                     cause_name(cause),
                     fmt_us(ev.ts_ns),
                     ev.seq
@@ -1613,13 +1707,19 @@ mod tests {
                 seq: 2,
                 ts_ns: 300,
                 pair: p(1, 2),
-                kind: TraceKind::Abort { cause: AbortCause::ReadLocked { owner: Some(ThreadId(7)) } },
+                kind: TraceKind::Abort {
+                    cause: AbortCause::ReadLocked { owner: Some(ThreadId(7)) },
+                    addr: 0xdead_b000,
+                },
             },
             TraceEvent {
                 seq: 3,
                 ts_ns: 340,
                 pair: p(0, 3),
-                kind: TraceKind::Abort { cause: AbortCause::CommitLockBusy { owner: None } },
+                kind: TraceKind::Abort {
+                    cause: AbortCause::CommitLockBusy { owner: None },
+                    addr: 0,
+                },
             },
             TraceEvent {
                 seq: 4,
@@ -1655,6 +1755,22 @@ mod tests {
         assert_eq!(jsonl.lines().count(), events.len());
         let parsed = parse_jsonl(&jsonl).expect("parses");
         assert_eq!(parsed, events, "count, ordering, and payloads survive");
+    }
+
+    #[test]
+    fn jsonl_parses_pre_pr7_abort_lines_without_addr() {
+        // Artifacts written before conflict provenance carry no "addr"
+        // field; they must still parse, with addr defaulting to 0.
+        let legacy = "{\"seq\":9,\"ts_ns\":77,\"txn\":1,\"thread\":2,\
+                      \"kind\":\"abort\",\"cause\":\"read_locked\",\"conflict\":7}";
+        let parsed = parse_jsonl(legacy).expect("legacy line parses");
+        assert_eq!(
+            parsed[0].kind,
+            TraceKind::Abort {
+                cause: AbortCause::ReadLocked { owner: Some(ThreadId(7)) },
+                addr: 0,
+            }
+        );
     }
 
     #[test]
@@ -1781,6 +1897,41 @@ mod tests {
         assert!(prom.contains("gstm_model_states{kind=\"modeled\"} 2"));
         assert!(prom.contains("gstm_model_staleness 1"));
         assert!(tel.drift_tracker().is_some());
+    }
+
+    #[test]
+    fn contention_stats_flow_into_snapshot_and_prometheus() {
+        use crate::contention::ContentionTracker;
+        use crate::events::ConflictSite;
+        let tel = Telemetry::counters_only();
+        assert!(tel.snapshot().contention.is_none(), "absent until attached");
+        assert!(
+            !tel.render_prometheus().contains("gstm_contention_"),
+            "no contention families without a tracker"
+        );
+        let ct = ContentionTracker::new();
+        for _ in 0..4 {
+            ct.record(
+                ThreadId(1),
+                AbortCause::ReadLocked { owner: Some(ThreadId(2)) },
+                ConflictSite::at(0xab00),
+            );
+        }
+        ct.record(ThreadId(1), AbortCause::ReadVersion, ConflictSite::UNKNOWN);
+        tel.set_contention(ct.snapshot());
+        let snap = tel.snapshot();
+        let c = snap.contention.as_ref().expect("attached");
+        assert_eq!((c.attributed, c.unattributed), (4, 1));
+        let prom = snap.render_prometheus();
+        assert!(prom.contains("gstm_contention_attributed_total 4"));
+        assert!(prom.contains("gstm_contention_unattributed_total 1"));
+        assert!(prom.contains(
+            "gstm_contention_addr_aborts_total{rank=\"0\",addr=\"0xab00\"} 4"
+        ));
+        assert!(prom.contains(
+            "gstm_contention_pair_aborts_total{victim=\"1\",owner=\"2\"} 4"
+        ));
+        assert!(prom.contains("gstm_contention_sketch_slots{state=\"occupied\"} 1"));
     }
 
     #[test]

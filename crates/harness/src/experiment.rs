@@ -48,6 +48,11 @@ pub struct ExperimentConfig {
     /// TSA; `Compact`/`Scatter` are the classic baselines; `None` leaves
     /// the OS scheduler alone and assigns clock shards round-robin.
     pub pin: PinPolicy,
+    /// Affinity signal for `--pin=model` (the `--affinity` flag):
+    /// `Tsa` builds the matrix from the profiled automaton; `Measured`
+    /// rides a contention tracker on the profiling runs and builds it
+    /// from the observed victim/owner abort matrix instead.
+    pub affinity: AffinitySource,
 }
 
 impl ExperimentConfig {
@@ -66,6 +71,7 @@ impl ExperimentConfig {
             profile_threads: None,
             clock: ClockMode::Global,
             pin: PinPolicy::None,
+            affinity: AffinitySource::Tsa,
         }
     }
 }
@@ -265,6 +271,13 @@ fn measure<H: GuidanceHook + 'static>(
     clock: ClockMode,
     plan: Option<Arc<PlacementPlan>>,
     faults: Option<Arc<FaultPlan>>,
+    // A caller-owned contention tracker accumulating across every run of
+    // the phase (the measured-affinity profiling signal). When absent,
+    // each *telemetry-collected* run gets its own fresh tracker so the
+    // per-run snapshot's attribution partitions exactly against that
+    // run's abort counters; uncollected runs pay only the disabled-path
+    // branch.
+    shared_contention: Option<Arc<ContentionTracker>>,
     hook_for_run: impl Fn(usize) -> Arc<H>,
     telemetry_for_run: impl Fn(usize) -> Option<Arc<Telemetry>>,
     take_run: impl Fn(&H) -> Vec<StateKey>,
@@ -281,12 +294,16 @@ fn measure<H: GuidanceHook + 'static>(
     for rep in 0..runs {
         let hook = hook_for_run(ok);
         let tel = telemetry_for_run(ok);
+        let contention = shared_contention
+            .clone()
+            .or_else(|| tel.as_ref().map(|_| Arc::new(ContentionTracker::new())));
         let stm = StmBuilder::new(stm_config(cfg))
             .hook(hook.clone())
             .telemetry(tel.clone())
             .faults(faults.clone())
             .clock(clock)
             .placement(plan.clone())
+            .contention(contention.clone())
             .build();
         let run_cfg = RunConfig {
             threads: cfg.threads,
@@ -329,6 +346,9 @@ fn measure<H: GuidanceHook + 'static>(
             if let Some(p) = &plan {
                 tel.set_placement(PlacementStats::from_plan(p));
             }
+            if let Some(ct) = &contention {
+                tel.set_contention(ct.snapshot());
+            }
         }
         ok += 1;
     }
@@ -352,6 +372,7 @@ pub fn train_model(bench: &dyn Benchmark, cfg: &ExperimentConfig) -> GuidedModel
         ClockMode::Global,
         None,
         None,
+        None,
         |_| recorder.clone(),
         |_| None,
         |h| h.take_run(),
@@ -363,13 +384,26 @@ pub fn train_model(bench: &dyn Benchmark, cfg: &ExperimentConfig) -> GuidedModel
 /// TSA. `Model` clusters threads by conflict affinity (shared clock
 /// shard, adjacent cores); `Compact`/`Scatter` are the classic layouts;
 /// `None` returns no plan — unpinned threads, round-robin shard default.
-fn placement_plan(cfg: &ExperimentConfig, tsa: &Tsa) -> Option<Arc<PlacementPlan>> {
+///
+/// With `--affinity=measured`, `measured` carries the contention
+/// tracker's profiling-phase snapshot and its victim/owner matrix
+/// replaces the TSA-derived one. An empty measured matrix (profiling
+/// observed no attributable conflicts) falls back to the TSA signal
+/// rather than degrading `model` to unclustered compact geometry.
+fn placement_plan(
+    cfg: &ExperimentConfig,
+    tsa: &Tsa,
+    measured: Option<&ContentionStats>,
+) -> Option<Arc<PlacementPlan>> {
     let cores = placement::online_cpus();
     let threads = cfg.threads as usize;
     match cfg.pin {
         PinPolicy::None => None,
         PinPolicy::Model => {
-            let m = AffinityMatrix::from_tsa(tsa, threads);
+            let m = measured
+                .filter(|s| !s.pairs.is_empty())
+                .map(|s| AffinityMatrix::from_contention(s, threads))
+                .unwrap_or_else(|| AffinityMatrix::from_tsa(tsa, threads));
             Some(Arc::new(PlacementPlan::model_driven(&m, cores, clock::MAX_SHARDS)))
         }
         policy => Some(Arc::new(PlacementPlan::trivial(
@@ -441,6 +475,12 @@ pub fn run_experiment_chaos(
         ..*cfg
     };
     let recorder = Arc::new(RecorderHook::new());
+    // `--pin=model --affinity=measured`: a contention tracker rides every
+    // profiling run (one shared instance — the matrix should integrate
+    // all training evidence) and its snapshot feeds the placement plan.
+    let profile_contention = (cfg.pin == PinPolicy::Model
+        && cfg.affinity == AffinitySource::Measured)
+        .then(|| Arc::new(ContentionTracker::new()));
     let (_, train_runs) = measure(
         bench,
         &profile_cfg,
@@ -449,6 +489,7 @@ pub fn run_experiment_chaos(
         ClockMode::Global,
         None,
         None,
+        profile_contention.clone(),
         |_| recorder.clone(),
         |_| None,
         |h| h.take_run(),
@@ -460,7 +501,8 @@ pub fn run_experiment_chaos(
     // The placement plan must come off the TSA before `GuidedModel::build`
     // consumes it. Both measurement phases share the plan so the guided/
     // default comparison holds clock and placement fixed.
-    let plan = placement_plan(cfg, &tsa);
+    let measured_affinity = profile_contention.as_ref().map(|ct| ct.snapshot());
+    let plan = placement_plan(cfg, &tsa, measured_affinity.as_ref());
     // Round-trip the model through its on-disk encoding exactly as a
     // load from disk would see it, letting the chaos plan's corrupt-model
     // site tamper with the bytes in between. The integrity header must
@@ -492,6 +534,7 @@ pub fn run_experiment_chaos(
         cfg.test_size,
         cfg.clock,
         plan.clone(),
+        None,
         None,
         |_| default_rec.clone(),
         |_| None,
@@ -562,6 +605,7 @@ pub fn run_experiment_chaos(
         cfg.clock,
         plan.clone(),
         robust.faults.clone(),
+        None,
         |r| guided_hooks[r].clone(),
         |r| tels[r].clone(),
         |h| h.take_run(),
@@ -703,6 +747,7 @@ mod tests {
             profile_threads: None,
             clock: ClockMode::Global,
             pin: PinPolicy::None,
+            affinity: AffinitySource::Tsa,
         }
     }
 
@@ -969,6 +1014,62 @@ mod tests {
             assert!(prom.contains("gstm_clock_mode 1"));
             assert!(prom.contains("gstm_placement_policy"));
         }
+    }
+
+    #[test]
+    fn contention_rides_telemetry_and_partitions_aborts() {
+        // End-to-end observability contract behind `--telemetry`: every
+        // collected guided run gets its own contention tracker, the
+        // stamped snapshot's attribution partitions that run's abort
+        // counter exactly, and the Prometheus export carries the
+        // gstm_contention_* families.
+        let bench = by_name("kmeans").unwrap();
+        let cfg = tiny_cfg(2);
+        let tels: Vec<Arc<Telemetry>> =
+            (0..cfg.measure_runs).map(|_| Arc::new(Telemetry::counters_only())).collect();
+        let e = run_experiment_observed(&*bench, &cfg, |r| tels.get(r).cloned());
+        assert!(e.guided_m.total_commits() > 0);
+        for (r, tel) in tels.iter().enumerate() {
+            let snap = tel.snapshot();
+            let c = snap.contention.as_ref().expect("contention stamped per run");
+            assert_eq!(
+                c.attributed + c.unattributed,
+                snap.aborts_total(),
+                "run {r}: attribution partitions the abort counter"
+            );
+            let top_sum: u64 = c.top.iter().map(|h| h.count).sum();
+            assert_eq!(top_sum + c.residual, c.attributed, "run {r}: sketch conserves");
+            let pair_sum: u64 = c.pairs.iter().map(|p| p.count).sum();
+            assert_eq!(
+                pair_sum + c.owner_unknown,
+                c.total(),
+                "run {r}: matrix conserves"
+            );
+            let prom = snap.render_prometheus();
+            assert!(prom.contains("gstm_contention_attributed_total"));
+        }
+    }
+
+    #[test]
+    fn measured_affinity_builds_a_model_plan() {
+        // `--pin=model --affinity=measured`: the pipeline completes and
+        // still produces a full model-policy placement plan (thread→shard
+        // and thread→core maps over every worker), now derived from the
+        // profiling phase's victim/owner abort matrix.
+        let bench = by_name("kmeans").unwrap();
+        let cfg = ExperimentConfig {
+            pin: PinPolicy::Model,
+            affinity: AffinitySource::Measured,
+            ..tiny_cfg(2)
+        };
+        let tel = Arc::new(Telemetry::counters_only());
+        let e = run_experiment_instrumented(&*bench, &cfg, Some(tel.clone()));
+        assert!(e.guided_m.total_commits() > 0);
+        let snap = tel.snapshot();
+        let placement = snap.placement.as_ref().expect("placement stamped");
+        assert_eq!(placement.policy, PinPolicy::Model.code());
+        assert_eq!(placement.thread_shard.len(), 2);
+        assert_eq!(placement.thread_core.len(), 2);
     }
 
     #[test]

@@ -58,9 +58,13 @@
 //!                       across cores), or `model` (cluster threads by
 //!                       TSA conflict affinity: conflicting threads share
 //!                       a clock shard and adjacent cores)
+//!   --affinity SRC      signal behind --pin=model: `tsa` (default,
+//!                       profiled-automaton affinity) or `measured`
+//!                       (victim/owner abort attribution recorded by the
+//!                       contention tracker during profiling)
 //! ```
 
-use gstm_core::{FaultPlan, GuidanceConfig, PinPolicy, Telemetry};
+use gstm_core::{AffinitySource, FaultPlan, GuidanceConfig, PinPolicy, Telemetry};
 use gstm_tl2::ClockMode;
 use gstm_harness::experiment::{
     run_experiment_chaos, BenchExperiment, ExperimentConfig, Robustness,
@@ -115,6 +119,8 @@ struct Options {
     clock: ClockMode,
     /// Thread-placement policy (`--pin=none|compact|scatter|model`).
     pin: PinPolicy,
+    /// Affinity signal for `--pin=model` (`--affinity=tsa|measured`).
+    affinity: AffinitySource,
 }
 
 fn parse_size(s: &str) -> InputSize {
@@ -132,6 +138,13 @@ fn parse_size(s: &str) -> InputSize {
 fn parse_clock(s: &str) -> ClockMode {
     ClockMode::parse(s).unwrap_or_else(|e| {
         eprintln!("bad --clock: {e}");
+        std::process::exit(2);
+    })
+}
+
+fn parse_affinity(s: &str) -> AffinitySource {
+    AffinitySource::parse(s).unwrap_or_else(|e| {
+        eprintln!("bad --affinity: {e}");
         std::process::exit(2);
     })
 }
@@ -166,6 +179,7 @@ fn parse_args() -> Options {
         breaker: false,
         clock: ClockMode::Global,
         pin: PinPolicy::None,
+        affinity: AffinitySource::Tsa,
     };
     let next = |args: &mut dyn Iterator<Item = String>, flag: &str| -> String {
         args.next().unwrap_or_else(|| {
@@ -234,6 +248,10 @@ fn parse_args() -> Options {
             s if s.starts_with("--pin=") => {
                 opts.pin = parse_pin(&s["--pin=".len()..]);
             }
+            "--affinity" => opts.affinity = parse_affinity(&next(&mut args, "--affinity")),
+            s if s.starts_with("--affinity=") => {
+                opts.affinity = parse_affinity(&s["--affinity=".len()..]);
+            }
             "--profile-threads" => {
                 opts.profile_threads = Some(
                     next(&mut args, "--profile-threads")
@@ -270,7 +288,7 @@ fn print_help() {
          \x20        --size s --train-size s --players N --frames N\n\
          \x20        --tfactor F --seed X --out DIR --no-csv --telemetry[=DIR]\n\
          \x20        --adaptive[=W] --profile-threads N --chaos SEED[:PLAN] --breaker\n\
-         \x20        --clock global|sharded --pin none|compact|scatter|model"
+         \x20        --clock global|sharded --pin none|compact|scatter|model --affinity tsa|measured"
     );
 }
 
@@ -334,6 +352,7 @@ impl Campaign {
                     profile_threads: self.opts.profile_threads,
                     clock: self.opts.clock,
                     pin: self.opts.pin,
+                    affinity: self.opts.affinity,
                 };
                 eprintln!("[gstm-repro] running {} @ {threads} threads ...", bench.name());
                 let exp = if let Some(tel_dir) = &self.opts.telemetry {
@@ -579,6 +598,7 @@ fn main() {
                 profile_threads: c.opts.profile_threads,
                 clock: c.opts.clock,
                 pin: c.opts.pin,
+                affinity: c.opts.affinity,
             };
             eprintln!("[gstm-repro] training {name} @ {threads} threads ...");
             let model = gstm_harness::experiment::train_model(&*bench, &cfg);
@@ -612,6 +632,7 @@ fn main() {
                         profile_threads: c.opts.profile_threads,
                         clock: c.opts.clock,
                         pin: c.opts.pin,
+                        affinity: c.opts.affinity,
                     };
                     eprintln!(
                         "[gstm-repro] repeating {} @ {threads} threads x{} ...",

@@ -3,13 +3,14 @@
 
 use crate::txn::{LtAbort, LtResult, LtTxn};
 use crate::MAX_THREADS;
-use gstm_core::events::AbortCause;
+use gstm_core::contention::ContentionTracker;
+use gstm_core::events::{AbortCause, ConflictSite};
 use gstm_core::faultinject::{spin_for, FaultPlan, FaultSite};
 use gstm_core::telemetry::{Telemetry, TraceKind};
 use gstm_core::{GuidanceHook, NoopHook, Pair, ThreadId, TxnId};
 use gstm_core::ThreadStats;
 use std::cell::Cell;
-use std::sync::atomic::{AtomicU16, AtomicU32, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU16, AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// Conflict-detection mode (the four points on LibTM's pessimistic ↔
@@ -66,6 +67,11 @@ pub struct LibTm {
     pub(crate) hook: Arc<dyn GuidanceHook>,
     /// Doomed flags: slot t holds 0 (clear) or dooming-writer id + 1.
     doomed: Vec<AtomicU32>,
+    /// The contended object key behind each doom, written (Relaxed)
+    /// before the flag's Release store. Best-effort under concurrent
+    /// dooms of one victim — the partition counters stay exact; only
+    /// which address gets charged can race, like the flag itself.
+    doomed_addr: Vec<AtomicUsize>,
     next_thread: AtomicU16,
     total_commits: AtomicU64,
     total_aborts: AtomicU64,
@@ -75,6 +81,9 @@ pub struct LibTm {
     /// Optional deterministic fault plan (chaos mode): the retry loop
     /// probes the libtm forced-abort and commit-delay sites.
     pub(crate) faults: Option<Arc<FaultPlan>>,
+    /// Optional conflict-provenance tracker fed on every abort; `None`
+    /// keeps the abort path at one predictable branch, like `telemetry`.
+    pub(crate) contention: Option<Arc<ContentionTracker>>,
 }
 
 thread_local! {
@@ -113,16 +122,36 @@ impl LibTm {
         telemetry: Option<Arc<Telemetry>>,
         faults: Option<Arc<FaultPlan>>,
     ) -> Arc<Self> {
+        Self::with_observability(hook, config, telemetry, faults, None)
+    }
+
+    /// [`LibTm::with_robustness`] plus an optional conflict-provenance
+    /// tracker: every abort is recorded with its cause, owner, and
+    /// conflicting object key.
+    pub fn with_observability(
+        hook: Arc<dyn GuidanceHook>,
+        config: LibTmConfig,
+        telemetry: Option<Arc<Telemetry>>,
+        faults: Option<Arc<FaultPlan>>,
+        contention: Option<Arc<ContentionTracker>>,
+    ) -> Arc<Self> {
         Arc::new(LibTm {
             config,
             hook,
             doomed: (0..MAX_THREADS).map(|_| AtomicU32::new(0)).collect(),
+            doomed_addr: (0..MAX_THREADS).map(|_| AtomicUsize::new(0)).collect(),
             next_thread: AtomicU16::new(0),
             total_commits: AtomicU64::new(0),
             total_aborts: AtomicU64::new(0),
             telemetry,
             faults,
+            contention,
         })
+    }
+
+    /// The attached conflict-provenance tracker, if any.
+    pub fn contention(&self) -> Option<&Arc<ContentionTracker>> {
+        self.contention.as_ref()
     }
 
     /// The attached telemetry collector, if any.
@@ -172,16 +201,24 @@ impl LibTm {
         self.total_aborts.load(Ordering::Relaxed)
     }
 
-    /// Mark `victim` as doomed by `writer` (abort-readers resolution).
-    pub(crate) fn doom(&self, victim: ThreadId, writer: ThreadId) {
+    /// Mark `victim` as doomed by `writer` over the object keyed `addr`
+    /// (abort-readers resolution). The address lands before the flag's
+    /// Release store, so a victim that observes the flag also observes
+    /// the address.
+    pub(crate) fn doom(&self, victim: ThreadId, writer: ThreadId, addr: usize) {
+        self.doomed_addr[victim.index()].store(addr, Ordering::Relaxed);
         self.doomed[victim.index()].store(writer.0 as u32 + 1, Ordering::Release);
     }
 
-    /// Consume `me`'s doomed flag, returning the dooming writer if set.
-    pub(crate) fn take_doom(&self, me: ThreadId) -> Option<ThreadId> {
+    /// Consume `me`'s doomed flag, returning the dooming writer and the
+    /// contended object key if set.
+    pub(crate) fn take_doom(&self, me: ThreadId) -> Option<(ThreadId, usize)> {
         match self.doomed[me.index()].swap(0, Ordering::AcqRel) {
             0 => None,
-            w => Some(ThreadId((w - 1) as u16)),
+            w => Some((
+                ThreadId((w - 1) as u16),
+                self.doomed_addr[me.index()].load(Ordering::Relaxed),
+            )),
         }
     }
 
@@ -304,7 +341,10 @@ impl LtThreadCtx {
                         f.should_fire(FaultSite::LibtmAbort, self.thread.index()).is_some()
                     }) =>
                 {
-                    Err(LtAbort { cause: AbortCause::Explicit })
+                    Err(LtAbort {
+                        cause: AbortCause::Explicit,
+                        site: ConflictSite::UNKNOWN,
+                    })
                 }
                 Ok(r) => {
                     if let Some(f) = &self.tm.faults {
@@ -340,9 +380,15 @@ impl LtThreadCtx {
                     self.tm.hook.on_abort(me, abort.cause);
                     self.tm.total_aborts.fetch_add(1, Ordering::Relaxed);
                     self.stats.record_abort(abort.cause);
+                    if let Some(ct) = &self.tm.contention {
+                        ct.record(self.thread, abort.cause, abort.site);
+                    }
                     if let Some(t) = &tel {
                         t.record_abort(me, abort.cause);
-                        t.trace(me, TraceKind::Abort { cause: abort.cause });
+                        t.trace(
+                            me,
+                            TraceKind::Abort { cause: abort.cause, addr: abort.site.raw() },
+                        );
                         backoff_from = Some(t.now_ns());
                     }
                     retries = retries.saturating_add(1);
@@ -444,8 +490,8 @@ mod tests {
     #[test]
     fn doomed_flag_round_trip() {
         let tm = LibTm::new(LibTmConfig::default());
-        tm.doom(ThreadId(3), ThreadId(1));
-        assert_eq!(tm.take_doom(ThreadId(3)), Some(ThreadId(1)));
+        tm.doom(ThreadId(3), ThreadId(1), 0xbeef);
+        assert_eq!(tm.take_doom(ThreadId(3)), Some((ThreadId(1), 0xbeef)));
         assert_eq!(tm.take_doom(ThreadId(3)), None, "take clears");
         assert_eq!(tm.take_doom(ThreadId(0)), None);
     }

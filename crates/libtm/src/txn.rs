@@ -3,7 +3,7 @@
 
 use crate::object::{ObjectInner, TObject};
 use crate::runtime::{DetectionMode, LibTm, Resolution};
-use gstm_core::{AbortCause, AddrSet, Pair, ThreadId};
+use gstm_core::{AbortCause, AddrSet, ConflictSite, Pair, ThreadId};
 use std::any::Any;
 use std::sync::Arc;
 
@@ -12,6 +12,8 @@ use std::sync::Arc;
 pub struct LtAbort {
     /// What killed the attempt.
     pub cause: AbortCause,
+    /// Where the conflict was detected (unknown for explicit retries).
+    pub site: ConflictSite,
 }
 
 /// Result of a LibTM transactional operation.
@@ -162,15 +164,17 @@ impl<'tm> LtTxn<'tm> {
     pub fn retry(&self) -> LtAbort {
         LtAbort {
             cause: AbortCause::Explicit,
+            site: ConflictSite::UNKNOWN,
         }
     }
 
     fn check_doomed(&self) -> LtResult<()> {
-        if let Some(writer) = self.tm.take_doom(self.me.thread) {
+        if let Some((writer, addr)) = self.tm.take_doom(self.me.thread) {
             return Err(LtAbort {
                 cause: AbortCause::AbortedByWriter {
                     writer: Some(writer),
                 },
+                site: ConflictSite::at(addr),
             });
         }
         Ok(())
@@ -208,6 +212,7 @@ impl<'tm> LtTxn<'tm> {
             if owner != me {
                 return Err(LtAbort {
                     cause: AbortCause::ReadLocked { owner: Some(owner) },
+                    site: ConflictSite::at(target.key()),
                 });
             }
         }
@@ -222,6 +227,7 @@ impl<'tm> LtTxn<'tm> {
                 if target.version() != v1 || target.writer().is_some_and(|w| w != me) {
                     return Err(LtAbort {
                         cause: AbortCause::ReadVersion,
+                        site: ConflictSite::at(target.key()),
                     });
                 }
                 self.read_set.push((target, v1));
@@ -293,6 +299,7 @@ impl<'tm> LtTxn<'tm> {
             cause: AbortCause::CommitLockBusy {
                 owner: target.writer(),
             },
+            site: ConflictSite::at(target.key()),
         })
     }
 
@@ -303,7 +310,7 @@ impl<'tm> LtTxn<'tm> {
         match self.tm.config.resolution {
             Resolution::AbortReaders => {
                 for reader in target.other_readers(me) {
-                    self.tm.doom(reader, me);
+                    self.tm.doom(reader, me, target.key());
                 }
                 Ok(())
             }
@@ -318,6 +325,7 @@ impl<'tm> LtTxn<'tm> {
                 // writer/reader deadlock).
                 Err(LtAbort {
                     cause: AbortCause::CommitLockBusy { owner: None },
+                    site: ConflictSite::at(target.key()),
                 })
             }
         }
@@ -352,6 +360,7 @@ impl<'tm> LtTxn<'tm> {
                 if t.version() != *v || t.writer().is_some_and(|w| w != me) {
                     return Err(LtAbort {
                         cause: AbortCause::Validation,
+                        site: ConflictSite::at(t.key()),
                     });
                 }
             }

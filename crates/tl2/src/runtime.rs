@@ -3,7 +3,8 @@
 
 use crate::clock::{self, ClockMode, ClockSnapshot, MAX_SHARDS, SHARD_BITS};
 use crate::txn::{Abort, Txn, TxResult};
-use gstm_core::events::AbortCause;
+use gstm_core::contention::ContentionTracker;
+use gstm_core::events::{AbortCause, ConflictSite};
 use gstm_core::faultinject::{spin_for, FaultPlan, FaultSite};
 use gstm_core::placement::{self, PlacementPlan};
 use gstm_core::telemetry::{ClockStats, ShardClockStats, Telemetry, TraceKind};
@@ -89,6 +90,7 @@ pub struct StmBuilder {
     faults: Option<Arc<FaultPlan>>,
     clock_mode: ClockMode,
     placement: Option<Arc<PlacementPlan>>,
+    contention: Option<Arc<ContentionTracker>>,
 }
 
 impl StmBuilder {
@@ -102,6 +104,7 @@ impl StmBuilder {
             faults: None,
             clock_mode: ClockMode::Global,
             placement: None,
+            contention: None,
         }
     }
 
@@ -143,6 +146,14 @@ impl StmBuilder {
         self
     }
 
+    /// Attach a conflict-provenance tracker: every abort is recorded
+    /// with its cause, owner, and conflicting address. `None` (the
+    /// default) keeps the abort path at one predictable branch.
+    pub fn contention(mut self, tracker: Option<Arc<ContentionTracker>>) -> Self {
+        self.contention = tracker;
+        self
+    }
+
     /// Build the instance.
     pub fn build(self) -> Arc<Stm> {
         Arc::new(Stm {
@@ -152,6 +163,7 @@ impl StmBuilder {
             faults: self.faults,
             clock_mode: self.clock_mode,
             placement: self.placement,
+            contention: self.contention,
             shard_commits: (0..MAX_SHARDS).map(|_| AtomicU64::new(0)).collect(),
             clock_baseline: clock::sharded().snapshot(),
             next_thread: AtomicU16::new(0),
@@ -185,6 +197,9 @@ pub struct Stm {
     /// Placement plan consulted at registration (core pinning + shard
     /// assignment); `None` = unpinned, shard = thread id mod shards.
     placement: Option<Arc<PlacementPlan>>,
+    /// Optional conflict-provenance tracker fed on every abort; `None`
+    /// keeps the abort path at one predictable branch, like `telemetry`.
+    pub(crate) contention: Option<Arc<ContentionTracker>>,
     /// Per-shard successful-commit counters (sharded mode; all zero in
     /// global mode). Every commit increments exactly one slot, so the
     /// slots partition `total_commits` — the analyzer's exactness check.
@@ -308,6 +323,12 @@ impl Stm {
     /// The placement plan installed at construction, if any.
     pub fn placement(&self) -> Option<&Arc<PlacementPlan>> {
         self.placement.as_ref()
+    }
+
+    /// The conflict-provenance tracker installed at construction, if
+    /// any.
+    pub fn contention(&self) -> Option<&Arc<ContentionTracker>> {
+        self.contention.as_ref()
     }
 
     /// Current value of this instance's commit clock — the global
@@ -482,7 +503,10 @@ impl ThreadCtx {
                         f.should_fire(FaultSite::Tl2Abort, self.thread.index()).is_some()
                     }) =>
                 {
-                    Err(Abort { cause: AbortCause::Explicit })
+                    Err(Abort {
+                        cause: AbortCause::Explicit,
+                        site: ConflictSite::UNKNOWN,
+                    })
                 }
                 Ok(r) => {
                     if let Some(f) = &self.stm.faults {
@@ -519,9 +543,15 @@ impl ThreadCtx {
                     self.stm.hook.on_abort(me, abort.cause);
                     self.stm.total_aborts.fetch_add(1, Ordering::Relaxed);
                     self.stats.record_abort(abort.cause);
+                    if let Some(ct) = &self.stm.contention {
+                        ct.record(self.thread, abort.cause, abort.site);
+                    }
                     if let Some(t) = &tel {
                         t.record_abort(me, abort.cause);
-                        t.trace(me, TraceKind::Abort { cause: abort.cause });
+                        t.trace(
+                            me,
+                            TraceKind::Abort { cause: abort.cause, addr: abort.site.raw() },
+                        );
                         backoff_from = Some(t.now_ns());
                     }
                     retries = retries.saturating_add(1);

@@ -5,7 +5,7 @@ use crate::runtime::{Detection, Stm};
 use crate::tvar::{TVar, TxTarget};
 use crate::vlock::VLock;
 use crossbeam::epoch::{self, Guard};
-use gstm_core::{AbortCause, AddrSet, Pair};
+use gstm_core::{AbortCause, AddrSet, ConflictSite, Pair};
 use std::any::Any;
 use std::sync::Arc;
 
@@ -16,6 +16,8 @@ use std::sync::Arc;
 pub struct Abort {
     /// What killed the attempt.
     pub cause: AbortCause,
+    /// Where the conflict was detected (unknown for explicit retries).
+    pub site: ConflictSite,
 }
 
 /// Result of a transactional operation.
@@ -151,6 +153,7 @@ impl<'stm> Txn<'stm> {
     pub fn retry(&self) -> Abort {
         Abort {
             cause: AbortCause::Explicit,
+            site: ConflictSite::UNKNOWN,
         }
     }
 
@@ -205,17 +208,20 @@ impl<'stm> Txn<'stm> {
         if s1.is_locked() {
             return Err(Abort {
                 cause: AbortCause::ReadLocked { owner: s1.owner() },
+                site: ConflictSite::at(tvar.key()),
             });
         }
         if s1.version() > self.rv {
             return Err(Abort {
                 cause: AbortCause::ReadVersion,
+                site: ConflictSite::at(tvar.key()),
             });
         }
         let value = inner.read_snapshot();
         if inner.lock.vlock().sample() != s1 {
             return Err(Abort {
                 cause: AbortCause::ReadVersion,
+                site: ConflictSite::at(tvar.key()),
             });
         }
         if self.read_keys.insert(tvar.key()) {
@@ -232,6 +238,7 @@ impl<'stm> Txn<'stm> {
     fn eager_acquire(
         &mut self,
         lock: &VLock,
+        key: usize,
         retain: impl FnOnce() -> Arc<dyn TxTarget>,
     ) -> TxResult<()> {
         let lock_addr = lock as *const _ as usize;
@@ -258,6 +265,7 @@ impl<'stm> Txn<'stm> {
         }
         Err(Abort {
             cause: AbortCause::CommitLockBusy { owner: last_owner },
+            site: ConflictSite::at(key),
         })
     }
 
@@ -272,7 +280,7 @@ impl<'stm> Txn<'stm> {
         self.n_writes += 1;
         self.maybe_yield();
         if self.stm.config.detection == Detection::Eager {
-            self.eager_acquire(tvar.inner.vlock(), || {
+            self.eager_acquire(tvar.inner.vlock(), tvar.key(), || {
                 Arc::clone(&tvar.inner) as Arc<dyn TxTarget>
             })?;
         }
@@ -367,6 +375,7 @@ impl<'stm> Txn<'stm> {
                         release_all(&self.write_set, &locked);
                         return Err(Abort {
                             cause: AbortCause::CommitLockBusy { owner: last_owner },
+                            site: ConflictSite::at(entry.key()),
                         });
                     }
                 }
@@ -409,6 +418,7 @@ impl<'stm> Txn<'stm> {
                             release_all(&self.write_set, &locked);
                             return Err(Abort {
                                 cause: AbortCause::Validation,
+                                site: ConflictSite::at(target.key()),
                             });
                         }
                     }
@@ -418,6 +428,7 @@ impl<'stm> Txn<'stm> {
                         release_all(&self.write_set, &locked);
                         return Err(Abort {
                             cause: AbortCause::Validation,
+                            site: ConflictSite::at(target.key()),
                         });
                     }
                 }

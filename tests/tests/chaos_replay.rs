@@ -24,7 +24,7 @@
 
 use gstm_core::faultinject::{FaultRecord, FaultSite};
 use gstm_core::prelude::*;
-use gstm_tl2::{Stm, StmConfig, TVar};
+use gstm_tl2::{Detection, Stm, StmBuilder, StmConfig, TVar};
 use std::sync::Arc;
 
 // ---------------------------------------------------------------------------
@@ -259,6 +259,106 @@ fn tl2_chaos_run(seed: u64) -> (Vec<FaultRecord>, u64, u64, Vec<StateKey>) {
         aborts = plan.injected(FaultSite::Tl2Abort);
     }
     (plan.log(), v.load_quiesced(), aborts, hook.take_run())
+}
+
+/// One seeded TL2 replay with conflict provenance armed. Two logical
+/// contexts on one OS thread share the caller's TVars (so conflicting
+/// addresses are identical across replays of a seed): on a seeded subset
+/// of iterations the writer opens an eager transaction on `vb` — holding
+/// its lock — and runs the victim's transaction *inside* its closure, so
+/// the victim's first attempt reads a locked location and aborts
+/// `ReadLocked { owner: writer }` attributed to `vb`; the fault plan's
+/// forced aborts land `Explicit`/unattributed on top. Returns the
+/// quiesced snapshot plus the victim counter.
+fn tl2_contention_run(va: &TVar<u64>, vb: &TVar<u64>, seed: u64) -> (ContentionStats, u64) {
+    let spec = format!("{seed}:forced-aborts@300");
+    let plan = Arc::new(FaultPlan::parse_spec(&spec).unwrap());
+    let tracker = Arc::new(ContentionTracker::new());
+    let stm = StmBuilder::new(StmConfig {
+        detection: Detection::Eager,
+        ..StmConfig::default()
+    })
+    .hook(Arc::new(RecorderHook::new()))
+    .faults(Some(plan))
+    .contention(Some(tracker.clone()))
+    .build();
+    let mut victim = stm.register_as(ThreadId(0));
+    let mut writer = stm.register_as(ThreadId(1));
+    let mut rng = Rng::new(seed ^ 0x5eed);
+    // The TVars are shared across replays (address identity is the
+    // point), so the semantic check is this run's increment delta.
+    let start = va.load_quiesced();
+    for i in 0..120u16 {
+        let txid = TxnId(i % TXNS);
+        if rng.below(3) == 0 {
+            let mut nest = true;
+            writer.atomically(TxnId(TXNS), |wtx| {
+                wtx.modify(vb, |x| x + 1)?;
+                if nest {
+                    nest = false;
+                    // `probe` survives the victim's retries: only the
+                    // first attempt touches the locked `vb`, so the
+                    // retry commits instead of spinning on the lock the
+                    // enclosing writer cannot release yet.
+                    let mut probe = true;
+                    victim.atomically(txid, |tx| {
+                        if probe {
+                            probe = false;
+                            tx.read(vb)?;
+                        }
+                        tx.modify(va, |x| x + 1)
+                    });
+                }
+                Ok(())
+            });
+        } else {
+            victim.atomically(txid, |tx| tx.modify(va, |x| x + 1));
+        }
+    }
+    (tracker.snapshot(), va.load_quiesced() - start)
+}
+
+/// Conflict provenance under chaos is a pure function of
+/// `(seed, interleaving)`: replaying a seed against the same shared
+/// TVars must reproduce the merged [`ContentionStats`] bit for bit —
+/// hot addresses, per-address counts and error bounds, the conflict
+/// matrix, and the attribution partitions — and the sweep must actually
+/// exercise both attribution classes (lock-owner conflicts at `vb`,
+/// unattributed forced aborts).
+#[test]
+fn tl2_contention_attribution_replays_bit_identically() {
+    let va = TVar::new(0u64);
+    let vb = TVar::new(0u64);
+    let mut attributed_total = 0u64;
+    let mut pair_total = 0u64;
+    let mut unattributed_total = 0u64;
+    for seed in 0..24u64 {
+        let (a, val_a) = tl2_contention_run(&va, &vb, seed);
+        let (b, val_b) = tl2_contention_run(&va, &vb, seed);
+        assert_eq!(a, b, "seed {seed}: same seed must reproduce the same attribution");
+        assert_eq!(val_a, val_b);
+        assert_eq!(val_a, 120, "seed {seed}: chaos must not lose or double commits");
+        // Exactness on the quiesced snapshot: both partitions hold.
+        let top_sum: u64 = a.top.iter().map(|h| h.count).sum();
+        assert_eq!(top_sum + a.residual, a.attributed, "seed {seed}: sketch partition");
+        let pair_sum: u64 = a.pairs.iter().map(|p| p.count).sum();
+        assert_eq!(
+            pair_sum + a.owner_unknown,
+            a.attributed + a.unattributed,
+            "seed {seed}: matrix partition"
+        );
+        // Every owner-attributed conflict in this script is the victim
+        // reading the writer's eagerly locked `vb`.
+        for p in &a.pairs {
+            assert_eq!((p.victim, p.owner), (0, 1), "seed {seed}: unexpected pair {p:?}");
+        }
+        attributed_total += a.attributed;
+        pair_total += pair_sum;
+        unattributed_total += a.unattributed;
+    }
+    assert!(attributed_total > 0, "no attributed conflicts across 24 seeds");
+    assert!(pair_total > 0, "no owner-bearing conflicts across 24 seeds");
+    assert!(unattributed_total > 0, "no forced aborts landed unattributed across 24 seeds");
 }
 
 /// The real TL2 commit path under chaos: bit-identical fault schedule

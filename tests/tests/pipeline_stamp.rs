@@ -1,7 +1,7 @@
 //! End-to-end pipeline integration: every STAMP benchmark through
 //! profile → model → analyze → default/guided measurement.
 
-use gstm_core::{GuidanceConfig, PinPolicy};
+use gstm_core::{AffinitySource, GuidanceConfig, PinPolicy};
 use gstm_harness::experiment::{run_experiment, ExperimentConfig};
 use gstm_stamp::{all_benchmarks, InputSize};
 use gstm_tl2::ClockMode;
@@ -20,6 +20,7 @@ fn cfg(threads: u16) -> ExperimentConfig {
         profile_threads: None,
         clock: ClockMode::Global,
         pin: PinPolicy::None,
+        affinity: AffinitySource::Tsa,
     }
 }
 
