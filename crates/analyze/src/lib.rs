@@ -715,6 +715,11 @@ pub struct CampaignReport {
     /// Contention facts, when any run exported the `gstm_contention_*`
     /// families.
     pub contention: Option<ContentionFacts>,
+    /// Trace events dropped across all runs (ring overflows) — nonzero
+    /// means trace-derived cross-checks degraded to sampling.
+    pub trace_dropped: u64,
+    /// Live ops-plane facts, when the campaign exported `ops.prom`.
+    pub ops: Option<OpsFacts>,
 }
 
 impl CampaignReport {
@@ -1541,6 +1546,8 @@ pub fn analyze_campaign_with_failures(
         drift,
         degradation,
         contention,
+        trace_dropped: dropped_total,
+        ops: None,
     }
 }
 
@@ -1576,7 +1583,252 @@ pub fn analyze_dir(dir: &Path, stem: &str, th: &Thresholds) -> Result<CampaignRe
     if runs.is_empty() {
         return Err(format!("no {stem}_run<r>_telemetry.prom artifacts in {}", dir.display()));
     }
-    Ok(analyze_campaign_with_failures(stem, &runs, &csv, &summary, &failures, th))
+    let mut report = analyze_campaign_with_failures(stem, &runs, &csv, &summary, &failures, th);
+    // The ops plane's frozen exposition and incident dumps ride along
+    // when the campaign ran with `--serve`/`--slo`; fold them in.
+    if let Some((facts, checks)) = analyze_ops(dir, stem)? {
+        report.checks.extend(checks);
+        report.ops = Some(facts);
+    }
+    Ok(report)
+}
+
+// ---------------------------------------------------------------------------
+// Live ops plane ingestion (ops.prom + incident flight-recorder dumps)
+// ---------------------------------------------------------------------------
+
+/// Human-readable label for a `gstm_slo_state` code.
+pub fn slo_state_label(code: u64) -> &'static str {
+    match code {
+        0 => "ok",
+        1 => "warn",
+        _ => "incident",
+    }
+}
+
+/// Facts recovered from the harness's frozen `/metrics` exposition
+/// (`ops.prom`) and the incident flight-recorder dumps next to it.
+#[derive(Clone, Debug)]
+pub struct OpsFacts {
+    /// Windows closed over the campaign (`gstm_windows_closed_total`).
+    pub windows_closed: u64,
+    /// Roll ticks, including idle ones that closed nothing.
+    pub rolls: u64,
+    /// Windows still in the ring at freeze time.
+    pub retained_windows: usize,
+    /// Windows folded into the evicted rollup.
+    pub evicted_windows: u64,
+    /// Final SLO state code (0 ok / 1 warn / 2 incident).
+    pub slo_state: u64,
+    /// Windows the watchdog judged (quiet windows are skipped).
+    pub slo_windows: u64,
+    /// Judged windows that breached at least one SLO rule.
+    pub breached_windows: u64,
+    /// Incidents declared (`gstm_slo_incidents_total`).
+    pub incidents_total: u64,
+    /// One entry per `incident<seq>.json` found, in seq order.
+    pub incidents: Vec<IncidentFacts>,
+}
+
+/// Scalar facts lifted from one `incident<seq>.json` dump.
+#[derive(Clone, Debug)]
+pub struct IncidentFacts {
+    /// Incident ordinal (0-based).
+    pub seq: u64,
+    /// Caller-supplied stamp (wall clock, or a fixed replay token).
+    pub stamp: String,
+    /// Window index that tripped the incident.
+    pub tripped_window: u64,
+    /// SLO state entered ("incident").
+    pub state: String,
+    /// Windows carried in the dump.
+    pub windows: usize,
+    /// SLO transitions in the dump's timeline.
+    pub transitions: usize,
+    /// Trace events drained into the dump.
+    pub trace_events: usize,
+}
+
+/// Extract a top-level `  "key": N,` scalar from a pretty-printed dump.
+fn incident_u64(text: &str, key: &str) -> Option<u64> {
+    let pat = format!("\n  \"{key}\": ");
+    let at = text.find(&pat)? + pat.len();
+    let rest = &text[at..];
+    let end = rest.find(|c: char| !c.is_ascii_digit())?;
+    rest[..end].parse().ok()
+}
+
+/// Extract a top-level `  "key": "..."` string (no escape handling —
+/// the fields read this way never contain escapes).
+fn incident_str(text: &str, key: &str) -> Option<String> {
+    let pat = format!("\n  \"{key}\": \"");
+    let at = text.find(&pat)? + pat.len();
+    let rest = &text[at..];
+    Some(rest[..rest.find('"')?].to_string())
+}
+
+/// Parse one incident flight-recorder dump. Rejects schema mismatches
+/// and non-incident documents with a clear error; `name` prefixes every
+/// message.
+pub fn parse_incident_json(name: &str, text: &str) -> Result<IncidentFacts, String> {
+    let schema = incident_u64(text, "schema")
+        .ok_or_else(|| format!("{name}: no \"schema\" field — not a gstm incident dump"))?;
+    if schema != gstm_core::telemetry::SCHEMA_VERSION as u64 {
+        return Err(format!(
+            "{name}: incident dump schema {schema} but this build reads schema {}; \
+             re-export with a matching gstm version",
+            gstm_core::telemetry::SCHEMA_VERSION
+        ));
+    }
+    match incident_str(text, "kind").as_deref() {
+        Some("gstm_incident") => {}
+        other => {
+            return Err(format!(
+                "{name}: kind {:?} is not \"gstm_incident\"",
+                other.unwrap_or("missing")
+            ))
+        }
+    }
+    Ok(IncidentFacts {
+        seq: incident_u64(text, "seq")
+            .ok_or_else(|| format!("{name}: missing \"seq\""))?,
+        stamp: incident_str(text, "stamp")
+            .ok_or_else(|| format!("{name}: missing \"stamp\""))?,
+        tripped_window: incident_u64(text, "tripped_window")
+            .ok_or_else(|| format!("{name}: missing \"tripped_window\""))?,
+        state: incident_str(text, "state")
+            .ok_or_else(|| format!("{name}: missing \"state\""))?,
+        // The serializers emit these keys nowhere else: `"index":` only
+        // in window objects, `{"window":` only in timeline transitions,
+        // `"txn":` only in trace events.
+        windows: text.matches("{\"index\":").count(),
+        transitions: text.matches("{\"window\":").count(),
+        trace_events: text.matches("\"txn\":").count(),
+    })
+}
+
+/// The exact window-partition cross-check over a frozen ops exposition:
+/// for commits, aborts, and gate outcomes, the retained per-window
+/// deltas plus the evicted rollup must equal the cumulative counter
+/// *exactly*, and retained + evicted window counts must equal
+/// `gstm_windows_closed_total`.
+pub fn ops_partition_check(prom: &PromSnapshot) -> Check {
+    let retained = prom.family("gstm_window_commits").count() as u64;
+    let evicted_n = prom.get("gstm_window_evicted_windows_total", &[]).unwrap_or(0.0) as u64;
+    let closed = prom.get("gstm_windows_closed_total", &[]).unwrap_or(0.0) as u64;
+    let ev = |counter: &str| {
+        prom.get("gstm_window_evicted_total", &[("counter", counter)]).unwrap_or(0.0) as u64
+    };
+    let terms: [(&str, u64, u64); 4] = [
+        (
+            "commits",
+            prom.sum("gstm_window_commits", &[]) as u64 + ev("commits"),
+            prom.get("gstm_commits_total", &[]).unwrap_or(0.0) as u64,
+        ),
+        (
+            "aborts",
+            prom.sum("gstm_window_aborts", &[]) as u64 + ev("aborts"),
+            prom.sum("gstm_aborts_total", &[]) as u64,
+        ),
+        (
+            "gate",
+            prom.sum("gstm_window_gate", &[]) as u64
+                + ev("gate_passed")
+                + ev("gate_waited")
+                + ev("gate_released"),
+            prom.sum("gstm_gate_outcomes_total", &[]) as u64,
+        ),
+        ("windows", retained + evicted_n, closed),
+    ];
+    let bad: Vec<String> = terms
+        .iter()
+        .filter(|(_, lhs, rhs)| lhs != rhs)
+        .map(|(what, lhs, rhs)| format!("{what}: Σ windows + evicted = {lhs} ≠ cumulative {rhs}"))
+        .collect();
+    Check {
+        name: "window_partition".into(),
+        pass: bad.is_empty(),
+        detail: if bad.is_empty() {
+            format!(
+                "{retained} retained + {evicted_n} evicted window(s) partition the cumulative \
+                 commit/abort/gate counters exactly"
+            )
+        } else {
+            bad.join("; ")
+        },
+    }
+}
+
+/// Load the ops-plane artifacts from `dir`, when present: the frozen
+/// exposition (`<stem>_ops.prom`, falling back to `ops.prom`) and every
+/// `incident<seq>.json` next to it. Returns `Ok(None)` when the
+/// campaign ran without the live ops plane; schema mismatches are hard
+/// errors.
+pub fn analyze_ops(dir: &Path, stem: &str) -> Result<Option<(OpsFacts, Vec<Check>)>, String> {
+    let path = [format!("{stem}_ops.prom"), "ops.prom".into()]
+        .into_iter()
+        .map(|n| dir.join(n))
+        .find(|p| p.exists());
+    let Some(path) = path else { return Ok(None) };
+    let name = path.file_name().unwrap_or_default().to_string_lossy().into_owned();
+    let text =
+        std::fs::read_to_string(&path).map_err(|e| format!("{name}: {e}"))?;
+    let prom = PromSnapshot::parse(&text).map_err(|e| format!("{name}: {e}"))?;
+    // The exposition stamps its schema as a label on `gstm_build_info`;
+    // a mismatch means the reader and writer disagree on family
+    // semantics, so refuse rather than mis-ingest.
+    if let Some(s) = prom.family("gstm_build_info").next() {
+        let schema = s
+            .labels
+            .iter()
+            .find(|(k, _)| k == "schema")
+            .and_then(|(_, v)| v.parse::<u64>().ok())
+            .ok_or_else(|| format!("{name}: gstm_build_info has no numeric schema label"))?;
+        if schema != gstm_core::telemetry::SCHEMA_VERSION as u64 {
+            return Err(format!(
+                "{name}: exposition schema {schema} but this build reads schema {}; \
+                 re-export with a matching gstm version",
+                gstm_core::telemetry::SCHEMA_VERSION
+            ));
+        }
+    }
+    let mut incidents = Vec::new();
+    loop {
+        let n = incidents.len();
+        let inc_path = dir.join(format!("incident{n}.json"));
+        if !inc_path.exists() {
+            break;
+        }
+        let inc_name = format!("incident{n}.json");
+        let body = std::fs::read_to_string(&inc_path).map_err(|e| format!("{inc_name}: {e}"))?;
+        incidents.push(parse_incident_json(&inc_name, &body)?);
+    }
+    let facts = OpsFacts {
+        windows_closed: prom.get("gstm_windows_closed_total", &[]).unwrap_or(0.0) as u64,
+        rolls: prom.get("gstm_window_rolls_total", &[]).unwrap_or(0.0) as u64,
+        retained_windows: prom.family("gstm_window_commits").count(),
+        evicted_windows: prom.get("gstm_window_evicted_windows_total", &[]).unwrap_or(0.0)
+            as u64,
+        slo_state: prom.get("gstm_slo_state", &[]).unwrap_or(0.0) as u64,
+        slo_windows: prom.get("gstm_slo_windows_total", &[]).unwrap_or(0.0) as u64,
+        breached_windows: prom.get("gstm_slo_breached_windows_total", &[]).unwrap_or(0.0)
+            as u64,
+        incidents_total: prom.get("gstm_slo_incidents_total", &[]).unwrap_or(0.0) as u64,
+        incidents,
+    };
+    let mut checks = vec![ops_partition_check(&prom)];
+    if facts.incidents_total > 0 || !facts.incidents.is_empty() {
+        checks.push(Check {
+            name: "incident_artifacts".into(),
+            pass: facts.incidents.len() as u64 == facts.incidents_total,
+            detail: format!(
+                "{} flight-recorder dump(s) for {} declared incident(s)",
+                facts.incidents.len(),
+                facts.incidents_total
+            ),
+        });
+    }
+    Ok(Some((facts, checks)))
 }
 
 // ---------------------------------------------------------------------------
@@ -1619,6 +1871,7 @@ fn ju_vec(xs: &[u64]) -> String {
 pub fn render_verdict_json(r: &CampaignReport) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "{{");
+    let _ = writeln!(out, "  \"schema\": {},", gstm_core::telemetry::SCHEMA_VERSION);
     let _ = writeln!(out, "  \"stem\": \"{}\",", esc_json(&r.stem));
     let _ = writeln!(out, "  \"runs\": {},", r.runs);
     let _ = writeln!(out, "  \"threads\": {},", r.threads);
@@ -1718,6 +1971,37 @@ pub fn render_verdict_json(r: &CampaignReport) -> String {
         let _ = writeln!(out, "      ]");
         let _ = write!(out, "    }}");
     }
+    if let Some(o) = &r.ops {
+        let _ = writeln!(out, ",");
+        let _ = writeln!(out, "    \"ops\": {{");
+        let _ = writeln!(out, "      \"windows_closed\": {},", o.windows_closed);
+        let _ = writeln!(out, "      \"rolls\": {},", o.rolls);
+        let _ = writeln!(out, "      \"retained_windows\": {},", o.retained_windows);
+        let _ = writeln!(out, "      \"evicted_windows\": {},", o.evicted_windows);
+        let _ = writeln!(out, "      \"slo_state\": \"{}\",", slo_state_label(o.slo_state));
+        let _ = writeln!(out, "      \"slo_windows\": {},", o.slo_windows);
+        let _ = writeln!(out, "      \"breached_windows\": {},", o.breached_windows);
+        let _ = writeln!(out, "      \"trace_dropped\": {},", r.trace_dropped);
+        let _ = writeln!(out, "      \"incidents\": [");
+        for (i, inc) in o.incidents.iter().enumerate() {
+            let comma = if i + 1 < o.incidents.len() { "," } else { "" };
+            let _ = writeln!(
+                out,
+                "        {{\"seq\": {}, \"stamp\": \"{}\", \"tripped_window\": {}, \
+                 \"state\": \"{}\", \"windows\": {}, \"transitions\": {}, \
+                 \"trace_events\": {}}}{comma}",
+                inc.seq,
+                esc_json(&inc.stamp),
+                inc.tripped_window,
+                esc_json(&inc.state),
+                inc.windows,
+                inc.transitions,
+                inc.trace_events
+            );
+        }
+        let _ = writeln!(out, "      ]");
+        let _ = write!(out, "    }}");
+    }
     if let Some(d) = &r.drift {
         let _ = writeln!(out, ",");
         let _ = writeln!(out, "    \"model\": {{");
@@ -1756,12 +2040,15 @@ pub fn render_markdown(r: &CampaignReport) -> String {
     let _ = writeln!(out);
     let _ = writeln!(
         out,
-        "**{}** — {} repetition(s), {} thread(s), {} commit(s), {} abort(s).",
+        "**{}** — {} repetition(s), {} thread(s), {} commit(s), {} abort(s); \
+         trace events dropped: {}; guardian restarts: {}.",
         if r.pass() { "PASS" } else { "FAIL" },
         r.runs,
         r.threads,
         r.commits,
-        r.aborts
+        r.aborts,
+        r.trace_dropped,
+        r.degradation.guardian_restarts
     );
     let _ = writeln!(out);
     let _ = writeln!(out, "## Cross-run metrics");
@@ -1882,6 +2169,51 @@ pub fn render_markdown(r: &CampaignReport) -> String {
                         f.cause.replace('|', "\\|")
                     );
                 }
+            }
+        }
+    }
+    if let Some(o) = &r.ops {
+        let _ = writeln!(out);
+        let _ = writeln!(out, "## Live ops plane");
+        let _ = writeln!(out);
+        let _ = writeln!(
+            out,
+            "{} window(s) closed over {} roll tick(s) ({} retained, {} evicted); \
+             SLO finished **{}** after judging {} window(s), {} breached, \
+             {} incident(s).",
+            o.windows_closed,
+            o.rolls,
+            o.retained_windows,
+            o.evicted_windows,
+            slo_state_label(o.slo_state),
+            o.slo_windows,
+            o.breached_windows,
+            o.incidents_total
+        );
+        if !o.incidents.is_empty() {
+            let _ = writeln!(out);
+            let _ = writeln!(out, "## Incident timeline");
+            let _ = writeln!(out);
+            let _ = writeln!(
+                out,
+                "| seq | stamp | tripped window | state | windows | transitions | trace events |"
+            );
+            let _ = writeln!(
+                out,
+                "|----:|-------|---------------:|-------|--------:|------------:|-------------:|"
+            );
+            for i in &o.incidents {
+                let _ = writeln!(
+                    out,
+                    "| {} | {} | {} | {} | {} | {} | {} |",
+                    i.seq,
+                    i.stamp.replace('|', "\\|"),
+                    i.tripped_window,
+                    i.state,
+                    i.windows,
+                    i.transitions,
+                    i.trace_events
+                );
             }
         }
     }

@@ -1064,6 +1064,200 @@ fn contention_renders_in_verdict_and_markdown() {
     assert!(md.contains("thread 1 aborted by thread 0: 2"), "{md}");
 }
 
+// ---------------------------------------------------------------------------
+// Live ops plane ingestion
+// ---------------------------------------------------------------------------
+
+/// A hand-built frozen ops exposition: 2 retained windows + 1 evicted
+/// that exactly partition 100 commits, 20 aborts, and 30 gate outcomes.
+fn fixture_ops_prom(schema: u32, break_partition: bool) -> String {
+    let commits_total = if break_partition { 101 } else { 100 };
+    format!(
+        "# TYPE gstm_build_info gauge\n\
+         gstm_build_info{{schema=\"{schema}\",version=\"test\"}} 1\n\
+         # TYPE gstm_commits_total counter\n\
+         gstm_commits_total {commits_total}\n\
+         # TYPE gstm_aborts_total counter\n\
+         gstm_aborts_total{{cause=\"read_version\"}} 15\n\
+         gstm_aborts_total{{cause=\"validation\"}} 5\n\
+         # TYPE gstm_gate_outcomes_total counter\n\
+         gstm_gate_outcomes_total{{outcome=\"passed\"}} 20\n\
+         gstm_gate_outcomes_total{{outcome=\"waited\"}} 6\n\
+         gstm_gate_outcomes_total{{outcome=\"released\"}} 4\n\
+         # TYPE gstm_windows_closed_total counter\n\
+         gstm_windows_closed_total 3\n\
+         # TYPE gstm_window_rolls_total counter\n\
+         gstm_window_rolls_total 7\n\
+         # TYPE gstm_window_evicted_windows_total counter\n\
+         gstm_window_evicted_windows_total 1\n\
+         # TYPE gstm_window_evicted_total counter\n\
+         gstm_window_evicted_total{{counter=\"commits\"}} 10\n\
+         gstm_window_evicted_total{{counter=\"aborts\"}} 2\n\
+         gstm_window_evicted_total{{counter=\"gate_passed\"}} 3\n\
+         gstm_window_evicted_total{{counter=\"gate_waited\"}} 2\n\
+         gstm_window_evicted_total{{counter=\"gate_released\"}} 1\n\
+         # TYPE gstm_window_commits gauge\n\
+         gstm_window_commits{{window=\"1\"}} 60\n\
+         gstm_window_commits{{window=\"2\"}} 30\n\
+         # TYPE gstm_window_aborts gauge\n\
+         gstm_window_aborts{{window=\"1\"}} 8\n\
+         gstm_window_aborts{{window=\"2\"}} 10\n\
+         # TYPE gstm_window_gate gauge\n\
+         gstm_window_gate{{window=\"1\",outcome=\"passed\"}} 8\n\
+         gstm_window_gate{{window=\"1\",outcome=\"waited\"}} 2\n\
+         gstm_window_gate{{window=\"1\",outcome=\"released\"}} 2\n\
+         gstm_window_gate{{window=\"2\",outcome=\"passed\"}} 9\n\
+         gstm_window_gate{{window=\"2\",outcome=\"waited\"}} 2\n\
+         gstm_window_gate{{window=\"2\",outcome=\"released\"}} 1\n\
+         # TYPE gstm_slo_state gauge\n\
+         gstm_slo_state 2\n\
+         # TYPE gstm_slo_windows_total counter\n\
+         gstm_slo_windows_total 3\n\
+         # TYPE gstm_slo_breached_windows_total counter\n\
+         gstm_slo_breached_windows_total 2\n\
+         # TYPE gstm_slo_incidents_total counter\n\
+         gstm_slo_incidents_total 1\n"
+    )
+}
+
+fn fixture_incident_json(schema: u32) -> String {
+    format!(
+        "{{\n  \"schema\": {schema},\n  \"kind\": \"gstm_incident\",\n  \
+         \"version\": \"test\",\n  \"stamp\": \"replay\",\n  \"seq\": 0,\n  \
+         \"tripped_window\": 4,\n  \"state\": \"incident\",\n  \
+         \"breaches\": [\"abort-ratio 80.0% > 50%\"],\n  \"timeline\": [\n    \
+         {{\"window\":3,\"from\":\"ok\",\"to\":\"warn\",\"breaches\":[]}},\n    \
+         {{\"window\":4,\"from\":\"warn\",\"to\":\"incident\",\"breaches\":[]}}\n  ],\n  \
+         \"windows\": [\n    {{\"index\":3,\"commits\":5,\"aborts\":2}},\n    \
+         {{\"index\":4,\"commits\":6,\"aborts\":9}}\n  ],\n  \
+         \"evicted\": {{\"windows\": 0, \"commits\": 0, \"aborts\": 0, \"gate\": 0}},\n  \
+         \"trace\": [\n    \
+         {{\"seq\":0,\"txn\":1,\"thread\":0,\"kind\":\"begin\"}},\n    \
+         {{\"seq\":1,\"txn\":1,\"thread\":0,\"kind\":\"commit\",\"commit_ns\":90,\"writes\":1}}\n  ]\n}}\n"
+    )
+}
+
+#[test]
+fn ops_partition_check_is_exact() {
+    let ok = PromSnapshot::parse(&fixture_ops_prom(1, false)).unwrap();
+    let c = ops_partition_check(&ok);
+    assert!(c.pass, "{}", c.detail);
+    assert!(c.detail.contains("2 retained + 1 evicted"), "{}", c.detail);
+    let bad = PromSnapshot::parse(&fixture_ops_prom(1, true)).unwrap();
+    let c = ops_partition_check(&bad);
+    assert!(!c.pass);
+    assert!(c.detail.contains("commits"), "{}", c.detail);
+}
+
+#[test]
+fn incident_dump_parses_scalars_and_counts() {
+    let f = parse_incident_json("incident0.json", &fixture_incident_json(1)).unwrap();
+    assert_eq!(f.seq, 0);
+    assert_eq!(f.stamp, "replay");
+    assert_eq!(f.tripped_window, 4);
+    assert_eq!(f.state, "incident");
+    assert_eq!(f.windows, 2);
+    assert_eq!(f.transitions, 2);
+    assert_eq!(f.trace_events, 2);
+}
+
+#[test]
+fn incident_dump_schema_mismatch_is_rejected() {
+    let err = parse_incident_json("incident0.json", &fixture_incident_json(99)).unwrap_err();
+    assert!(err.contains("schema 99"), "{err}");
+    assert!(err.contains("reads schema 1"), "{err}");
+    let err = parse_incident_json("x.json", "{\n  \"schema\": 1,\n  \"kind\": \"other\"\n}")
+        .unwrap_err();
+    assert!(err.contains("gstm_incident"), "{err}");
+}
+
+#[test]
+fn analyze_ops_rejects_exposition_schema_mismatch() {
+    let dir = std::env::temp_dir().join("gstm_analyze_ops_schema");
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    std::fs::write(dir.join("ops.prom"), fixture_ops_prom(9, false)).unwrap();
+    let err = analyze_ops(&dir, "kmeans_2t").unwrap_err();
+    assert!(err.contains("schema 9"), "{err}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn analyze_dir_folds_ops_artifacts_and_renders_them() {
+    let dir = std::env::temp_dir().join("gstm_analyze_ops_dir");
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    let (_, csv, summary) = fixture_campaign();
+    for r in 0..2 {
+        std::fs::write(
+            dir.join(format!("kmeans_2t_run{r}_telemetry.jsonl")),
+            export_jsonl(&scripted_run()),
+        )
+        .unwrap();
+        std::fs::write(dir.join(format!("kmeans_2t_run{r}_telemetry.prom")), fixture_prom(0))
+            .unwrap();
+    }
+    let mut runs_csv = String::from("run,thread,secs,commits,aborts\n");
+    for row in &csv {
+        runs_csv += &format!(
+            "{},{},{:.9},{},{}\n",
+            row.run, row.thread, row.secs, row.commits, row.aborts
+        );
+    }
+    std::fs::write(dir.join("kmeans_2t_runs.csv"), runs_csv).unwrap();
+    let mut sum_csv = String::from("metric,thread,value\n");
+    for (t, sd) in summary.std_dev_secs.iter().enumerate() {
+        sum_csv += &format!("std_dev_secs,{t},{sd:.9}\n");
+    }
+    for (t, tail) in summary.tail_metric.iter().enumerate() {
+        sum_csv += &format!("tail_metric,{t},{tail}\n");
+    }
+    sum_csv += &format!("non_determinism,,{}\n", summary.non_determinism);
+    sum_csv += &format!("commits,,{}\naborts,,{}\n", summary.commits, summary.aborts);
+    std::fs::write(dir.join("kmeans_2t_guided_summary.csv"), sum_csv).unwrap();
+    // The stem-qualified name wins over the bare fallback.
+    std::fs::write(dir.join("kmeans_2t_ops.prom"), fixture_ops_prom(1, false)).unwrap();
+    std::fs::write(dir.join("incident0.json"), fixture_incident_json(1)).unwrap();
+
+    let rep = analyze_dir(&dir, "kmeans_2t", &Thresholds::default()).unwrap();
+    assert!(rep.pass(), "checks: {:?}", rep.checks);
+    let part = rep.checks.iter().find(|c| c.name == "window_partition").unwrap();
+    assert!(part.pass, "{}", part.detail);
+    let inc = rep.checks.iter().find(|c| c.name == "incident_artifacts").unwrap();
+    assert!(inc.pass, "{}", inc.detail);
+    let ops = rep.ops.as_ref().unwrap();
+    assert_eq!(ops.windows_closed, 3);
+    assert_eq!(ops.incidents.len(), 1);
+    assert_eq!(ops.incidents[0].tripped_window, 4);
+
+    let md = render_markdown(&rep);
+    assert!(md.contains("## Live ops plane"), "{md}");
+    assert!(md.contains("## Incident timeline"), "{md}");
+    assert!(md.contains("| 0 | replay | 4 | incident | 2 | 2 | 2 |"), "{md}");
+    assert!(md.contains("trace events dropped: 0"), "{md}");
+    let json = render_verdict_json(&rep);
+    assert!(json.starts_with("{\n  \"schema\": 1,"), "{json}");
+    assert!(json.contains("\"ops\": {"), "{json}");
+    assert!(json.contains("\"tripped_window\": 4"), "{json}");
+    assert_eq!(json.matches('{').count(), json.matches('}').count(), "{json}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn missing_incident_artifact_fails_the_inventory_check() {
+    let dir = std::env::temp_dir().join("gstm_analyze_ops_missing_inc");
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    // Declares one incident, but no incident0.json rode along.
+    std::fs::write(dir.join("ops.prom"), fixture_ops_prom(1, false)).unwrap();
+    let (facts, checks) = analyze_ops(&dir, "kmeans_2t").unwrap().unwrap();
+    assert_eq!(facts.incidents_total, 1);
+    assert!(facts.incidents.is_empty());
+    let inc = checks.iter().find(|c| c.name == "incident_artifacts").unwrap();
+    assert!(!inc.pass, "{}", inc.detail);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 #[test]
 fn gini_measures_concentration() {
     assert_eq!(gini(&[]), 0.0);

@@ -28,7 +28,11 @@
 //! partner is the plain `guided` row, which still executes the runtime's
 //! one-branch `Option` check with no tracker attached. The plain `guided`
 //! row is the observability-disabled path the ≤2% ratio budget applies
-//! to.
+//! to. The `guided+ops` row runs `guided+tel`'s exact window with the
+//! live ops plane armed — a 50 ms windowed-telemetry roller and an HTTP
+//! `/metrics` service thread, both off the commit path — so its A/B
+//! partner is `guided+tel` and the delta is the ops plane's entire
+//! hot-path cost (expected: noise).
 //!
 //! CI regression mode:
 //!
@@ -47,6 +51,7 @@ use gstm_core::contention::ContentionTracker;
 use gstm_core::drift::{DriftConfig, DriftTracker};
 use gstm_core::events::ConflictSite;
 use gstm_core::guidance::{GuidanceHook, GuidedHook, NoopHook, RecorderHook};
+use gstm_core::ops::{self, OpsPlane, OpsRoller, OpsServer, SloSpec};
 use gstm_core::telemetry::Telemetry;
 use gstm_core::{
     AbortCause, AdaptConfig, GuidanceConfig, GuidedModel, Pair, StateKey, ThreadId, Tsa, TxnId,
@@ -89,13 +94,24 @@ fn hot_site(i: usize) -> ConflictSite {
     ConflictSite::at(0x1000 + (i << 6))
 }
 
+/// The live ops plane's moving parts for the `guided+ops` row, held
+/// alive (roller thread + HTTP service thread) for the duration of one
+/// measured repetition and torn down between repetitions.
+struct OpsRig {
+    _plane: Arc<OpsPlane>,
+    _roller: OpsRoller,
+    _server: Option<OpsServer>,
+}
+
 /// One row's moving parts: the hook plus the optional runtime-side
 /// instrumentation each window replays (telemetry records, conflict
-/// provenance records).
+/// provenance records), plus the off-path ops rig kept alive while the
+/// row runs.
 type Setup = (
     Arc<dyn GuidanceHook>,
     Option<Arc<Telemetry>>,
     Option<Arc<ContentionTracker>>,
+    Option<OpsRig>,
 );
 
 /// Drive `commits` windows against `hook` from `threads` workers and
@@ -286,8 +302,10 @@ const COMMITS: usize = 200_000;
 fn best_of(n: usize, threads: u16, mk: &dyn Fn() -> Setup) -> f64 {
     (0..n)
         .map(|_| {
-            let (hook, tel, ctn) = mk();
-            drive(hook, tel, ctn, threads, COMMITS)
+            let (hook, tel, ctn, rig) = mk();
+            let ns = drive(hook, tel, ctn, threads, COMMITS);
+            drop(rig);
+            ns
         })
         .fold(f64::INFINITY, f64::min)
 }
@@ -298,8 +316,10 @@ fn best_of(n: usize, threads: u16, mk: &dyn Fn() -> Setup) -> f64 {
 fn median_of(n: usize, threads: u16, mk: &dyn Fn() -> Setup) -> f64 {
     let mut samples: Vec<f64> = (0..n)
         .map(|_| {
-            let (hook, tel, ctn) = mk();
-            drive(hook, tel, ctn, threads, COMMITS)
+            let (hook, tel, ctn, rig) = mk();
+            let ns = drive(hook, tel, ctn, threads, COMMITS);
+            drop(rig);
+            ns
         })
         .collect();
     samples.sort_by(f64::total_cmp);
@@ -372,11 +392,12 @@ fn run_check(baseline_path: &str) -> ! {
         let (mut ratio, mut legacy, mut guided) = (f64::INFINITY, 0.0, f64::INFINITY);
         for round in 0..MAX_ROUNDS {
             let l = median_of(3, threads, &|| {
-                (Arc::new(LegacyRecorder::default()), None, None)
+                (Arc::new(LegacyRecorder::default()), None, None, None)
             });
             let g = median_of(3, threads, &|| {
                 (
                     Arc::new(GuidedHook::new(Arc::clone(&model), GuidanceConfig::default())),
+                    None,
                     None,
                     None,
                 )
@@ -428,16 +449,17 @@ fn main() {
         // Warmup + measure; take the best of 3 to damp scheduler noise.
         let mut rows: Vec<(&str, f64)> = Vec::new();
         let best = |mk: &dyn Fn() -> Setup| -> f64 { best_of(3, threads, mk) };
-        let legacy = best(&|| (Arc::new(LegacyRecorder::default()), None, None));
-        rows.push(("noop", best(&|| (Arc::new(NoopHook), None, None))));
+        let legacy = best(&|| (Arc::new(LegacyRecorder::default()), None, None, None));
+        rows.push(("noop", best(&|| (Arc::new(NoopHook), None, None, None))));
         rows.push(("legacy", legacy));
-        rows.push(("sharded", best(&|| (Arc::new(RecorderHook::new()), None, None))));
+        rows.push(("sharded", best(&|| (Arc::new(RecorderHook::new()), None, None, None))));
         let model = harness_model(threads);
         rows.push((
             "guided",
             best(&|| {
                 (
                     Arc::new(GuidedHook::new(Arc::clone(&model), GuidanceConfig::default())),
+                    None,
                     None,
                     None,
                 )
@@ -454,6 +476,7 @@ fn main() {
                     Arc::new(GuidedHook::new(Arc::clone(&model), GuidanceConfig::default())),
                     None,
                     Some(Arc::new(ContentionTracker::new())),
+                    None,
                 )
             }),
         ));
@@ -470,6 +493,7 @@ fn main() {
                         None,
                         Some(drift),
                     )),
+                    None,
                     None,
                     None,
                 )
@@ -493,7 +517,7 @@ fn main() {
                 };
                 let hook =
                     GuidedHook::adaptive(Arc::clone(&model), GuidanceConfig::default(), adapt, None);
-                (hook as Arc<dyn GuidanceHook>, None, None)
+                (hook as Arc<dyn GuidanceHook>, None, None, None)
             }),
         ));
         // Enabled mode: counters + histograms + runtime-side timestamps
@@ -511,6 +535,36 @@ fn main() {
                     )),
                     Some(tel),
                     None,
+                    None,
+                )
+            }),
+        ));
+        // Live ops plane on top of enabled-mode telemetry: a roller
+        // thread snapshots the collector every 50 ms and an HTTP service
+        // thread polls its listener — both entirely off the commit path,
+        // which touches only the same relaxed counters as `guided+tel`.
+        // A/B partner: `guided+tel`; the delta is the ops plane's whole
+        // hot-path bill and must be noise.
+        rows.push((
+            "guided+ops",
+            best(&|| {
+                let tel = Arc::new(Telemetry::counters_only());
+                let plane = Arc::new(OpsPlane::new(
+                    SloSpec::parse("window-ms=50").expect("static spec"),
+                ));
+                plane.attach(&tel);
+                let roller =
+                    ops::start_roller(Arc::clone(&plane), std::time::Duration::from_millis(50));
+                let server = ops::serve(Arc::clone(&plane), "127.0.0.1:0").ok();
+                (
+                    Arc::new(GuidedHook::with_telemetry(
+                        Arc::clone(&model),
+                        GuidanceConfig::default(),
+                        Some(Arc::clone(&tel)),
+                    )),
+                    Some(tel),
+                    None,
+                    Some(OpsRig { _plane: plane, _roller: roller, _server: server }),
                 )
             }),
         ));

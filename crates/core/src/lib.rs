@@ -52,6 +52,7 @@ pub mod guidance;
 pub mod ids;
 pub mod metrics;
 pub mod model_io;
+pub mod ops;
 pub mod placement;
 pub mod stats;
 pub mod sync;
@@ -74,6 +75,10 @@ pub mod prelude {
     pub use crate::guidance::{GateStats, GuidanceHook, GuidedHook, NoopHook, RecorderHook};
     pub use crate::ids::{Pair, ThreadId, TxnId};
     pub use crate::metrics::AbortHistogram;
+    pub use crate::ops::{
+        OpsPlane, OpsRoller, OpsServer, SloSpec, SloState, SloTransition, SloWatchdog,
+        WindowDelta, WindowedTelemetry,
+    };
     pub use crate::placement::{AffinityMatrix, AffinitySource, PinPolicy, PlacementPlan};
     pub use crate::stats::ThreadStats;
     pub use crate::telemetry::{

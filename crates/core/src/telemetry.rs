@@ -51,6 +51,22 @@ pub const DEFAULT_TRACE_CAPACITY: usize = 1 << 14;
 /// an unknown current state).
 pub const UNKNOWN_STATE: u32 = u32::MAX;
 
+/// Version of the exported artifact schema (`.prom`, `.jsonl`, verdict
+/// and incident JSON). Bumped whenever a consumer could misparse an
+/// artifact from a different build; `gstm-analyze` refuses mismatches
+/// instead of silently misreading them. Stamped as the
+/// `gstm_build_info{schema="..."}` Prometheus family and as the
+/// `"schema"` field of the JSONL meta line and of JSON artifacts.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// Build version string stamped into exported artifacts. Falls back to
+/// "unversioned" under bare-rustc builds, where cargo's package
+/// metadata is absent.
+pub const BUILD_VERSION: &str = match option_env!("CARGO_PKG_VERSION") {
+    Some(v) => v,
+    None => "unversioned",
+};
+
 /// Stable label and index for each [`AbortCause`] variant, in the order
 /// used by [`TelemetrySnapshot::aborts`].
 pub const ABORT_CAUSE_NAMES: [&str; 6] = [
@@ -262,6 +278,21 @@ impl HistogramSnapshot {
             }
         }
         LatencyHistogram::bucket_range(NUM_BUCKETS - 1).1
+    }
+
+    /// Fold `other` into `self` bucket-wise (exact: counts and sums add;
+    /// `max` takes the larger). An empty (default) snapshot grows the
+    /// bucket vector to match `other`'s.
+    pub fn absorb(&mut self, other: &HistogramSnapshot) {
+        if self.buckets.len() < other.buckets.len() {
+            self.buckets.resize(other.buckets.len(), 0);
+        }
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.wrapping_add(other.sum);
+        self.max = self.max.max(other.max);
     }
 }
 
@@ -911,10 +942,71 @@ impl TelemetrySnapshot {
         self.gate_passed + self.gate_waited + self.gate_released
     }
 
+    /// Fold `other` into `self`, treating the pair as one logical run:
+    /// counters and histograms add exactly; per-thread cells merge by
+    /// cell index; point-in-time fields (breaker position, drift, clock,
+    /// placement, contention) take `other`'s when present, since `other`
+    /// is the newer snapshot. This is how the ops plane maintains one
+    /// cumulative view across the harness's per-run collectors.
+    pub fn absorb(&mut self, other: &TelemetrySnapshot) {
+        self.commits += other.commits;
+        for (a, b) in self.aborts.iter_mut().zip(&other.aborts) {
+            *a += b;
+        }
+        self.gate_passed += other.gate_passed;
+        self.gate_waited += other.gate_waited;
+        self.gate_released += other.gate_released;
+        self.commit_ns.absorb(&other.commit_ns);
+        self.backoff_ns.absorb(&other.backoff_ns);
+        self.gate_wait_ns.absorb(&other.gate_wait_ns);
+        for tc in &other.per_thread {
+            match self.per_thread.iter_mut().find(|m| m.cell == tc.cell) {
+                Some(m) => {
+                    m.commits += tc.commits;
+                    for (a, b) in m.aborts.iter_mut().zip(&tc.aborts) {
+                        *a += b;
+                    }
+                    m.gate_passed += tc.gate_passed;
+                    m.gate_waited += tc.gate_waited;
+                    m.gate_released += tc.gate_released;
+                }
+                None => self.per_thread.push(tc.clone()),
+            }
+        }
+        self.per_thread.sort_by_key(|t| t.cell);
+        self.trace_dropped += other.trace_dropped;
+        self.model_swaps += other.model_swaps;
+        self.breaker_trips += other.breaker_trips;
+        self.breaker_recloses += other.breaker_recloses;
+        self.breaker_probes += other.breaker_probes;
+        self.breaker_model_rejected += other.breaker_model_rejected;
+        self.breaker_state = other.breaker_state;
+        self.guardian_restarts += other.guardian_restarts;
+        if other.model_drift.is_some() {
+            self.model_drift = other.model_drift.clone();
+        }
+        if other.clock.is_some() {
+            self.clock = other.clock.clone();
+        }
+        if other.placement.is_some() {
+            self.placement = other.placement.clone();
+        }
+        if other.contention.is_some() {
+            self.contention = other.contention.clone();
+        }
+    }
+
     /// Render the snapshot in the Prometheus text exposition format.
     pub fn render_prometheus(&self) -> String {
         use std::fmt::Write as _;
         let mut out = String::new();
+        // Build-info stamp first: consumers check the schema label before
+        // trusting any family below it.
+        let _ = writeln!(out, "# TYPE gstm_build_info gauge");
+        let _ = writeln!(
+            out,
+            "gstm_build_info{{schema=\"{SCHEMA_VERSION}\",version=\"{BUILD_VERSION}\"}} 1"
+        );
         let _ = writeln!(out, "# TYPE gstm_commits_total counter");
         let _ = writeln!(out, "gstm_commits_total {}", self.commits);
         let _ = writeln!(out, "# TYPE gstm_aborts_total counter");
@@ -1197,11 +1289,15 @@ fn cause_name(cause: AbortCause) -> &'static str {
     ABORT_CAUSE_NAMES[cause_index(cause)]
 }
 
-/// Serialize trace events as JSONL: one self-contained JSON object per
-/// line, in input order.
+/// Serialize trace events as JSONL: a schema-stamped meta line followed
+/// by one self-contained JSON object per event, in input order.
 pub fn export_jsonl(events: &[TraceEvent]) -> String {
     use std::fmt::Write as _;
     let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{{\"kind\":\"meta\",\"schema\":{SCHEMA_VERSION},\"version\":\"{BUILD_VERSION}\"}}"
+    );
     for ev in events {
         let _ = write!(
             out,
@@ -1288,6 +1384,22 @@ pub fn parse_jsonl(s: &str) -> Result<Vec<TraceEvent>, String> {
             continue;
         }
         let err = |what: &str| format!("line {}: {what}: {line}", n + 1);
+        // Schema-stamped meta line (absent in pre-PR8 artifacts, which is
+        // tolerated; a *mismatched* stamp is a hard error so a newer or
+        // older exporter is never silently misparsed).
+        if json_str(line, "kind") == Some("meta") {
+            match json_u64(line, "schema") {
+                Some(s) if s == u64::from(SCHEMA_VERSION) => continue,
+                Some(s) => {
+                    return Err(format!(
+                        "line {}: artifact schema {s} but this build reads schema \
+                         {SCHEMA_VERSION}; re-export with a matching gstm version",
+                        n + 1
+                    ))
+                }
+                None => return Err(err("meta line missing schema")),
+            }
+        }
         let seq = json_u64(line, "seq").ok_or_else(|| err("missing seq"))?;
         let ts_ns = json_u64(line, "ts_ns").ok_or_else(|| err("missing ts_ns"))?;
         let txn = json_u64(line, "txn").ok_or_else(|| err("missing txn"))? as u16;
@@ -1752,9 +1864,28 @@ mod tests {
     fn jsonl_round_trips_every_kind() {
         let events = sample_events();
         let jsonl = export_jsonl(&events);
-        assert_eq!(jsonl.lines().count(), events.len());
+        // One schema-stamped meta line, then one line per event.
+        assert_eq!(jsonl.lines().count(), events.len() + 1);
+        assert!(jsonl.starts_with(&format!(
+            "{{\"kind\":\"meta\",\"schema\":{SCHEMA_VERSION}"
+        )));
         let parsed = parse_jsonl(&jsonl).expect("parses");
         assert_eq!(parsed, events, "count, ordering, and payloads survive");
+    }
+
+    #[test]
+    fn jsonl_schema_stamp_is_enforced() {
+        // A mismatched stamp is a hard, descriptive error...
+        let err = parse_jsonl("{\"kind\":\"meta\",\"schema\":999}\n").unwrap_err();
+        assert!(err.contains("schema 999"), "got: {err}");
+        assert!(err.contains("re-export"), "got: {err}");
+        // ...a matching stamp is skipped; a missing stamp (pre-PR8
+        // artifact) is tolerated.
+        let line = "{\"seq\":0,\"ts_ns\":1,\"txn\":0,\"thread\":0,\"kind\":\"begin\"}";
+        let stamped = format!("{{\"kind\":\"meta\",\"schema\":{SCHEMA_VERSION}}}\n{line}");
+        assert_eq!(parse_jsonl(&stamped).unwrap().len(), 1);
+        assert_eq!(parse_jsonl(line).unwrap().len(), 1);
+        assert!(parse_jsonl("{\"kind\":\"meta\"}").is_err());
     }
 
     #[test]

@@ -62,8 +62,23 @@
 //!                       profiled-automaton affinity) or `measured`
 //!                       (victim/owner abort attribution recorded by the
 //!                       contention tracker during profiling)
+//!   --serve ADDR        live ops plane: serve /metrics (Prometheus),
+//!                       /health (SLO verdict, 503 in Incident), /vars
+//!                       and /incidents from a std-only HTTP/1.1 thread
+//!                       on ADDR (e.g. 127.0.0.1:9464) while the
+//!                       campaign runs
+//!   --slo SPEC          SLO watchdog rules over telemetry windows,
+//!                       e.g. abort-ratio=30,released=5,warn=1,
+//!                       incident=3,clear=3,window-ms=200; entering
+//!                       Incident trips a flight-recorder dump
+//!                       (incident<N>.json) that gstm-analyze ingests
+//!   --duration SECS     keep the ops endpoint up until SECS after
+//!                       process start (the campaign's final /metrics
+//!                       body is frozen at completion, so late scrapes
+//!                       equal the exported ops.prom byte-for-byte)
 //! ```
 
+use gstm_core::ops::{self, OpsPlane, OpsRoller, OpsServer, SloSpec};
 use gstm_core::{AffinitySource, FaultPlan, GuidanceConfig, PinPolicy, Telemetry};
 use gstm_tl2::ClockMode;
 use gstm_harness::experiment::{
@@ -121,6 +136,12 @@ struct Options {
     pin: PinPolicy,
     /// Affinity signal for `--pin=model` (`--affinity=tsa|measured`).
     affinity: AffinitySource,
+    /// `--serve=ADDR`: bind the live ops endpoint there.
+    serve: Option<String>,
+    /// `--slo=SPEC`: watchdog rules; also turns the ops plane on.
+    slo: Option<String>,
+    /// `--duration=SECS`: hold the ops endpoint up this long.
+    duration: Option<u64>,
 }
 
 fn parse_size(s: &str) -> InputSize {
@@ -180,6 +201,9 @@ fn parse_args() -> Options {
         clock: ClockMode::Global,
         pin: PinPolicy::None,
         affinity: AffinitySource::Tsa,
+        serve: None,
+        slo: None,
+        duration: None,
     };
     let next = |args: &mut dyn Iterator<Item = String>, flag: &str| -> String {
         args.next().unwrap_or_else(|| {
@@ -252,6 +276,22 @@ fn parse_args() -> Options {
             s if s.starts_with("--affinity=") => {
                 opts.affinity = parse_affinity(&s["--affinity=".len()..]);
             }
+            "--serve" => opts.serve = Some(next(&mut args, "--serve")),
+            s if s.starts_with("--serve=") => {
+                opts.serve = Some(s["--serve=".len()..].to_string());
+            }
+            "--slo" => opts.slo = Some(next(&mut args, "--slo")),
+            s if s.starts_with("--slo=") => {
+                opts.slo = Some(s["--slo=".len()..].to_string());
+            }
+            "--duration" => {
+                opts.duration =
+                    Some(next(&mut args, "--duration").parse().expect("bad duration"))
+            }
+            s if s.starts_with("--duration=") => {
+                opts.duration =
+                    Some(s["--duration=".len()..].parse().expect("bad duration"));
+            }
             "--profile-threads" => {
                 opts.profile_threads = Some(
                     next(&mut args, "--profile-threads")
@@ -288,7 +328,8 @@ fn print_help() {
          \x20        --size s --train-size s --players N --frames N\n\
          \x20        --tfactor F --seed X --out DIR --no-csv --telemetry[=DIR]\n\
          \x20        --adaptive[=W] --profile-threads N --chaos SEED[:PLAN] --breaker\n\
-         \x20        --clock global|sharded --pin none|compact|scatter|model --affinity tsa|measured"
+         \x20        --clock global|sharded --pin none|compact|scatter|model --affinity tsa|measured\n\
+         \x20        --serve ADDR --slo SPEC --duration SECS"
     );
 }
 
@@ -299,6 +340,10 @@ struct Campaign {
     /// Chaos plumbing parsed once from `--chaos`/`--breaker`; one shared
     /// fault plan so injection counters accumulate across the campaign.
     robust: Robustness,
+    /// Live ops plane (`--serve`/`--slo`/`--duration`); every per-run
+    /// telemetry collector is attached here so live scrapes see one
+    /// monotone cumulative view across the whole campaign.
+    ops: Option<Arc<OpsPlane>>,
     stamp: HashMap<u16, Vec<BenchExperiment>>,
     games: Vec<GameExperiment>,
 }
@@ -321,6 +366,7 @@ impl Campaign {
         Campaign {
             opts,
             robust,
+            ops: None,
             stamp: HashMap::new(),
             games: Vec::new(),
         }
@@ -355,9 +401,17 @@ impl Campaign {
                     affinity: self.opts.affinity,
                 };
                 eprintln!("[gstm-repro] running {} @ {threads} threads ...", bench.name());
-                let exp = if let Some(tel_dir) = &self.opts.telemetry {
-                    let dir = tel_dir
+                // Collectors exist when artifacts were requested
+                // (--telemetry) or the live ops plane is on
+                // (--serve/--slo); the ops plane only needs counters, so
+                // without --telemetry the tracer rings are sized to zero.
+                let want_artifacts = self.opts.telemetry.is_some();
+                let exp = if want_artifacts || self.ops.is_some() {
+                    let dir = self
+                        .opts
+                        .telemetry
                         .clone()
+                        .flatten()
                         .or_else(|| self.opts.out.clone())
                         .unwrap_or_else(|| PathBuf::from("results"));
                     // One collector per guided run, so repetition r+1
@@ -369,13 +423,24 @@ impl Campaign {
                     // wraps on the reference workloads' ~50k
                     // events/thread).
                     const TRACE_CAP_PER_THREAD: usize = 1 << 17;
+                    let trace_cap = if want_artifacts { TRACE_CAP_PER_THREAD } else { 0 };
                     let tels: Vec<Arc<Telemetry>> = (0..cfg.measure_runs)
-                        .map(|_| Arc::new(Telemetry::with_trace_capacity(TRACE_CAP_PER_THREAD)))
+                        .map(|_| Arc::new(Telemetry::with_trace_capacity(trace_cap)))
                         .collect();
+                    let ops = self.ops.clone();
                     let e = run_experiment_chaos(
                         &*bench,
                         &cfg,
-                        |r| tels.get(r).cloned(),
+                        |r| {
+                            let tel = tels.get(r).cloned();
+                            // The outgoing collector folds into the ops
+                            // plane's cumulative base, so live /metrics
+                            // totals stay monotone across repetitions.
+                            if let (Some(ops), Some(tel)) = (ops.as_ref(), tel.as_ref()) {
+                                ops.attach(tel);
+                            }
+                            tel
+                        },
                         &self.robust,
                     );
                     // Each run's snapshot must agree with the harness's
@@ -400,6 +465,9 @@ impl Campaign {
                                 snap.aborts_total(),
                             );
                         }
+                        if !want_artifacts {
+                            continue;
+                        }
                         let stem =
                             format!("{}_{}t_run{r}_telemetry", bench.name(), threads);
                         match report::save_telemetry(&dir, &stem, tel) {
@@ -413,14 +481,16 @@ impl Campaign {
                             ),
                         }
                     }
-                    match report::save_run_metrics(&dir, &e) {
-                        Ok(paths) => {
-                            for p in paths {
-                                eprintln!("[gstm-repro] wrote {}", p.display());
+                    if want_artifacts {
+                        match report::save_run_metrics(&dir, &e) {
+                            Ok(paths) => {
+                                for p in paths {
+                                    eprintln!("[gstm-repro] wrote {}", p.display());
+                                }
                             }
-                        }
-                        Err(err) => {
-                            eprintln!("[gstm-repro] failed to write run metrics: {err}")
+                            Err(err) => {
+                                eprintln!("[gstm-repro] failed to write run metrics: {err}")
+                            }
                         }
                     }
                     // The drift tracker is shared across runs, so the
@@ -509,13 +579,120 @@ impl Campaign {
     }
 }
 
+/// Running pieces of the live ops plane: the shared state, its timer
+/// driver, the HTTP service thread, and where to write end-of-run
+/// artifacts.
+struct OpsRig {
+    plane: Arc<OpsPlane>,
+    roller: Option<OpsRoller>,
+    server: Option<OpsServer>,
+    started: std::time::Instant,
+    duration: Option<u64>,
+    dir: PathBuf,
+}
+
+/// Build the ops plane when any of `--serve`/`--slo`/`--duration` is
+/// present: parse the SLO spec, bind the endpoint, start the window
+/// roller on the spec's cadence.
+fn build_ops(opts: &Options) -> Option<OpsRig> {
+    if opts.serve.is_none() && opts.slo.is_none() && opts.duration.is_none() {
+        return None;
+    }
+    let spec = match opts.slo.as_deref() {
+        Some(s) => SloSpec::parse(s).unwrap_or_else(|e| {
+            eprintln!("bad --slo: {e}");
+            std::process::exit(2);
+        }),
+        None => SloSpec::default(),
+    };
+    let cadence = std::time::Duration::from_millis(spec.window_ms);
+    let plane = Arc::new(OpsPlane::new(spec));
+    let server = opts.serve.as_deref().map(|addr| {
+        match ops::serve(Arc::clone(&plane), addr) {
+            Ok(s) => {
+                eprintln!(
+                    "[gstm-repro] ops endpoint on http://{} \
+                     (/metrics /health /vars /incidents)",
+                    s.addr
+                );
+                s
+            }
+            Err(e) => {
+                eprintln!("failed to bind --serve={addr}: {e}");
+                std::process::exit(2);
+            }
+        }
+    });
+    let roller = ops::start_roller(Arc::clone(&plane), cadence);
+    let dir = opts
+        .telemetry
+        .clone()
+        .flatten()
+        .or_else(|| opts.out.clone())
+        .unwrap_or_else(|| PathBuf::from("results"));
+    Some(OpsRig {
+        plane,
+        roller: Some(roller),
+        server,
+        started: std::time::Instant::now(),
+        duration: opts.duration,
+        dir,
+    })
+}
+
+/// Campaign's over: stop the roller, close the final window, freeze the
+/// exposition, export `ops.prom` + `incident<N>.json`, self-check the
+/// window partition, then hold the endpoint up until `--duration`
+/// elapses (serving the frozen body, so a late scrape equals the
+/// exported file exactly).
+fn finalize_ops(mut rig: OpsRig) {
+    if let Some(r) = rig.roller.take() {
+        r.stop();
+    }
+    let frozen = rig.plane.freeze();
+    match report::save_ops(&rig.dir, &rig.plane, &frozen) {
+        Ok(paths) => {
+            for p in paths {
+                eprintln!("[gstm-repro] wrote {}", p.display());
+            }
+        }
+        Err(e) => eprintln!("[gstm-repro] failed to write ops artifacts: {e}"),
+    }
+    if let Err(e) = rig.plane.check_partition() {
+        eprintln!("[gstm-repro] WARNING: {e}");
+    }
+    eprintln!(
+        "[gstm-repro] ops: SLO {} after {} window(s), {} breached, {} incident(s)",
+        rig.plane.state().label(),
+        rig.plane.windows_closed(),
+        rig.plane.breached_windows(),
+        rig.plane.incidents().len(),
+    );
+    if let (Some(server), Some(secs)) = (rig.server.as_ref(), rig.duration) {
+        let deadline = rig.started + std::time::Duration::from_secs(secs);
+        let now = std::time::Instant::now();
+        if now < deadline {
+            eprintln!(
+                "[gstm-repro] holding ops endpoint http://{} until --duration={secs}s elapses ...",
+                server.addr
+            );
+            std::thread::sleep(deadline - now);
+        }
+    }
+    if let Some(s) = rig.server.take() {
+        s.stop();
+    }
+}
+
 fn main() {
     let opts = parse_args();
     let command = opts.command.clone();
     let threads = opts.threads.clone();
     let t_lo = threads.first().copied().unwrap_or(8);
     let t_hi = threads.get(1).copied().unwrap_or(t_lo);
+    let rig = build_ops(&opts);
     let mut c = Campaign::new(opts);
+    c.ops = rig.as_ref().map(|r| Arc::clone(&r.plane));
 
     let run_stamp_cmd = |c: &mut Campaign, which: &str| {
         let (e8, e16) = c.stamp_pair();
@@ -662,5 +839,9 @@ fn main() {
             print_help();
             std::process::exit(2);
         }
+    }
+
+    if let Some(rig) = rig {
+        finalize_ops(rig);
     }
 }

@@ -123,6 +123,28 @@ pub fn save_telemetry(
     Ok(written)
 }
 
+/// Write the ops plane's end-of-campaign artifacts into `dir` (creating
+/// it): `ops.prom` — the frozen `/metrics` body (cumulative exposition
+/// plus the window-partition and SLO families; byte-identical to any
+/// scrape taken after the campaign ended) — and one `incident<N>.json`
+/// flight-recorder dump per incident. Returns the paths written.
+pub fn save_ops(
+    dir: &Path,
+    plane: &gstm_core::ops::OpsPlane,
+    frozen: &str,
+) -> std::io::Result<Vec<std::path::PathBuf>> {
+    std::fs::create_dir_all(dir)?;
+    let prom = dir.join("ops.prom");
+    std::fs::write(&prom, frozen)?;
+    let mut written = vec![prom];
+    for inc in plane.incidents() {
+        let path = dir.join(format!("incident{}.json", inc.seq));
+        std::fs::write(&path, &inc.json)?;
+        written.push(path);
+    }
+    Ok(written)
+}
+
 /// Write the guided phase's per-run accounting next to the telemetry
 /// artifacts (creating `dir`): `<bench>_<threads>t_runs.csv` with one
 /// row per guided run per thread (`run,thread,secs,commits,aborts`) and

@@ -361,6 +361,126 @@ fn tl2_contention_attribution_replays_bit_identically() {
     assert!(unattributed_total > 0, "no forced aborts landed unattributed across 24 seeds");
 }
 
+// ---------------------------------------------------------------------------
+// SLO watchdog + flight-recorder chaos replays
+// ---------------------------------------------------------------------------
+
+/// Everything one seeded ops-plane run produces that a same-seed re-run
+/// must reproduce **bit for bit**: the frozen `/metrics` body, the
+/// `/health` document, the full SLO transition timeline, and every
+/// flight-recorder dump byte.
+#[derive(Debug, PartialEq)]
+struct OpsOutcome {
+    frozen: String,
+    health: (bool, String),
+    state: u8,
+    timeline: Vec<(u64, u8, u8, Vec<String>)>,
+    incidents: Vec<(u64, u64, String, String)>,
+}
+
+/// Drive a seeded workload through an [`OpsPlane`] at fixed logical roll
+/// points: four calm windows, four stormy ones (every other attempt
+/// aborts — far over the 25% SLO), then four calm recovery windows. The
+/// roll stamps are logical (`w<N>`/`final`), the trace carries no
+/// wall-clock, and every counter value is a pure function of the seed —
+/// so the whole observable surface must replay exactly. The 6-slot ring
+/// under 12 windows also forces evictions through the rollup path.
+fn ops_replay(seed: u64) -> OpsOutcome {
+    let spec =
+        SloSpec::parse("abort-ratio<=25,warn=1,incident=2,clear=2,dump-windows=8").unwrap();
+    let plane = OpsPlane::with_ring(spec, 6);
+    let tel = Arc::new(Telemetry::with_trace_capacity(64));
+    plane.attach(&tel);
+    let mut rng = Rng::new(seed ^ 0xa11ce);
+    for w in 0..12u64 {
+        let stormy = (4..8).contains(&w);
+        for _ in 0..40 {
+            let who = p(rng.below(TXNS as u64) as u16, rng.below(THREADS as u64) as u16);
+            let abort = if stormy { rng.below(2) == 0 } else { rng.below(10) == 0 };
+            if abort {
+                tel.record_abort(who, AbortCause::Validation);
+            } else {
+                tel.record_commit(who, 100 + rng.below(400));
+            }
+        }
+        plane.roll_stamped(&format!("w{w}"));
+    }
+    let frozen = plane.freeze_stamped("final");
+    plane.check_partition().unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+    OpsOutcome {
+        frozen,
+        health: plane.health_json(),
+        state: plane.state().code(),
+        timeline: plane
+            .timeline()
+            .iter()
+            .map(|t| (t.window, t.from.code(), t.to.code(), t.breaches.clone()))
+            .collect(),
+        incidents: plane
+            .incidents()
+            .into_iter()
+            .map(|i| (i.seq, i.window, i.stamp, i.json))
+            .collect(),
+    }
+}
+
+/// 50 seeded ops-plane runs, each executed twice: the incident timeline,
+/// every flight-recorder dump, and the frozen exposition are
+/// bit-identical across the replays of every seed — and the sweep
+/// actually walks the whole Ok → Warn → Incident → recovery ladder.
+#[test]
+fn watchdog_incident_timelines_replay_bit_identically() {
+    let mut total_incidents = 0u64;
+    let mut recovered = 0u64;
+    for seed in 0..50u64 {
+        let a = ops_replay(seed);
+        let b = ops_replay(seed);
+        assert_eq!(a, b, "seed {seed}: same seed must reproduce the same ops run");
+        assert!(
+            !a.incidents.is_empty(),
+            "seed {seed}: the storm phase must trip at least one incident"
+        );
+        for (_, _, _, json) in &a.incidents {
+            assert!(json.contains("\"kind\": \"gstm_incident\""), "seed {seed}");
+            assert!(json.contains("\"schema\": 1"), "seed {seed}");
+            assert!(
+                !json.contains("ts_ns"),
+                "seed {seed}: wall-clock in a dump breaks replay identity"
+            );
+        }
+        // The timeline must actually escalate through Warn into
+        // Incident (codes 0 → 1 → 2), never jumping a rung.
+        assert!(
+            a.timeline.windows(2).any(|w| w[0].2 == 1 && w[1].2 == 2),
+            "seed {seed}: no Warn → Incident escalation in {:?}",
+            a.timeline
+        );
+        for t in &a.timeline {
+            assert!(
+                (t.1 as i8 - t.2 as i8).abs() == 1,
+                "seed {seed}: transition skipped a rung: {t:?}"
+            );
+        }
+        total_incidents += a.incidents.len() as u64;
+        if a.state != 2 {
+            recovered += 1;
+        }
+    }
+    assert!(total_incidents >= 50, "only {total_incidents} incidents across 50 seeds");
+    assert!(recovered > 0, "no run recovered out of Incident across 50 seeds");
+}
+
+/// Different seeds must produce different observable ops runs —
+/// otherwise the sweep above replays one schedule and proves nothing.
+#[test]
+fn distinct_seeds_yield_distinct_ops_runs() {
+    let distinct = (0..8u64)
+        .map(|seed| ops_replay(seed).frozen)
+        .collect::<std::collections::HashSet<_>>()
+        .len();
+    assert!(distinct > 1, "8 seeds produced one frozen exposition");
+}
+
 /// The real TL2 commit path under chaos: bit-identical fault schedule
 /// across replays, and the forced aborts must be *semantically* clean —
 /// every transaction still commits exactly once.
