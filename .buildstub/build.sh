@@ -40,6 +40,9 @@ lib gstm_synquake crates/synquake/src/lib.rs $E_CORE $E_LIBTM
 lib gstm_harness crates/harness/src/lib.rs $E_CORE $E_TL2 $E_STRUCTS $E_LIBTM $E_STAMP $E_SYNQ
 lib gstm_analyze crates/analyze/src/lib.rs $E_CORE
 
+# Binaries
+rustc --edition 2021 -O -L "$OUT" -o "$OUT/gstm-mck" --crate-name gstm_mck crates/mck/src/main.rs $E_CORE
+
 echo "libs OK"
 
 run_test() { # run_test <crate_name> <src> <externs...>
@@ -62,7 +65,6 @@ if [ "$1" = test ]; then
   match crates/analyze/src/lib.rs     && run_test gstm_analyze crates/analyze/src/lib.rs $E_CORE
   for t in tests/tests/*.rs; do
     base=$(basename "$t" .rs)
-    [ "$base" = proptests ] && continue   # needs real proptest, pre-existing skip
     match "$t" || continue
     run_test "$base" "$t" $E_ALL --extern gstm_analyze=$OUT/libgstm_analyze.rlib
   done

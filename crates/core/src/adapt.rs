@@ -603,6 +603,58 @@ mod tests {
     }
 
     #[test]
+    fn slot_claim_race_crowns_exactly_one_owner() {
+        // Four OS threads whose indices all alias to slot 5 race the
+        // claim CAS from a barrier. Exactly one may win the slot (and see
+        // borrowed `Cached` refs); every loser must take the mutex
+        // fallback (`Owned` clones) on every single load — the unclaimed
+        // slot is never written by two threads.
+        let cell = Arc::new(EpochCell::new(ModelEpoch::new(
+            0,
+            model_of(&[(0, 0)]),
+            DriftConfig::default(),
+        )));
+        let contenders: Vec<usize> = (0..4).map(|i| 5 + i * EPOCH_SLOTS).collect();
+        let barrier = Arc::new(std::sync::Barrier::new(contenders.len() + 1));
+        let stop = Arc::new(AtomicBool::new(false));
+        let handles: Vec<_> = contenders
+            .iter()
+            .map(|&idx| {
+                let cell = Arc::clone(&cell);
+                let barrier = Arc::clone(&barrier);
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    barrier.wait();
+                    let mut saw_cached = false;
+                    let mut last = 0u32;
+                    while !stop.load(Ordering::Relaxed) {
+                        let e = cell.load(idx);
+                        saw_cached |= matches!(e, EpochRef::Cached(_));
+                        assert!(e.id >= last, "epoch went backwards");
+                        last = e.id;
+                    }
+                    saw_cached
+                })
+            })
+            .collect();
+        barrier.wait();
+        for id in 1..=20u32 {
+            cell.swap(ModelEpoch::new(id, model_of(&[(0, 0)]), DriftConfig::default()));
+            std::thread::yield_now();
+        }
+        stop.store(true, Ordering::Relaxed);
+        let saw_cached: Vec<bool> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        let owner = cell.slots[5].0.owner.load(Ordering::Relaxed);
+        let winner = contenders
+            .iter()
+            .position(|&idx| idx as u32 == owner)
+            .expect("slot 5 claimed by one of the contenders");
+        assert!(saw_cached[winner], "the CAS winner reads through its slot");
+        let cached_count = saw_cached.iter().filter(|&&c| c).count();
+        assert_eq!(cached_count, 1, "losers must always fall back to owned clones");
+    }
+
+    #[test]
     fn swap_under_concurrent_readers_never_tears() {
         let cell = Arc::new(EpochCell::new(ModelEpoch::new(
             0,

@@ -595,6 +595,65 @@ mod tests {
     }
 
     #[test]
+    fn half_open_probe_exhausts_exactly_at_the_cooldown_boundary() {
+        let cfg = small_cfg();
+        let b = Breaker::new(cfg, None);
+        // Trip via the starvation watchdog (4 consecutive releases).
+        for _ in 0..4 {
+            b.note_gate(3, true);
+        }
+        assert_eq!(b.state(), BreakerState::Open);
+        // The first cooldown-1 Open calls must NOT open the probe.
+        for i in 0..cfg.cooldown - 1 {
+            assert!(
+                b.note_gate(i as usize % 8, false).is_none(),
+                "call {i} left Open before the cooldown boundary"
+            );
+            assert_eq!(b.state(), BreakerState::Open);
+        }
+        // The boundary call itself flips to Half-Open.
+        let tr = b.note_gate(0, false).expect("cooldown boundary opens the probe");
+        assert_eq!((tr.from, tr.to), (BreakerState::Open, BreakerState::HalfOpen));
+        assert_eq!(tr.cause, BreakerCause::Cooldown);
+        assert_eq!(b.probes(), 1);
+        // Exhaust the probe window with unhealthy traffic (every call
+        // released, rotated across threads so no starvation streak can
+        // fire first): the judgement lands exactly on the last probe
+        // call, not a moment earlier.
+        for i in 0..cfg.probe_window - 1 {
+            assert!(
+                b.note_gate(i as usize % 8, true).is_none(),
+                "probe judged early at call {i}"
+            );
+            assert_eq!(b.state(), BreakerState::HalfOpen);
+        }
+        let tr = b
+            .note_gate((cfg.probe_window - 1) as usize % 8, true)
+            .expect("full probe window must be judged");
+        assert_eq!(
+            (tr.from, tr.to),
+            (BreakerState::HalfOpen, BreakerState::Open),
+            "an all-released probe re-opens"
+        );
+        assert_eq!(b.trips(), 2);
+        // Second cooldown, then a healthy probe: re-close, counted.
+        for i in 0..cfg.cooldown - 1 {
+            assert!(b.note_gate(i as usize % 8, false).is_none());
+        }
+        let tr = b.note_gate(0, false).expect("second cooldown boundary");
+        assert_eq!(tr.to, BreakerState::HalfOpen);
+        for i in 0..cfg.probe_window - 1 {
+            assert!(b.note_gate(i as usize % 8, false).is_none());
+        }
+        let tr = b
+            .note_gate((cfg.probe_window - 1) as usize % 8, false)
+            .expect("healthy probe window must be judged");
+        assert_eq!(tr.to, BreakerState::Closed, "healthy probe re-closes");
+        assert_eq!(b.probes(), 2);
+        assert_eq!(b.recloses(), 1);
+    }
+
+    #[test]
     fn starvation_watchdog_trips_immediately() {
         let b = Breaker::new(small_cfg(), None);
         let mut tr = None;

@@ -50,10 +50,12 @@ pub mod fastset;
 pub mod faultinject;
 pub mod guidance;
 pub mod ids;
+pub mod mck;
 pub mod metrics;
 pub mod model_io;
 pub mod ops;
 pub mod placement;
+pub mod rng;
 pub mod stats;
 pub mod sync;
 pub mod telemetry;

@@ -1,0 +1,79 @@
+//! Seeded splitmix64 PRNG — the single shared randomness source for every
+//! deterministic replay/interleaving harness in the repo.
+//!
+//! PR 4 introduced this generator inline in `tests/tests/schedule_replay.rs`
+//! to drive N logical threads on one OS thread; PR 5's chaos suite and the
+//! tier-1 quickcheck harness each grew their own copy. The model checker
+//! (`mck`) needs it too — for seeded conformance schedules that drive the
+//! abstract machine and the real `GuidedHook` in lockstep — so the
+//! implementation now lives here and the test suites import it.
+//!
+//! Splitmix64 is used because it is tiny, has no external dependencies, is
+//! stable across platforms (pure wrapping integer arithmetic), and every
+//! stream is a pure function of its seed — which is exactly the property
+//! the replay suites assert ("same seed ⇒ bit-identical execution").
+
+/// Splitmix64 generator (Steele, Lea & Flood; the `java.util.SplittableRandom`
+/// output function). One `u64` of state, two xor-multiply rounds per draw.
+#[derive(Clone, Debug)]
+pub struct SplitMix64(u64);
+
+impl SplitMix64 {
+    /// Seed the stream. Distinct seeds give independent-looking streams;
+    /// the same seed always reproduces the same sequence.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64(seed)
+    }
+
+    /// Next raw 64-bit draw.
+    pub fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform-ish draw in `0..n` (modulo bias is irrelevant for schedule
+    /// scripting; what matters is determinism). `n` must be non-zero.
+    pub fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SplitMix64::new(0xfeed);
+        let mut b = SplitMix64::new(0xfeed);
+        for _ in 0..64 {
+            assert_eq!(a.next(), b.next());
+        }
+    }
+
+    #[test]
+    fn known_answer_is_stable_across_platforms() {
+        // First three outputs for seed 0 — pinned so an accidental edit to
+        // the constants breaks loudly instead of silently re-seeding every
+        // replay suite in the repo.
+        let mut r = SplitMix64::new(0);
+        assert_eq!(r.next(), 0xe220_a839_7b1d_cdaf);
+        assert_eq!(r.next(), 0x6e78_9e6a_a1b9_65f4);
+        assert_eq!(r.next(), 0x06c4_5d18_8009_454f);
+    }
+
+    #[test]
+    fn below_stays_in_range_and_hits_everything_small() {
+        let mut r = SplitMix64::new(7);
+        let mut seen = [false; 5];
+        for _ in 0..200 {
+            let v = r.below(5) as usize;
+            assert!(v < 5);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "5-way draw missed a bucket in 200 tries");
+    }
+}

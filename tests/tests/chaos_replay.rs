@@ -27,29 +27,9 @@ use gstm_core::prelude::*;
 use gstm_tl2::{Detection, Stm, StmBuilder, StmConfig, TVar};
 use std::sync::Arc;
 
-// ---------------------------------------------------------------------------
-// Seeded PRNG (splitmix64) — same interleaver as schedule_replay
-// ---------------------------------------------------------------------------
-
-struct Rng(u64);
-
-impl Rng {
-    fn new(seed: u64) -> Self {
-        Rng(seed)
-    }
-
-    fn next(&mut self) -> u64 {
-        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
-        let mut z = self.0;
-        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-        z ^ (z >> 31)
-    }
-
-    fn below(&mut self, n: u64) -> u64 {
-        self.next() % n
-    }
-}
+// Seeded PRNG: the shared splitmix64 stream (gstm_core::rng) — the same
+// interleaver as schedule_replay and the model checker.
+use gstm_core::rng::SplitMix64 as Rng;
 
 // ---------------------------------------------------------------------------
 // Fixtures
