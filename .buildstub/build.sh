@@ -28,7 +28,8 @@ E_LIBTM="--extern gstm_libtm=$OUT/libgstm_libtm.rlib"
 E_STAMP="--extern gstm_stamp=$OUT/libgstm_stamp.rlib"
 E_SYNQ="--extern gstm_synquake=$OUT/libgstm_synquake.rlib"
 E_HARNESS="--extern gstm_harness=$OUT/libgstm_harness.rlib"
-E_ALL="$E_CORE $E_TL2 $E_STRUCTS $E_LIBTM $E_STAMP $E_SYNQ $E_HARNESS"
+E_SERVER="--extern gstm_server=$OUT/libgstm_server.rlib"
+E_ALL="$E_CORE $E_TL2 $E_STRUCTS $E_LIBTM $E_STAMP $E_SYNQ $E_HARNESS $E_SERVER"
 
 # Workspace libs, dependency order
 lib gstm_core crates/core/src/lib.rs
@@ -39,9 +40,13 @@ lib gstm_stamp crates/stamp/src/lib.rs $E_CORE $E_TL2 $E_STRUCTS
 lib gstm_synquake crates/synquake/src/lib.rs $E_CORE $E_LIBTM
 lib gstm_harness crates/harness/src/lib.rs $E_CORE $E_TL2 $E_STRUCTS $E_LIBTM $E_STAMP $E_SYNQ
 lib gstm_analyze crates/analyze/src/lib.rs $E_CORE
+lib gstm_server crates/server/src/lib.rs $E_CORE $E_LIBTM $E_SYNQ
 
 # Binaries
 rustc --edition 2021 -O -L "$OUT" -o "$OUT/gstm-mck" --crate-name gstm_mck crates/mck/src/main.rs $E_CORE
+rustc --edition 2021 -O -L "$OUT" -o "$OUT/gstm-server" --crate-name gstm_server_bin crates/server/src/main.rs $E_CORE $E_LIBTM $E_SYNQ $E_SERVER
+rustc --edition 2021 -O -L "$OUT" -o "$OUT/gstm-loadgen" --crate-name gstm_loadgen crates/loadgen/src/main.rs $E_CORE $E_SERVER
+rustc --edition 2021 -O -L "$OUT" -o "$OUT/gstm-analyze" --crate-name gstm_analyze_bin crates/analyze/src/main.rs $E_CORE --extern gstm_analyze=$OUT/libgstm_analyze.rlib
 
 echo "libs OK"
 
@@ -63,6 +68,7 @@ if [ "$1" = test ]; then
   match crates/synquake/src/lib.rs    && run_test gstm_synquake crates/synquake/src/lib.rs $E_CORE $E_LIBTM
   match crates/harness/src/lib.rs     && run_test gstm_harness crates/harness/src/lib.rs $E_ALL
   match crates/analyze/src/lib.rs     && run_test gstm_analyze crates/analyze/src/lib.rs $E_CORE
+  match crates/server/src/lib.rs      && run_test gstm_server crates/server/src/lib.rs $E_CORE $E_LIBTM $E_SYNQ
   for t in tests/tests/*.rs; do
     base=$(basename "$t" .rs)
     match "$t" || continue

@@ -349,8 +349,16 @@ pub fn epoch_segments(events: &[TraceEvent]) -> Vec<EpochSegment> {
                 swap_verdict: Some(verdict),
                 ..EpochSegment::default()
             }),
-            TraceKind::StateTransition { .. } => segs.last_mut().unwrap().transitions += 1,
-            TraceKind::Commit { .. } => segs.last_mut().unwrap().commits += 1,
+            TraceKind::StateTransition { .. } => {
+                if let Some(seg) = segs.last_mut() {
+                    seg.transitions += 1;
+                }
+            }
+            TraceKind::Commit { .. } => {
+                if let Some(seg) = segs.last_mut() {
+                    seg.commits += 1;
+                }
+            }
             _ => {}
         }
     }
@@ -511,6 +519,11 @@ pub struct Thresholds {
     /// `--max-hot-addr-pct` gate: a single address dominating contention
     /// is a data-layout bug, not a scheduling problem).
     pub max_hot_addr_pct: Option<f64>,
+    /// Fail if the server's frame-time coefficient of variation exceeds
+    /// this, percent (the frame-rate-variance gate over `ticks.jsonl`).
+    pub max_frame_cv_pct: Option<f64>,
+    /// Fail if the server's frame-time p99 exceeds this, milliseconds.
+    pub max_frame_p99_ms: Option<f64>,
 }
 
 impl Default for Thresholds {
@@ -524,6 +537,8 @@ impl Default for Thresholds {
             fail_on_stale: false,
             fail_on_degraded: false,
             max_hot_addr_pct: None,
+            max_frame_cv_pct: None,
+            max_frame_p99_ms: None,
         }
     }
 }
@@ -2298,6 +2313,270 @@ pub fn render_markdown(r: &CampaignReport) -> String {
             c.detail.replace('|', "\\|")
         );
     }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Server tick analysis (`gstm-server`'s ticks.jsonl export)
+// ---------------------------------------------------------------------------
+
+/// One row of the server's `ticks.jsonl` export.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct ServerTickRow {
+    /// Tick ordinal.
+    pub tick: u64,
+    /// Engine frame time, nanoseconds (synthetic cost in deterministic
+    /// chaos runs, where it doubles as the replayable clock).
+    pub frame_ns: u64,
+    /// Measured tick cost in budget units.
+    pub cost: u64,
+    /// Ladder rung in force during the tick.
+    pub ladder: u8,
+    /// Actions offered this tick.
+    pub offered: u64,
+    /// Actions executed.
+    pub executed: u64,
+    /// Actions shed by admission control.
+    pub shed: u64,
+    /// Live sessions at tick end.
+    pub sessions: u64,
+}
+
+/// Pull `"key":<digits>` out of one JSONL line.
+fn json_u64(line: &str, key: &str) -> Option<u64> {
+    let pat = format!("\"{key}\":");
+    let at = line.find(&pat)? + pat.len();
+    let rest = &line[at..];
+    let end = rest.find(|c: char| !c.is_ascii_digit()).unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Parse a server `ticks.jsonl` body. Returns the rows plus the count of
+/// evicted early ticks (the optional leading `{"truncated_ticks":N}`
+/// marker).
+pub fn parse_ticks_jsonl(text: &str) -> Result<(Vec<ServerTickRow>, u64), String> {
+    let mut rows = Vec::new();
+    let mut truncated = 0;
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(n) = json_u64(line, "truncated_ticks") {
+            truncated = n;
+            continue;
+        }
+        let row = ServerTickRow {
+            tick: json_u64(line, "tick").ok_or(format!("line {}: no tick field", i + 1))?,
+            frame_ns: json_u64(line, "frame_ns").unwrap_or(0),
+            cost: json_u64(line, "cost").unwrap_or(0),
+            ladder: json_u64(line, "ladder").unwrap_or(0) as u8,
+            offered: json_u64(line, "offered").unwrap_or(0),
+            executed: json_u64(line, "executed").unwrap_or(0),
+            shed: json_u64(line, "shed").unwrap_or(0),
+            sessions: json_u64(line, "sessions").unwrap_or(0),
+        };
+        rows.push(row);
+    }
+    Ok((rows, truncated))
+}
+
+/// Facts derived from a server run's tick log.
+#[derive(Clone, Debug, Default)]
+pub struct ServerFacts {
+    /// Ticks analyzed.
+    pub ticks: usize,
+    /// Early ticks evicted from the server's record ring.
+    pub truncated: u64,
+    /// Mean frame time, nanoseconds.
+    pub frame_mean_ns: f64,
+    /// Frame-time coefficient of variation, percent.
+    pub frame_cv_pct: f64,
+    /// Frame-time median, nanoseconds.
+    pub frame_p50_ns: u64,
+    /// Frame-time 99th percentile, nanoseconds.
+    pub frame_p99_ns: u64,
+    /// Σ actions offered.
+    pub offered: u64,
+    /// Σ actions executed.
+    pub executed: u64,
+    /// Σ actions shed.
+    pub shed: u64,
+    /// Highest ladder rung reached.
+    pub max_rung: u8,
+    /// Ticks spent at each rung (index = rung code).
+    pub rung_ticks: [u64; 4],
+    /// Rung changes between consecutive ticks.
+    pub ladder_moves: u64,
+}
+
+/// Run the server checks over a parsed tick log: per-tick shed
+/// accounting, ladder-trajectory sanity, and the optional
+/// frame-variance and frame-p99 gates.
+pub fn analyze_server_ticks(
+    rows: &[ServerTickRow],
+    truncated: u64,
+    th: &Thresholds,
+) -> (ServerFacts, Vec<Check>) {
+    let mut checks = Vec::new();
+    let mut check = |name: &str, pass: bool, detail: String| {
+        checks.push(Check { name: name.into(), pass, detail });
+    };
+
+    let mut facts = ServerFacts { ticks: rows.len(), truncated, ..ServerFacts::default() };
+    let mut frames: Vec<u64> = rows.iter().map(|r| r.frame_ns).collect();
+    let n = frames.len() as f64;
+    if !frames.is_empty() {
+        facts.frame_mean_ns = frames.iter().map(|&f| f as f64).sum::<f64>() / n;
+        let var = frames
+            .iter()
+            .map(|&f| {
+                let d = f as f64 - facts.frame_mean_ns;
+                d * d
+            })
+            .sum::<f64>()
+            / n;
+        if facts.frame_mean_ns > 0.0 {
+            facts.frame_cv_pct = 100.0 * var.sqrt() / facts.frame_mean_ns;
+        }
+        frames.sort_unstable();
+        facts.frame_p50_ns = quantile(&frames, 0.50);
+        facts.frame_p99_ns = quantile(&frames, 0.99);
+    }
+
+    let mut shed_bad = 0usize;
+    let mut ladder_bad = 0usize;
+    let mut prev_rung: Option<u8> = None;
+    for r in rows {
+        facts.offered += r.offered;
+        facts.executed += r.executed;
+        facts.shed += r.shed;
+        if r.executed + r.shed != r.offered {
+            shed_bad += 1;
+        }
+        if r.ladder > 3 {
+            ladder_bad += 1;
+        } else {
+            facts.rung_ticks[r.ladder as usize] += 1;
+            facts.max_rung = facts.max_rung.max(r.ladder);
+        }
+        if let Some(p) = prev_rung {
+            if p != r.ladder {
+                facts.ladder_moves += 1;
+                if p.abs_diff(r.ladder) > 1 {
+                    ladder_bad += 1;
+                }
+            }
+        }
+        prev_rung = Some(r.ladder);
+    }
+
+    check(
+        "server_ticks",
+        !rows.is_empty(),
+        format!("{} tick(s), {} evicted early", rows.len(), truncated),
+    );
+    check(
+        "server_shed_accounting",
+        shed_bad == 0,
+        format!(
+            "executed {} + shed {} vs offered {}: {} tick(s) off",
+            facts.executed, facts.shed, facts.offered, shed_bad
+        ),
+    );
+    check(
+        "server_ladder_sanity",
+        ladder_bad == 0,
+        format!(
+            "max rung {}, {} move(s), {} invalid step(s)/code(s)",
+            facts.max_rung, facts.ladder_moves, ladder_bad
+        ),
+    );
+    if let Some(max_cv) = th.max_frame_cv_pct {
+        check(
+            "server_frame_cv",
+            facts.frame_cv_pct <= max_cv,
+            format!("frame-time CV {:.1}% vs max {max_cv}%", facts.frame_cv_pct),
+        );
+    }
+    if let Some(max_ms) = th.max_frame_p99_ms {
+        let p99_ms = facts.frame_p99_ns as f64 / 1e6;
+        check(
+            "server_frame_p99",
+            p99_ms <= max_ms,
+            format!("frame p99 {p99_ms:.3}ms vs max {max_ms}ms"),
+        );
+    }
+    (facts, checks)
+}
+
+/// Markdown report for a server tick analysis.
+pub fn render_server_markdown(facts: &ServerFacts, checks: &[Check]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "# gstm-analyze: server ticks");
+    let _ = writeln!(out);
+    let _ = writeln!(out, "- ticks: {} ({} evicted early)", facts.ticks, facts.truncated);
+    let _ = writeln!(
+        out,
+        "- frame time: mean {:.0}ns, p50 {}ns, p99 {}ns, CV {:.1}%",
+        facts.frame_mean_ns, facts.frame_p50_ns, facts.frame_p99_ns, facts.frame_cv_pct
+    );
+    let _ = writeln!(
+        out,
+        "- actions: {} offered, {} executed, {} shed",
+        facts.offered, facts.executed, facts.shed
+    );
+    let _ = writeln!(
+        out,
+        "- ladder: max rung {}, {} move(s); ticks per rung {:?}",
+        facts.max_rung, facts.ladder_moves, facts.rung_ticks
+    );
+    let _ = writeln!(out);
+    let _ = writeln!(out, "| check | result | detail |");
+    let _ = writeln!(out, "|-------|--------|--------|");
+    for c in checks {
+        let _ = writeln!(
+            out,
+            "| {} | {} | {} |",
+            c.name,
+            if c.pass { "pass" } else { "FAIL" },
+            c.detail.replace('|', "\\|")
+        );
+    }
+    out
+}
+
+/// Verdict JSON for a server tick analysis.
+pub fn render_server_verdict_json(facts: &ServerFacts, checks: &[Check]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let pass = checks.iter().all(|c| c.pass);
+    let _ = write!(
+        out,
+        "{{\"pass\":{pass},\"ticks\":{},\"truncated\":{},\"frame_cv_pct\":{:.3},\
+         \"frame_p99_ns\":{},\"offered\":{},\"executed\":{},\"shed\":{},\"max_rung\":{},\
+         \"ladder_moves\":{},\"checks\":[",
+        facts.ticks,
+        facts.truncated,
+        facts.frame_cv_pct,
+        facts.frame_p99_ns,
+        facts.offered,
+        facts.executed,
+        facts.shed,
+        facts.max_rung,
+        facts.ladder_moves,
+    );
+    for (i, c) in checks.iter().enumerate() {
+        let sep = if i == 0 { "" } else { "," };
+        let detail = c.detail.replace('\\', "\\\\").replace('"', "\\\"");
+        let _ = write!(
+            out,
+            "{sep}{{\"name\":\"{}\",\"pass\":{},\"detail\":\"{detail}\"}}",
+            c.name, c.pass
+        );
+    }
+    let _ = write!(out, "]}}");
     out
 }
 

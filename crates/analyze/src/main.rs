@@ -5,47 +5,63 @@
 //!     [--out DIR] [--tol 1e-6] [--max-cv-pct 40] [--max-nondet 100] \
 //!     [--max-abort-ratio-pct 60] [--max-off-model-pct 50] [--fail-on-stale]
 //!     [--fail-on-degraded] [--max-hot-addr-pct 80]
+//! gstm-analyze --server-ticks PATH [--out DIR] \
+//!     [--max-frame-cv-pct F] [--max-frame-p99-ms F]
 //! ```
 //!
-//! Reads `<bench>_<threads>t_run<r>_telemetry.{jsonl,prom}` for r = 0..,
-//! plus `<bench>_<threads>t_runs.csv` and `_guided_summary.csv`, from
-//! `--dir`. Writes `<stem>_verdict.json` and `<stem>_report.md` to
-//! `--out` (default: `--dir`) and prints the markdown report. Exit code
-//! 0 when every check passes, 1 on a failed check, 2 on usage or I/O
-//! errors.
+//! Campaign mode reads `<bench>_<threads>t_run<r>_telemetry.{jsonl,prom}`
+//! for r = 0.., plus `<bench>_<threads>t_runs.csv` and
+//! `_guided_summary.csv`, from `--dir`. Server mode reads the
+//! `ticks.jsonl` a `gstm-server` run exported and gates on per-tick shed
+//! accounting, ladder sanity, and the optional frame-variance/p99
+//! thresholds. Both write `<stem>_verdict.json` and `<stem>_report.md`
+//! and print the markdown report. Exit code 0 when every check passes,
+//! 1 on a failed check, 2 on usage or I/O errors.
 
-use gstm_analyze::{analyze_dir, render_markdown, render_verdict_json, Thresholds};
+use gstm_analyze::{
+    analyze_dir, analyze_server_ticks, parse_ticks_jsonl, render_markdown,
+    render_server_markdown, render_server_verdict_json, render_verdict_json, Thresholds,
+};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 struct Cli {
-    dir: PathBuf,
+    dir: Option<PathBuf>,
     out: Option<PathBuf>,
-    bench: String,
-    threads: u32,
+    bench: Option<String>,
+    threads: Option<u32>,
+    server_ticks: Option<PathBuf>,
     thresholds: Thresholds,
 }
 
 const USAGE: &str = "usage: gstm-analyze --dir DIR --bench NAME --threads N [--out DIR] \
 [--tol F] [--max-cv-pct F] [--max-nondet N] [--max-abort-ratio-pct F] \
-[--max-off-model-pct F] [--fail-on-stale] [--fail-on-degraded] [--max-hot-addr-pct F]";
+[--max-off-model-pct F] [--fail-on-stale] [--fail-on-degraded] [--max-hot-addr-pct F]
+       gstm-analyze --server-ticks PATH [--out DIR] [--max-frame-cv-pct F] [--max-frame-p99-ms F]";
 
 fn parse_cli(args: &[String]) -> Result<Cli, String> {
-    let mut dir = None;
-    let mut out = None;
-    let mut bench = None;
-    let mut threads = None;
-    let mut th = Thresholds::default();
+    let mut cli = Cli {
+        dir: None,
+        out: None,
+        bench: None,
+        threads: None,
+        server_ticks: None,
+        thresholds: Thresholds::default(),
+    };
+    let th = &mut cli.thresholds;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         let mut val = |what: &str| -> Result<&String, String> {
             it.next().ok_or_else(|| format!("{arg} needs a {what}"))
         };
         match arg.as_str() {
-            "--dir" => dir = Some(PathBuf::from(val("path")?)),
-            "--out" => out = Some(PathBuf::from(val("path")?)),
-            "--bench" => bench = Some(val("name")?.clone()),
-            "--threads" => threads = Some(val("count")?.parse().map_err(|_| "bad --threads")?),
+            "--dir" => cli.dir = Some(PathBuf::from(val("path")?)),
+            "--out" => cli.out = Some(PathBuf::from(val("path")?)),
+            "--bench" => cli.bench = Some(val("name")?.clone()),
+            "--threads" => {
+                cli.threads = Some(val("count")?.parse().map_err(|_| "bad --threads")?)
+            }
+            "--server-ticks" => cli.server_ticks = Some(PathBuf::from(val("path")?)),
             "--tol" => th.float_tol = val("float")?.parse().map_err(|_| "bad --tol")?,
             "--max-cv-pct" => {
                 th.max_cv_pct = Some(val("float")?.parse().map_err(|_| "bad --max-cv-pct")?)
@@ -66,19 +82,81 @@ fn parse_cli(args: &[String]) -> Result<Cli, String> {
                 th.max_hot_addr_pct =
                     Some(val("float")?.parse().map_err(|_| "bad --max-hot-addr-pct")?)
             }
+            "--max-frame-cv-pct" => {
+                th.max_frame_cv_pct =
+                    Some(val("float")?.parse().map_err(|_| "bad --max-frame-cv-pct")?)
+            }
+            "--max-frame-p99-ms" => {
+                th.max_frame_p99_ms =
+                    Some(val("float")?.parse().map_err(|_| "bad --max-frame-p99-ms")?)
+            }
             "--fail-on-stale" => th.fail_on_stale = true,
             "--fail-on-degraded" => th.fail_on_degraded = true,
             "--help" | "-h" => return Err(USAGE.into()),
             other => return Err(format!("unknown argument {other}\n{USAGE}")),
         }
     }
-    Ok(Cli {
-        dir: dir.ok_or(format!("--dir is required\n{USAGE}"))?,
-        out,
-        bench: bench.ok_or(format!("--bench is required\n{USAGE}"))?,
-        threads: threads.ok_or(format!("--threads is required\n{USAGE}"))?,
-        thresholds: th,
-    })
+    if cli.server_ticks.is_none() && (cli.dir.is_none() || cli.bench.is_none() || cli.threads.is_none())
+    {
+        return Err(format!(
+            "--dir, --bench and --threads are required (or use --server-ticks)\n{USAGE}"
+        ));
+    }
+    Ok(cli)
+}
+
+/// Server mode: analyze one `ticks.jsonl`, write `server_verdict.json` +
+/// `server_report.md` next to it (or into `--out`).
+fn run_server_mode(cli: &Cli, path: &PathBuf) -> ExitCode {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("gstm-analyze: reading {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    };
+    let (rows, truncated) = match parse_ticks_jsonl(&text) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("gstm-analyze: parsing {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    };
+    let (facts, checks) = analyze_server_ticks(&rows, truncated, &cli.thresholds);
+    let out_dir = cli
+        .out
+        .clone()
+        .or_else(|| path.parent().map(PathBuf::from))
+        .unwrap_or_else(|| PathBuf::from("."));
+    if let Err(e) = std::fs::create_dir_all(&out_dir) {
+        eprintln!("gstm-analyze: creating {}: {e}", out_dir.display());
+        return ExitCode::from(2);
+    }
+    let md = render_server_markdown(&facts, &checks);
+    let verdict_path = out_dir.join("server_verdict.json");
+    for (p, body) in [
+        (&verdict_path, render_server_verdict_json(&facts, &checks)),
+        (&out_dir.join("server_report.md"), md.clone()),
+    ] {
+        if let Err(e) = std::fs::write(p, body) {
+            eprintln!("gstm-analyze: writing {}: {e}", p.display());
+            return ExitCode::from(2);
+        }
+    }
+    print!("{md}");
+    let pass = checks.iter().all(|c| c.pass);
+    println!();
+    println!(
+        "verdict: {} ({} checks) -> {}",
+        if pass { "PASS" } else { "FAIL" },
+        checks.len(),
+        verdict_path.display()
+    );
+    if pass {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
 }
 
 fn main() -> ExitCode {
@@ -90,15 +168,23 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let stem = format!("{}_{}t", cli.bench, cli.threads);
-    let report = match analyze_dir(&cli.dir, &stem, &cli.thresholds) {
+    if let Some(path) = cli.server_ticks.clone() {
+        return run_server_mode(&cli, &path);
+    }
+    // Campaign mode: parse_cli guaranteed these are present.
+    let (Some(dir), Some(bench), Some(threads)) = (&cli.dir, &cli.bench, cli.threads) else {
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    let stem = format!("{bench}_{threads}t");
+    let report = match analyze_dir(dir, &stem, &cli.thresholds) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("gstm-analyze: {e}");
             return ExitCode::from(2);
         }
     };
-    let out_dir = cli.out.unwrap_or_else(|| cli.dir.clone());
+    let out_dir = cli.out.unwrap_or_else(|| dir.clone());
     if let Err(e) = std::fs::create_dir_all(&out_dir) {
         eprintln!("gstm-analyze: creating {}: {e}", out_dir.display());
         return ExitCode::from(2);

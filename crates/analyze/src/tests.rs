@@ -1268,3 +1268,108 @@ fn gini_measures_concentration() {
     let mild = gini(&[4, 3, 2, 1]);
     assert!(mild > 0.0 && mild < skewed, "ordering: {mild} < {skewed}");
 }
+
+// ---------------------------------------------------------------------------
+// Server tick analysis
+// ---------------------------------------------------------------------------
+
+fn tick_line(tick: u64, frame_ns: u64, ladder: u8, offered: u64, executed: u64, shed: u64) -> String {
+    format!(
+        "{{\"tick\":{tick},\"frame_ns\":{frame_ns},\"cost\":{frame_ns},\"ladder\":{ladder},\
+         \"offered\":{offered},\"executed\":{executed},\"shed\":{shed},\"sessions\":3}}"
+    )
+}
+
+#[test]
+fn ticks_jsonl_parses_rows_and_truncation_marker() {
+    let text = format!(
+        "{{\"truncated_ticks\":7}}\n{}\n{}\n",
+        tick_line(7, 100, 0, 4, 4, 0),
+        tick_line(8, 900, 1, 10, 6, 4)
+    );
+    let (rows, truncated) = parse_ticks_jsonl(&text).unwrap();
+    assert_eq!(truncated, 7);
+    assert_eq!(rows.len(), 2);
+    assert_eq!(rows[0].tick, 7);
+    assert_eq!(rows[1].ladder, 1);
+    assert_eq!(rows[1].shed, 4);
+    assert!(parse_ticks_jsonl("{\"frame_ns\":3}\n").is_err(), "tick field is mandatory");
+}
+
+#[test]
+fn server_checks_pass_on_a_clean_log() {
+    let rows = [
+        ServerTickRow { tick: 0, frame_ns: 100, ladder: 0, offered: 4, executed: 4, ..Default::default() },
+        ServerTickRow { tick: 1, frame_ns: 110, ladder: 1, offered: 9, executed: 6, shed: 3, ..Default::default() },
+        ServerTickRow { tick: 2, frame_ns: 105, ladder: 0, offered: 2, executed: 2, ..Default::default() },
+    ];
+    let (facts, checks) = analyze_server_ticks(&rows, 0, &Thresholds::default());
+    assert!(checks.iter().all(|c| c.pass), "{checks:?}");
+    assert_eq!(facts.offered, 15);
+    assert_eq!(facts.executed, 12);
+    assert_eq!(facts.shed, 3);
+    assert_eq!(facts.max_rung, 1);
+    assert_eq!(facts.ladder_moves, 2);
+    assert_eq!(facts.rung_ticks, [2, 1, 0, 0]);
+}
+
+#[test]
+fn server_shed_accounting_catches_lost_actions() {
+    let rows = [ServerTickRow { tick: 0, offered: 5, executed: 3, shed: 1, ..Default::default() }];
+    let (_, checks) = analyze_server_ticks(&rows, 0, &Thresholds::default());
+    let c = checks.iter().find(|c| c.name == "server_shed_accounting").unwrap();
+    assert!(!c.pass, "{}", c.detail);
+}
+
+#[test]
+fn server_ladder_sanity_catches_rung_jumps() {
+    let rows = [
+        ServerTickRow { tick: 0, ladder: 0, ..Default::default() },
+        ServerTickRow { tick: 1, ladder: 2, ..Default::default() },
+    ];
+    let (_, checks) = analyze_server_ticks(&rows, 0, &Thresholds::default());
+    let c = checks.iter().find(|c| c.name == "server_ladder_sanity").unwrap();
+    assert!(!c.pass, "two-rung jump: {}", c.detail);
+}
+
+#[test]
+fn server_frame_gates_fire_on_thresholds() {
+    let rows: Vec<ServerTickRow> = (0..100)
+        .map(|t| ServerTickRow {
+            tick: t,
+            frame_ns: if t >= 98 { 10_000_000 } else { 1_000 },
+            offered: 1,
+            executed: 1,
+            ..Default::default()
+        })
+        .collect();
+    let th = Thresholds {
+        max_frame_cv_pct: Some(50.0),
+        max_frame_p99_ms: Some(1.0),
+        ..Thresholds::default()
+    };
+    let (facts, checks) = analyze_server_ticks(&rows, 0, &th);
+    assert!(facts.frame_cv_pct > 50.0);
+    assert!(!checks.iter().find(|c| c.name == "server_frame_cv").unwrap().pass);
+    assert!(!checks.iter().find(|c| c.name == "server_frame_p99").unwrap().pass);
+    // Identical frames sail through both gates.
+    let calm: Vec<ServerTickRow> = (0..100)
+        .map(|t| ServerTickRow { tick: t, frame_ns: 1_000, ..Default::default() })
+        .collect();
+    let (facts, checks) = analyze_server_ticks(&calm, 0, &th);
+    assert_eq!(facts.frame_cv_pct, 0.0);
+    assert!(checks.iter().all(|c| c.pass), "{checks:?}");
+}
+
+#[test]
+fn server_renderers_cover_facts_and_checks() {
+    let rows = [ServerTickRow { tick: 0, frame_ns: 500, offered: 3, executed: 3, ..Default::default() }];
+    let (facts, checks) = analyze_server_ticks(&rows, 2, &Thresholds::default());
+    let md = render_server_markdown(&facts, &checks);
+    assert!(md.contains("server ticks"), "{md}");
+    assert!(md.contains("server_shed_accounting"), "{md}");
+    let json = render_server_verdict_json(&facts, &checks);
+    assert!(json.contains("\"pass\":true"), "{json}");
+    assert!(json.contains("\"truncated\":2"), "{json}");
+    assert_eq!(json.matches('{').count(), json.matches('}').count(), "{json}");
+}

@@ -92,6 +92,9 @@ pub enum BreakerCause {
     Cooldown = 5,
     /// Half-open probe verdict (re-close or re-open).
     Probe = 6,
+    /// An external overload controller (e.g. the server's degradation
+    /// ladder) forced the breaker open to shed guidance cost.
+    Overload = 7,
 }
 
 impl BreakerCause {
@@ -110,6 +113,7 @@ impl BreakerCause {
             BreakerCause::ModelRejected => "model-rejected",
             BreakerCause::Cooldown => "cooldown",
             BreakerCause::Probe => "probe",
+            BreakerCause::Overload => "overload",
         }
     }
 
@@ -123,6 +127,7 @@ impl BreakerCause {
             4 => "model-rejected",
             5 => "cooldown",
             6 => "probe",
+            7 => "overload",
             _ => "unknown",
         }
     }
@@ -297,8 +302,22 @@ impl Breaker {
             3 => BreakerCause::AbortStorm,
             4 => BreakerCause::ModelRejected,
             5 => BreakerCause::Cooldown,
+            7 => BreakerCause::Overload,
             _ => BreakerCause::Probe,
         }
+    }
+
+    /// Force the breaker open from outside the gate path (overload
+    /// control). The gate fails open on the next call; recovery rides
+    /// the ordinary cooldown → half-open → probe path, so a forced trip
+    /// is indistinguishable from an organic one downstream. No-op if
+    /// already open.
+    pub fn force_open(&self) -> Option<BreakerTransition> {
+        let state = self.state();
+        if state == BreakerState::Open {
+            return None;
+        }
+        self.transition_to(state, BreakerState::Open, BreakerCause::Overload)
     }
 
     /// Record one gate call and its outcome. Returns the transition it

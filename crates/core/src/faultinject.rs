@@ -62,10 +62,26 @@ pub enum FaultSite {
     ModelCorrupt = 6,
     /// Panic the adapt background guardian thread.
     GuardianPanic = 7,
+    /// Stall the network server's accept loop for one polling round
+    /// (new connections queue in the kernel backlog).
+    AcceptStall = 8,
+    /// Clamp one socket read or write to a prefix (short I/O — the
+    /// peer's bytes arrive fragmented across polling rounds).
+    PartialIo = 9,
+    /// Drop a session mid-frame: the server closes the connection with
+    /// bytes still buffered, as if the peer vanished.
+    Disconnect = 10,
+    /// Corrupt a received byte run before it reaches the frame decoder
+    /// (garbage on the wire; the codec must resynchronize or hang up).
+    MalformedFrame = 11,
+    /// Turn a session into a slow-loris reader: its write queue stops
+    /// draining, so backpressure must cap the buffering and
+    /// eventually hang up.
+    SlowLoris = 12,
 }
 
 /// Number of distinct [`FaultSite`]s.
-pub const NUM_SITES: usize = 8;
+pub const NUM_SITES: usize = 13;
 
 /// Every site, in discriminant order.
 pub const ALL_SITES: [FaultSite; NUM_SITES] = [
@@ -77,6 +93,11 @@ pub const ALL_SITES: [FaultSite; NUM_SITES] = [
     FaultSite::TransitionStorm,
     FaultSite::ModelCorrupt,
     FaultSite::GuardianPanic,
+    FaultSite::AcceptStall,
+    FaultSite::PartialIo,
+    FaultSite::Disconnect,
+    FaultSite::MalformedFrame,
+    FaultSite::SlowLoris,
 ];
 
 impl FaultSite {
@@ -96,6 +117,11 @@ impl FaultSite {
             FaultSite::TransitionStorm => "transition-storm",
             FaultSite::ModelCorrupt => "model-corrupt",
             FaultSite::GuardianPanic => "guardian-panic",
+            FaultSite::AcceptStall => "accept-stall",
+            FaultSite::PartialIo => "partial-io",
+            FaultSite::Disconnect => "disconnect",
+            FaultSite::MalformedFrame => "malformed-frame",
+            FaultSite::SlowLoris => "slow-loris",
         }
     }
 
@@ -114,6 +140,11 @@ impl FaultSite {
             FaultSite::TransitionStorm => 60,
             FaultSite::ModelCorrupt => 1000,
             FaultSite::GuardianPanic => 250,
+            FaultSite::AcceptStall => 60,
+            FaultSite::PartialIo => 200,
+            FaultSite::Disconnect => 15,
+            FaultSite::MalformedFrame => 30,
+            FaultSite::SlowLoris => 10,
         }
     }
 
@@ -125,6 +156,11 @@ impl FaultSite {
             FaultSite::Tl2CommitDelay | FaultSite::LibtmCommitDelay => 2_000,
             FaultSite::GateStall => 4_000,
             FaultSite::TransitionStorm => 8,
+            // Accept stalls are polling rounds skipped, not spins.
+            FaultSite::AcceptStall => 2,
+            // Slow-loris: polling rounds the session's reader stays
+            // stuck (its write queue stops draining meanwhile).
+            FaultSite::SlowLoris => 50,
             _ => 0,
         }
     }
@@ -268,6 +304,13 @@ impl FaultPlan {
                 "storms" => vec![one(FaultSite::TransitionStorm)],
                 "corrupt-model" => vec![one(FaultSite::ModelCorrupt)],
                 "guardian-panic" => vec![one(FaultSite::GuardianPanic)],
+                "socket" => vec![
+                    one(FaultSite::AcceptStall),
+                    one(FaultSite::PartialIo),
+                    one(FaultSite::Disconnect),
+                    one(FaultSite::MalformedFrame),
+                    one(FaultSite::SlowLoris),
+                ],
                 "all" => ALL_SITES.iter().map(|&s| one(s)).collect(),
                 other => match FaultSite::from_name(other) {
                     Some(site) => vec![one(site)],

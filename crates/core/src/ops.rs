@@ -258,6 +258,10 @@ pub struct WindowDelta {
     /// Top hot addresses `(addr, count)` from the contention sketch at
     /// close (cumulative counts; empty without a tracker).
     pub hot_addrs: Vec<(usize, u64)>,
+    /// Window-scoped network-server stats, when a [`ServerSource`] is
+    /// registered on the plane (`None` otherwise — the plane predates
+    /// the server or none is attached).
+    pub server: Option<ServerWindow>,
 }
 
 impl WindowDelta {
@@ -296,8 +300,53 @@ impl WindowDelta {
             staleness,
             breaker_state: snap.breaker_state,
             hot_addrs,
+            server: None,
         }
     }
+}
+
+/// One window of network-server activity: frame/action deltas since the
+/// previous close plus point-in-time gauges, drained from a
+/// [`ServerSource`] when the plane rolls.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ServerWindow {
+    /// Complete frames decoded from clients this window.
+    pub frames_in: u64,
+    /// Frames queued to clients this window.
+    pub frames_out: u64,
+    /// Player actions executed against the world this window.
+    pub actions_executed: u64,
+    /// Actions shed by admission control this window.
+    pub actions_shed: u64,
+    /// New sessions rejected with `Overloaded` this window.
+    pub sessions_rejected: u64,
+    /// Frames the decoder rejected as malformed this window.
+    pub malformed_frames: u64,
+    /// Sessions closed (any reason) this window.
+    pub disconnects: u64,
+    /// Median engine frame time within the window (ns).
+    pub frame_p50_ns: u64,
+    /// p99 engine frame time within the window (ns).
+    pub frame_p99_ns: u64,
+    /// Degradation-ladder rung at close (0 full tick … 3 load shed).
+    pub ladder: u8,
+    /// Live sessions at close.
+    pub sessions: u64,
+}
+
+/// A network server the ops plane can poll at each window roll: the
+/// plane drains one [`ServerWindow`] per close (annotating the window
+/// for SLO judging) and appends the source's cumulative `gstm_server_*`
+/// exposition to `/metrics`. Registered via
+/// [`OpsPlane::set_server_source`]; kept as a trait so `gstm_core`
+/// needs no dependency on the server crate.
+pub trait ServerSource: Send + Sync {
+    /// Drain window-scoped stats: deltas since the previous call plus
+    /// point-in-time gauges.
+    fn window(&self) -> ServerWindow;
+    /// Cumulative Prometheus families (`gstm_server_*`), full
+    /// exposition lines including `# TYPE` headers.
+    fn render_prometheus(&self) -> String;
 }
 
 // ---------------------------------------------------------------------------
@@ -401,6 +450,14 @@ impl WindowedTelemetry {
         &self.ring
     }
 
+    /// Attach server stats to the most recently closed window (the one
+    /// the current roll just pushed). No-op on an empty ring.
+    pub fn annotate_server(&mut self, sw: ServerWindow) {
+        if let Some(last) = self.ring.back_mut() {
+            last.server = Some(sw);
+        }
+    }
+
     /// Rollup of evicted windows and how many were folded into it.
     pub fn evicted(&self) -> (&WindowCounters, u64) {
         (&self.evicted, self.evicted_windows)
@@ -462,6 +519,13 @@ pub struct SloSpec {
     pub max_commit_p99_ns: Option<u64>,
     /// Breach when the live off-model fraction exceeds this (percent).
     pub max_off_model_pct: Option<f64>,
+    /// Breach when a window's server frame p99 exceeds this (ns).
+    /// Judged only on windows annotated with a [`ServerWindow`].
+    pub max_frame_p99_ns: Option<u64>,
+    /// Breach when the degradation-ladder rung at close is at or above
+    /// this (0 full tick … 3 load shed). Judged only on annotated
+    /// windows.
+    pub max_ladder: Option<u8>,
     /// Treat an open breaker at window close as a breach.
     pub breaker_open_breaches: bool,
     /// Treat a stale drift verdict at window close as a breach.
@@ -488,6 +552,8 @@ impl Default for SloSpec {
             max_released_pct: Some(25.0),
             max_commit_p99_ns: None,
             max_off_model_pct: None,
+            max_frame_p99_ns: None,
+            max_ladder: None,
             breaker_open_breaches: true,
             stale_breaches: true,
             warn_after: 1,
@@ -541,6 +607,10 @@ impl SloSpec {
                 "p99-us" => out.max_commit_p99_ns = f(val)?.map(|v| (v * 1e3) as u64),
                 "p99-ms" => out.max_commit_p99_ns = f(val)?.map(|v| (v * 1e6) as u64),
                 "off-model" => out.max_off_model_pct = f(val)?,
+                "frame-p99-ns" => out.max_frame_p99_ns = f(val)?.map(|v| v as u64),
+                "frame-p99-us" => out.max_frame_p99_ns = f(val)?.map(|v| (v * 1e3) as u64),
+                "frame-p99-ms" => out.max_frame_p99_ns = f(val)?.map(|v| (v * 1e6) as u64),
+                "ladder" => out.max_ladder = Some(u(val)?.min(u8::MAX as u64) as u8),
                 "breaker" => out.breaker_open_breaches = b(val)?,
                 "stale" => out.stale_breaches = b(val)?,
                 "warn" => out.warn_after = u(val)?.max(1) as u32,
@@ -552,7 +622,8 @@ impl SloSpec {
                 _ => {
                     return Err(format!(
                         "unknown SLO key '{key}' (valid: abort-ratio, released, p99-ns, \
-                         p99-us, p99-ms, off-model, breaker, stale, warn, incident, clear, \
+                         p99-us, p99-ms, off-model, frame-p99-ns, frame-p99-us, \
+                         frame-p99-ms, ladder, breaker, stale, warn, incident, clear, \
                          min-events, window-ms, dump-windows)"
                     ))
                 }
@@ -696,6 +767,18 @@ impl SloWatchdog {
         if let (Some(max), Some(off)) = (self.spec.max_off_model_pct, w.off_model_pct) {
             if off > max {
                 out.push(format!("off_model {off:.1}% > {max}%"));
+            }
+        }
+        if let Some(sw) = &w.server {
+            if let Some(max) = self.spec.max_frame_p99_ns {
+                if sw.frame_p99_ns > max {
+                    out.push(format!("frame_p99 {}ns > {max}ns", sw.frame_p99_ns));
+                }
+            }
+            if let Some(max) = self.spec.max_ladder {
+                if sw.ladder >= max {
+                    out.push(format!("ladder rung {} >= {max}", sw.ladder));
+                }
             }
         }
         if self.spec.breaker_open_breaches && w.breaker_state == 1 {
@@ -1024,6 +1107,7 @@ struct OpsInner {
     watchdog: SloWatchdog,
     incidents: Vec<IncidentDump>,
     frozen: Option<String>,
+    server: Option<Arc<dyn ServerSource>>,
 }
 
 /// The shared live-ops state: aggregator + watchdog + incident store,
@@ -1052,6 +1136,7 @@ impl OpsPlane {
                 watchdog: SloWatchdog::new(spec),
                 incidents: Vec::new(),
                 frozen: None,
+                server: None,
             }),
         }
     }
@@ -1059,6 +1144,13 @@ impl OpsPlane {
     /// Switch the live collector (see [`WindowedTelemetry::attach`]).
     pub fn attach(&self, tel: &Arc<Telemetry>) {
         self.inner.lock().windows.attach(Arc::clone(tel));
+    }
+
+    /// Register a network server: every roll drains one
+    /// [`ServerWindow`] from it (annotating the closed window for SLO
+    /// judging) and `/metrics` gains its `gstm_server_*` families.
+    pub fn set_server_source(&self, src: Arc<dyn ServerSource>) {
+        self.inner.lock().server = Some(src);
     }
 
     /// Close a window with a wall-clock stamp (the timer driver's
@@ -1074,7 +1166,12 @@ impl OpsPlane {
     pub fn roll_stamped(&self, stamp: &str) -> Option<SloTransition> {
         let mut g = self.inner.lock();
         let inner = &mut *g;
-        let w = inner.windows.roll()?;
+        let mut w = inner.windows.roll()?;
+        if let Some(src) = &inner.server {
+            let sw = src.window();
+            inner.windows.annotate_server(sw.clone());
+            w.server = Some(sw);
+        }
         let tr = inner.watchdog.observe(&w)?;
         if tr.to == SloState::Incident {
             let snap = inner.windows.cumulative();
@@ -1117,7 +1214,12 @@ impl OpsPlane {
         drop(self.roll_stamped(stamp));
         let mut g = self.inner.lock();
         let inner = &mut *g;
-        let body = render_metrics(&inner.windows, &inner.watchdog, inner.incidents.len());
+        let body = render_metrics(
+            &inner.windows,
+            &inner.watchdog,
+            inner.incidents.len(),
+            inner.server.as_deref(),
+        );
         inner.frozen = Some(body.clone());
         body
     }
@@ -1130,7 +1232,7 @@ impl OpsPlane {
         if let Some(f) = &g.frozen {
             return f.clone();
         }
-        render_metrics(&g.windows, &g.watchdog, g.incidents.len())
+        render_metrics(&g.windows, &g.watchdog, g.incidents.len(), g.server.as_deref())
     }
 
     /// The `/health` body and whether the plane is healthy (false only
@@ -1267,7 +1369,12 @@ fn wall_stamp() -> String {
 
 /// Render the full `/metrics` exposition: the cumulative snapshot's
 /// families followed by the window partition and SLO families.
-fn render_metrics(w: &WindowedTelemetry, dog: &SloWatchdog, incidents: usize) -> String {
+fn render_metrics(
+    w: &WindowedTelemetry,
+    dog: &SloWatchdog,
+    incidents: usize,
+    server: Option<&dyn ServerSource>,
+) -> String {
     let mut out = w.cumulative().render_prometheus();
     let _ = writeln!(out, "# TYPE gstm_windows_closed_total counter");
     let _ = writeln!(out, "gstm_windows_closed_total {}", w.closed());
@@ -1337,6 +1444,31 @@ fn render_metrics(w: &WindowedTelemetry, dog: &SloWatchdog, incidents: usize) ->
             "gstm_window_abort_ratio_pct{{window=\"{}\"}} {:.3}",
             win.index, win.abort_ratio_pct
         );
+    }
+    if ring.iter().any(|win| win.server.is_some()) {
+        let _ = writeln!(out, "# TYPE gstm_window_frame_p99_ns gauge");
+        for win in ring {
+            if let Some(sw) = &win.server {
+                let _ = writeln!(
+                    out,
+                    "gstm_window_frame_p99_ns{{window=\"{}\"}} {}",
+                    win.index, sw.frame_p99_ns
+                );
+            }
+        }
+        let _ = writeln!(out, "# TYPE gstm_window_server_ladder gauge");
+        for win in ring {
+            if let Some(sw) = &win.server {
+                let _ = writeln!(
+                    out,
+                    "gstm_window_server_ladder{{window=\"{}\"}} {}",
+                    win.index, sw.ladder
+                );
+            }
+        }
+    }
+    if let Some(src) = server {
+        out.push_str(&src.render_prometheus());
     }
     let _ = writeln!(out, "# TYPE gstm_slo_state gauge");
     let _ = writeln!(out, "gstm_slo_state {}", dog.state().code());
@@ -1633,6 +1765,7 @@ mod tests {
             staleness: 0,
             breaker_state: 0,
             hot_addrs: Vec::new(),
+            server: None,
         }
     }
 

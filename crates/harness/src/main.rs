@@ -177,6 +177,15 @@ fn parse_pin(s: &str) -> PinPolicy {
     })
 }
 
+/// Parse a flag's numeric value; malformed input is a usage error (exit
+/// 2 with the offending flag named), never a panic.
+fn parse_flag<T: std::str::FromStr>(flag: &str, val: &str) -> T {
+    val.parse().unwrap_or_else(|_| {
+        eprintln!("bad value for {flag}: {val:?}");
+        std::process::exit(2);
+    })
+}
+
 fn parse_args() -> Options {
     let mut args = std::env::args().skip(1);
     let mut opts = Options {
@@ -216,14 +225,12 @@ fn parse_args() -> Options {
             "--threads" => {
                 opts.threads = next(&mut args, "--threads")
                     .split(',')
-                    .map(|s| s.parse().expect("bad thread count"))
+                    .map(|s| parse_flag("--threads", s))
                     .collect();
             }
-            "--runs" => opts.runs = next(&mut args, "--runs").parse().expect("bad runs"),
+            "--runs" => opts.runs = parse_flag("--runs", &next(&mut args, "--runs")),
             "--profile-runs" => {
-                opts.profile_runs = next(&mut args, "--profile-runs")
-                    .parse()
-                    .expect("bad profile-runs")
+                opts.profile_runs = parse_flag("--profile-runs", &next(&mut args, "--profile-runs"))
             }
             "--bench" => {
                 opts.benches = Some(
@@ -238,15 +245,15 @@ fn parse_args() -> Options {
                 opts.train_size = Some(parse_size(&next(&mut args, "--train-size")))
             }
             "--players" => {
-                opts.players = next(&mut args, "--players").parse().expect("bad players")
+                opts.players = parse_flag("--players", &next(&mut args, "--players"))
             }
-            "--frames" => opts.frames = next(&mut args, "--frames").parse().expect("bad frames"),
+            "--frames" => opts.frames = parse_flag("--frames", &next(&mut args, "--frames")),
             "--tfactor" => {
-                opts.tfactor = next(&mut args, "--tfactor").parse().expect("bad tfactor")
+                opts.tfactor = parse_flag("--tfactor", &next(&mut args, "--tfactor"))
             }
-            "--seed" => opts.seed = next(&mut args, "--seed").parse().expect("bad seed"),
+            "--seed" => opts.seed = parse_flag("--seed", &next(&mut args, "--seed")),
             "--repeat" => {
-                opts.repeat = next(&mut args, "--repeat").parse().expect("bad repeat")
+                opts.repeat = parse_flag("--repeat", &next(&mut args, "--repeat"))
             }
             "--out" => opts.out = Some(PathBuf::from(next(&mut args, "--out"))),
             "--no-csv" => opts.out = None,
@@ -257,7 +264,7 @@ fn parse_args() -> Options {
             "--adaptive" => opts.adaptive = Some(4096),
             s if s.starts_with("--adaptive=") => {
                 opts.adaptive =
-                    Some(s["--adaptive=".len()..].parse().expect("bad adaptive window"));
+                    Some(parse_flag("--adaptive", &s["--adaptive=".len()..]));
             }
             "--chaos" => opts.chaos = Some(next(&mut args, "--chaos")),
             s if s.starts_with("--chaos=") => {
@@ -286,18 +293,15 @@ fn parse_args() -> Options {
             }
             "--duration" => {
                 opts.duration =
-                    Some(next(&mut args, "--duration").parse().expect("bad duration"))
+                    Some(parse_flag("--duration", &next(&mut args, "--duration")))
             }
             s if s.starts_with("--duration=") => {
                 opts.duration =
-                    Some(s["--duration=".len()..].parse().expect("bad duration"));
+                    Some(parse_flag("--duration", &s["--duration=".len()..]));
             }
             "--profile-threads" => {
-                opts.profile_threads = Some(
-                    next(&mut args, "--profile-threads")
-                        .parse()
-                        .expect("bad profile-threads"),
-                )
+                opts.profile_threads =
+                    Some(parse_flag("--profile-threads", &next(&mut args, "--profile-threads")))
             }
             "help" | "--help" | "-h" => {
                 print_help();

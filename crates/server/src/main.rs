@@ -1,0 +1,274 @@
+//! `gstm-server` — the overload-hardened SynQuake network server.
+//!
+//! Startup trains a guided model by self-play (the same
+//! train-on-worst-case pipeline the harness uses), then serves the
+//! world over TCP with admission control, the degradation ladder, and
+//! the ops plane attached. `--chaos=SEED` arms the deterministic socket
+//! fault plan; `--ticks=N` bounds the run for scripted campaigns.
+
+use gstm_core::ops::{self, OpsPlane, SloSpec};
+use gstm_core::prelude::*;
+use gstm_libtm::{LibTm, LibTmConfig};
+use gstm_server::admission::AdmissionConfig;
+use gstm_server::engine::{Engine, EngineConfig};
+use gstm_server::net::{self, NetConfig};
+use gstm_server::signal;
+use gstm_server::stats::ServerStats;
+use gstm_synquake::{run_game, GameConfig, QuestLayout};
+use std::io::Write as _;
+use std::net::TcpListener;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+struct Options {
+    port: u16,
+    tick_ms: u64,
+    players: u32,
+    world_size: u32,
+    cell_size: u32,
+    items: u32,
+    max_sessions: usize,
+    budget_us: u64,
+    chaos: Option<String>,
+    slo: Option<String>,
+    ops_port: Option<u16>,
+    out: PathBuf,
+    ticks: u64,
+    train_frames: u64,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            port: 7777,
+            tick_ms: 20,
+            players: 64,
+            world_size: 256,
+            cell_size: 64,
+            items: 128,
+            max_sessions: 64,
+            budget_us: 2_000,
+            chaos: None,
+            slo: None,
+            ops_port: None,
+            out: PathBuf::from("results/server"),
+            ticks: 0,
+            train_frames: 24,
+        }
+    }
+}
+
+const USAGE: &str = "usage: gstm-server [options]
+  --port=N           TCP port (default 7777)
+  --tick-ms=N        tick cadence, ms (default 20)
+  --players=N        player slots (default 64)
+  --world-size=N     world edge length (default 256)
+  --cell-size=N      cell edge length (default 64)
+  --items=N          items spawned (default 128)
+  --max-sessions=N   session cap (default 64)
+  --budget-us=N      tick budget, microseconds (default 2000)
+  --chaos=SEED[:PLAN] arm the socket fault plan (plan default: socket)
+  --slo=SPEC         SLO spec for the ops watchdog
+  --ops-port=N       serve /metrics /health on this port
+  --out=DIR          artifact directory (default results/server)
+  --ticks=N          stop after N ticks (default: run until SIGINT)
+  --train-frames=N   self-play training frames (default 24; 0 skips)";
+
+fn parse_num<T: std::str::FromStr>(key: &str, val: &str) -> Result<T, String> {
+    val.parse().map_err(|_| format!("{key} wants a number, got {val:?}"))
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut o = Options::default();
+    for arg in args {
+        let (key, val) = match arg.split_once('=') {
+            Some((k, v)) => (k, v),
+            None => (arg.as_str(), ""),
+        };
+        match key {
+            "--port" => o.port = parse_num(key, val)?,
+            "--tick-ms" => o.tick_ms = parse_num(key, val)?,
+            "--players" => o.players = parse_num(key, val)?,
+            "--world-size" => o.world_size = parse_num(key, val)?,
+            "--cell-size" => o.cell_size = parse_num(key, val)?,
+            "--items" => o.items = parse_num(key, val)?,
+            "--max-sessions" => o.max_sessions = parse_num(key, val)?,
+            "--budget-us" => o.budget_us = parse_num(key, val)?,
+            "--chaos" => o.chaos = Some(val.to_string()),
+            "--slo" => o.slo = Some(val.to_string()),
+            "--ops-port" => o.ops_port = Some(parse_num(key, val)?),
+            "--out" => o.out = PathBuf::from(val),
+            "--ticks" => o.ticks = parse_num(key, val)?,
+            "--train-frames" => o.train_frames = parse_num(key, val)?,
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            _ => return Err(format!("unknown flag {key:?}\n{USAGE}")),
+        }
+    }
+    if o.players == 0 || o.world_size == 0 || o.cell_size == 0 {
+        return Err("--players/--world-size/--cell-size must be nonzero".into());
+    }
+    Ok(o)
+}
+
+/// Self-play training: record two training quests, build the TSA model.
+/// `frames == 0` skips training and serves a trivial (empty-run) model,
+/// which the breaker will gate on its own.
+fn train_model(opts: &Options, guidance: &GuidanceConfig) -> Arc<GuidedModel> {
+    let recorder = Arc::new(RecorderHook::new());
+    let mut runs = Vec::new();
+    if opts.train_frames > 0 {
+        for quest in [QuestLayout::WorstCase4, QuestLayout::Moving4] {
+            let tm = LibTm::with_hook(recorder.clone(), LibTmConfig::default());
+            let cfg = GameConfig {
+                threads: 2,
+                players: opts.players.min(64),
+                frames: opts.train_frames,
+                quest,
+                seed: 0x9a3e,
+                ..GameConfig::default()
+            };
+            let _ = run_game(&tm, &cfg);
+            runs.push(recorder.take_run());
+        }
+    }
+    let tsa = Tsa::from_runs(&runs);
+    Arc::new(GuidedModel::build(tsa, guidance))
+}
+
+fn run(opts: Options) -> Result<(), String> {
+    if !signal::install() {
+        eprintln!("[gstm-server] no signal handler on this target; Ctrl-C will not drain");
+    }
+
+    // ---- fault plan ----
+    let faults = match opts.chaos.as_deref() {
+        Some(spec) => {
+            let spec = if spec.contains(':') { spec.to_string() } else { format!("{spec}:socket") };
+            let plan = FaultPlan::parse_spec(&spec).map_err(|e| format!("bad --chaos: {e}"))?;
+            Some(Arc::new(plan.with_log()))
+        }
+        None => None,
+    };
+
+    // ---- model + STM runtime ----
+    let guidance = GuidanceConfig::default();
+    eprintln!("[gstm-server] training guided model ({} frames/quest)...", opts.train_frames);
+    let model = train_model(&opts, &guidance);
+    let tel = Arc::new(Telemetry::new());
+    let breaker = Arc::new(Breaker::new(BreakerConfig::default(), Some(tel.clone())));
+    let hook = Arc::new(GuidedHook::with_robustness(
+        model,
+        guidance,
+        Some(tel.clone()),
+        None,
+        Some(breaker.clone()),
+        faults.clone(),
+    ));
+    let tm = LibTm::with_robustness(hook, LibTmConfig::default(), Some(tel.clone()), faults.clone());
+
+    // ---- ops plane ----
+    let spec = match opts.slo.as_deref() {
+        Some(s) => SloSpec::parse(s).map_err(|e| format!("bad --slo: {e}"))?,
+        None => SloSpec::default(),
+    };
+    let cadence = std::time::Duration::from_millis(spec.window_ms);
+    let plane = Arc::new(OpsPlane::new(spec));
+    plane.attach(&tel);
+    let stats = Arc::new(ServerStats::new());
+    plane.set_server_source(stats.clone());
+    let ops_server = match opts.ops_port {
+        Some(p) => {
+            let s = ops::serve(Arc::clone(&plane), &format!("127.0.0.1:{p}"))
+                .map_err(|e| format!("failed to bind --ops-port={p}: {e}"))?;
+            eprintln!("[gstm-server] ops endpoint on http://{} (/metrics /health)", s.addr);
+            Some(s)
+        }
+        None => None,
+    };
+    let roller = ops::start_roller(Arc::clone(&plane), cadence);
+
+    // ---- engine + socket loop ----
+    let ecfg = EngineConfig {
+        world_size: opts.world_size,
+        cell_size: opts.cell_size,
+        players: opts.players,
+        items: opts.items,
+        seed: faults.as_ref().map(|f| f.seed()).unwrap_or(0x9a3e),
+        admission: AdmissionConfig {
+            tick_budget: opts.budget_us,
+            max_sessions: opts.max_sessions,
+            ..AdmissionConfig::default()
+        },
+        // Chaos runs use the synthetic tick clock so the ladder
+        // trajectory is a pure function of (seed, traffic).
+        deterministic: faults.is_some(),
+        tick_budget_ns: opts.budget_us * 1_000,
+        ..EngineConfig::default()
+    };
+    let mut engine = Engine::new(ecfg, tm, Some(breaker.clone()), faults.clone(), stats.clone());
+    let listener = TcpListener::bind(("127.0.0.1", opts.port))
+        .map_err(|e| format!("failed to bind port {}: {e}", opts.port))?;
+    let bound = listener.local_addr().map(|a| a.to_string()).unwrap_or_default();
+    eprintln!("[gstm-server] serving on {bound}");
+    let ncfg = NetConfig { tick_ms: opts.tick_ms, max_ticks: opts.ticks, ..NetConfig::default() };
+    let ticks = net::serve(&mut engine, listener, signal::stop_flag(), &ncfg, faults.clone())
+        .map_err(|e| format!("socket loop failed: {e}"))?;
+
+    // ---- drain + artifacts ----
+    roller.stop();
+    let audit = engine.world().audit();
+    std::fs::create_dir_all(&opts.out)
+        .map_err(|e| format!("cannot create {}: {e}", opts.out.display()))?;
+    let ticks_path = opts.out.join("ticks.jsonl");
+    let write_ticks = || -> std::io::Result<()> {
+        let mut f = std::io::BufWriter::new(std::fs::File::create(&ticks_path)?);
+        engine.write_ticks_jsonl(&mut f)?;
+        f.flush()
+    };
+    write_ticks().map_err(|e| format!("cannot write {}: {e}", ticks_path.display()))?;
+    let prom_path = opts.out.join("ops.prom");
+    std::fs::write(&prom_path, plane.freeze())
+        .map_err(|e| format!("cannot write {}: {e}", prom_path.display()))?;
+    if let Some(f) = &faults {
+        let log: Vec<String> = f
+            .log()
+            .iter()
+            .map(|r| format!("{} slot={} n={} entropy={:#x}", r.site.name(), r.slot, r.n, r.entropy))
+            .collect();
+        let fp = opts.out.join("faults.log");
+        std::fs::write(&fp, log.join("\n") + "\n")
+            .map_err(|e| format!("cannot write {}: {e}", fp.display()))?;
+        eprintln!("[gstm-server] {} fault(s) fired, log at {}", log.len(), fp.display());
+    }
+    if let Some(s) = ops_server {
+        s.stop();
+    }
+    eprintln!(
+        "[gstm-server] done: {ticks} tick(s), {} commit(s), rung {}, {} ladder move(s), \
+         breaker {:?}, audit {}",
+        engine.commits(),
+        engine.rung().label(),
+        engine.ladder_transitions().len(),
+        breaker.state(),
+        audit,
+    );
+    if audit != 0 {
+        return Err(format!("world audit failed: {audit} inconsistent cell(s)"));
+    }
+    Ok(())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
+    if let Err(e) = run(opts) {
+        eprintln!("[gstm-server] error: {e}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,111 @@
+//! Per-session state: decoder, bounded write queue, liveness.
+
+use crate::proto::{Frame, FrameDecoder};
+use std::collections::VecDeque;
+
+/// Cap on a session's queued outbound bytes. Beyond this the session is
+/// not draining (slow-loris or a dead link) and low-priority frames are
+/// dropped instead of buffered without bound — the backpressure policy.
+pub const WRITE_QUEUE_CAP: usize = 32 * 1024;
+
+/// Priority at or above which a frame is *critical*: queued even past
+/// the cap (`Welcome`/`Overloaded`/`Goodbye` use 255) so control frames
+/// survive backpressure while bulk tick reports are shed.
+pub const CRITICAL_PRIORITY: u8 = 250;
+
+/// Ticks a session may sit without delivering a frame before the idle
+/// reaper closes it.
+pub const IDLE_TICKS_MAX: u64 = 1_000;
+
+/// One connected client.
+pub struct Session {
+    /// Connection id (the net layer's handle).
+    pub conn: u64,
+    /// Assigned player, once the `Hello` handshake completed.
+    pub player: Option<u32>,
+    /// Incremental frame decoder for this session's byte stream.
+    pub decoder: FrameDecoder,
+    /// Encoded outbound bytes not yet handed to the socket layer.
+    pub outq: VecDeque<u8>,
+    /// Outbound frames dropped by backpressure.
+    pub dropped_frames: u64,
+    /// Ticks since the last complete inbound frame.
+    pub idle_ticks: u64,
+    /// Remaining ticks this session's drain is stalled (slow-loris
+    /// fault: the peer reads one byte per eon, so our queue backs up).
+    pub loris_ticks: u32,
+    /// Inbound bytes deferred by a partial-read fault, prepended to the
+    /// next delivery.
+    pub deferred_in: Vec<u8>,
+    /// A `Goodbye` is queued; close once the queue drains.
+    pub closing: bool,
+}
+
+impl Session {
+    /// A fresh session for connection `conn`.
+    pub fn new(conn: u64) -> Session {
+        Session {
+            conn,
+            player: None,
+            decoder: FrameDecoder::new(),
+            outq: VecDeque::new(),
+            dropped_frames: 0,
+            idle_ticks: 0,
+            loris_ticks: 0,
+            deferred_in: Vec::new(),
+            closing: false,
+        }
+    }
+
+    /// Queue a frame for delivery. Returns `false` (and counts a drop)
+    /// when backpressure sheds it: queue at cap and the frame is below
+    /// [`CRITICAL_PRIORITY`].
+    pub fn queue_frame(&mut self, frame: &Frame) -> bool {
+        if self.outq.len() >= WRITE_QUEUE_CAP && frame.priority < CRITICAL_PRIORITY {
+            self.dropped_frames += 1;
+            return false;
+        }
+        self.outq.extend(frame.encode());
+        true
+    }
+
+    /// Take up to `max` queued bytes for the wire (empty while a
+    /// slow-loris stall is in force).
+    pub fn drain_out(&mut self, max: usize) -> Vec<u8> {
+        if self.loris_ticks > 0 {
+            return Vec::new();
+        }
+        let n = self.outq.len().min(max);
+        self.outq.drain(..n).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::proto::FrameType;
+
+    #[test]
+    fn backpressure_sheds_bulk_but_keeps_control_frames() {
+        let mut s = Session::new(1);
+        // Fill the queue past the cap with bulk frames.
+        let bulk = Frame::new(FrameType::TickReport, 10, vec![0; 500]);
+        while s.outq.len() < WRITE_QUEUE_CAP {
+            assert!(s.queue_frame(&bulk));
+        }
+        assert!(!s.queue_frame(&bulk), "bulk frame shed at cap");
+        assert_eq!(s.dropped_frames, 1);
+        assert!(s.queue_frame(&Frame::goodbye(0)), "critical frame still queued");
+    }
+
+    #[test]
+    fn loris_stall_blocks_drain() {
+        let mut s = Session::new(1);
+        s.queue_frame(&Frame::welcome(3));
+        s.loris_ticks = 2;
+        assert!(s.drain_out(4096).is_empty());
+        s.loris_ticks = 0;
+        assert_eq!(s.drain_out(4096), Frame::welcome(3).encode());
+        assert!(s.outq.is_empty());
+    }
+}

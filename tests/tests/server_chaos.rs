@@ -1,0 +1,198 @@
+//! Seeded socket-chaos campaigns against the SynQuake server engine.
+//!
+//! The contract under test is the PR's acceptance bar: a chaos campaign
+//! (accept stalls, partial I/O, abrupt disconnects, malformed frames,
+//! slow-loris stalls) must (a) never panic, (b) never lose a committed
+//! world-state update (every executed action is exactly one STM commit
+//! and the world audit stays clean), (c) replay bit-identically — the
+//! same `--chaos` seed yields the same fault log and the same
+//! degradation-ladder trajectory — and (d) drive the guidance breaker
+//! through a forced-open trip and back to closed via its own probe
+//! path.
+
+use gstm_core::faultinject::{FaultPlan, FaultRecord};
+use gstm_core::prelude::*;
+use gstm_core::rng::SplitMix64;
+use gstm_libtm::{LibTm, LibTmConfig};
+use gstm_server::admission::{AdmissionConfig, Rung};
+use gstm_server::engine::{Engine, EngineConfig, Event};
+use gstm_server::proto::{ActionOp, Frame};
+use gstm_server::stats::ServerStats;
+use std::sync::Arc;
+
+fn small_admission() -> AdmissionConfig {
+    AdmissionConfig {
+        tick_budget: 200,
+        action_cost: 10,
+        base_cost: 20,
+        max_sessions: 8,
+        escalate_after: 2,
+        deescalate_after: 3,
+        low_water_pct: 60,
+    }
+}
+
+/// One deterministic campaign: scripted traffic from `seed` against an
+/// engine armed with the `socket` fault plan at the same seed. Returns
+/// everything the replay comparison needs.
+struct CampaignOutcome {
+    fault_log: Vec<FaultRecord>,
+    ladder: Vec<u8>,
+    commits: u64,
+    executed: u64,
+    audit: usize,
+}
+
+fn run_campaign(seed: u64, ticks: usize) -> CampaignOutcome {
+    let faults = Arc::new(
+        FaultPlan::parse_spec(&format!("{seed}:socket"))
+            .expect("socket plan parses")
+            .with_log(),
+    );
+    let stats = Arc::new(ServerStats::new());
+    let tm = LibTm::new(LibTmConfig::default());
+    let cfg = EngineConfig {
+        players: 8,
+        deterministic: true,
+        admission: small_admission(),
+        ..EngineConfig::default()
+    };
+    let mut e = Engine::new(cfg, tm, None, Some(faults.clone()), stats.clone());
+
+    let mut rng = SplitMix64::new(seed ^ 0x5c21_97a1);
+    for conn in 1..=4u64 {
+        e.handle(Event::Connect { conn });
+        e.handle(Event::Data { conn, bytes: Frame::hello().encode() });
+    }
+    e.handle(Event::Tick);
+    for _ in 0..ticks {
+        for conn in 1..=4u64 {
+            // A seeded burst: mostly moves, some attacks/pickups, and
+            // the occasional raw garbage the decoder must survive.
+            let burst = 1 + rng.below(12);
+            for _ in 0..burst {
+                let bytes = match rng.below(10) {
+                    0 => (0..rng.below(9) + 1).map(|_| (rng.next() & 0xff) as u8).collect(),
+                    1 => Frame::action(ActionOp::Attack, rng.below(250) as u8, rng.below(8) as u16, 0)
+                        .encode(),
+                    2 => Frame::action(ActionOp::Pickup, rng.below(250) as u8, 0, 0).encode(),
+                    _ => Frame::action(
+                        ActionOp::Move,
+                        rng.below(250) as u8,
+                        rng.below(256) as u16,
+                        rng.below(256) as u16,
+                    )
+                    .encode(),
+                };
+                e.handle(Event::Data { conn, bytes });
+            }
+        }
+        e.handle(Event::Tick);
+    }
+    e.shutdown();
+    CampaignOutcome {
+        fault_log: faults.log(),
+        ladder: e.ladder_trajectory(),
+        commits: e.commits(),
+        executed: stats.actions_executed.load(std::sync::atomic::Ordering::Relaxed),
+        audit: e.world().audit(),
+    }
+}
+
+#[test]
+fn same_seed_replays_identical_fault_log_and_ladder_trajectory() {
+    let a = run_campaign(42, 60);
+    let b = run_campaign(42, 60);
+    assert!(!a.fault_log.is_empty(), "the socket plan fired under traffic");
+    assert_eq!(a.fault_log, b.fault_log, "fault schedule is a pure function of the seed");
+    assert_eq!(a.ladder, b.ladder, "ladder trajectory replays bit-identically");
+    assert_eq!(a.commits, b.commits);
+}
+
+#[test]
+fn different_seeds_draw_different_fault_schedules() {
+    let a = run_campaign(42, 40);
+    let b = run_campaign(43, 40);
+    assert_ne!(a.fault_log, b.fault_log);
+}
+
+#[test]
+fn chaos_campaign_loses_no_committed_updates() {
+    for seed in [7, 42, 0xfeed] {
+        let o = run_campaign(seed, 80);
+        assert_eq!(
+            o.commits, o.executed,
+            "seed {seed}: every executed action is exactly one STM commit"
+        );
+        assert_eq!(o.audit, 0, "seed {seed}: world survived the campaign consistent");
+    }
+}
+
+#[test]
+fn overload_trips_the_breaker_and_recovery_recloses_it() {
+    // A breaker with a short cooldown and probe window so the whole
+    // trip → cooldown → half-open → re-close arc fits in one test.
+    let breaker = Arc::new(Breaker::new(
+        BreakerConfig {
+            cooldown: 16,
+            probe_window: 8,
+            starvation_releases: 10_000,
+            max_abort_pct: 100.0,
+            max_released_pct: 100.0,
+            ..BreakerConfig::default()
+        },
+        None,
+    ));
+    let empty: Vec<Vec<StateKey>> = Vec::new();
+    let model = Arc::new(GuidedModel::build(Tsa::from_runs(&empty), &GuidanceConfig::default()));
+    let hook = Arc::new(GuidedHook::with_robustness(
+        model,
+        GuidanceConfig::default(),
+        None,
+        None,
+        Some(breaker.clone()),
+        None,
+    ));
+    let tm = LibTm::with_hook(hook, LibTmConfig::default());
+    let cfg = EngineConfig {
+        players: 8,
+        deterministic: true,
+        admission: small_admission(),
+        ..EngineConfig::default()
+    };
+    let mut e =
+        Engine::new(cfg, tm, Some(breaker.clone()), None, Arc::new(ServerStats::new()));
+    e.handle(Event::Connect { conn: 1 });
+    e.handle(Event::Data { conn: 1, bytes: Frame::hello().encode() });
+    e.handle(Event::Tick);
+
+    // Flood far past the budget until the ladder forces the breaker open.
+    for _ in 0..12 {
+        for i in 0..40u16 {
+            let f = Frame::action(ActionOp::Move, (i % 4) as u8, 10 + i, 20);
+            e.handle(Event::Data { conn: 1, bytes: f.encode() });
+        }
+        e.handle(Event::Tick);
+        if e.rung() >= Rung::GuidedBypass {
+            break;
+        }
+    }
+    assert!(e.rung() >= Rung::GuidedBypass, "sustained overload reached guided-bypass");
+    assert!(breaker.trips() >= 1, "entering guided-bypass forced the breaker open");
+    assert_eq!(breaker.last_cause(), BreakerCause::Overload);
+
+    // Calm traffic: light enough to descend the ladder, busy enough to
+    // feed the breaker's cooldown and half-open probes.
+    for t in 0..200 {
+        let f = Frame::action(ActionOp::Move, 5, (t % 64) as u16, 30);
+        e.handle(Event::Data { conn: 1, bytes: f.encode() });
+        e.handle(Event::Tick);
+        if breaker.recloses() >= 1 && e.rung() == Rung::FullTick {
+            break;
+        }
+    }
+    assert_eq!(e.rung(), Rung::FullTick, "ladder descended after the pressure lifted");
+    assert!(breaker.recloses() >= 1, "breaker re-closed via its own probe path");
+    assert_eq!(breaker.state(), BreakerState::Closed);
+    assert_eq!(e.world().audit(), 0);
+}
